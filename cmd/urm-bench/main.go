@@ -1,0 +1,141 @@
+// Command urm-bench reproduces the tables and figures of the paper's
+// evaluation (Section VIII).  Each experiment prints a table whose rows mirror
+// the corresponding figure's data series.
+//
+// Usage:
+//
+//	urm-bench                          # run every experiment at default scale
+//	urm-bench -fig Fig11a              # run a single figure
+//	urm-bench -mappings 500 -size 100  # paper-scale run (slower)
+//	urm-bench -csv -out results/       # also write CSV files
+//	urm-bench -list                    # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/probdb/urm/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "urm-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("urm-bench", flag.ContinueOnError)
+	var (
+		figID    = fs.String("fig", "all", "experiment ID to run (e.g. Fig11a, TableIV) or 'all'")
+		mappings = fs.Int("mappings", 0, "default number of possible mappings h (0 = harness default 100)")
+		sizeMB   = fs.Float64("size", 0, "default database scale in MB (0 = harness default 40; the paper uses 100)")
+		seed     = fs.Uint64("seed", 42, "data-generation seed")
+		runs     = fs.Int("runs", 1, "repetitions averaged per measurement")
+		sweepH   = fs.String("mapping-sweep", "", "comma-separated mapping counts for the sweep figures (default 100,200,300,400,500)")
+		sweepMB  = fs.String("size-sweep", "", "comma-separated database sizes for the sweep figures (default 20,40,60,80,100)")
+		csv      = fs.Bool("csv", false, "also emit CSV for each table")
+		outDir   = fs.String("out", "", "directory to write <ID>.csv files into")
+		list     = fs.Bool("list", false, "list experiment IDs and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Fprintf(out, "%-8s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	cfg := bench.DefaultConfig()
+	if *mappings > 0 {
+		cfg.Mappings = *mappings
+	}
+	if *sizeMB > 0 {
+		cfg.SizeMB = *sizeMB
+	}
+	cfg.Seed = *seed
+	cfg.Runs = *runs
+	if *sweepH != "" {
+		ints, err := parseInts(*sweepH)
+		if err != nil {
+			return fmt.Errorf("-mapping-sweep: %w", err)
+		}
+		cfg.MappingSweep = ints
+	}
+	if *sweepMB != "" {
+		floats, err := parseFloats(*sweepMB)
+		if err != nil {
+			return fmt.Errorf("-size-sweep: %w", err)
+		}
+		cfg.SizeSweep = floats
+	}
+
+	runner := bench.NewRunner(cfg)
+	var experiments []bench.Experiment
+	if *figID == "all" {
+		experiments = bench.Experiments()
+	} else {
+		e, err := bench.ExperimentByID(*figID)
+		if err != nil {
+			return err
+		}
+		experiments = []bench.Experiment{e}
+	}
+
+	fmt.Fprintf(out, "urm-bench: h=%d, size=%.0fMB, seed=%d, runs=%d\n\n",
+		cfg.Mappings, cfg.SizeMB, cfg.Seed, cfg.Runs)
+	for _, e := range experiments {
+		start := time.Now()
+		table, err := e.Run(runner)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintln(out, table.String())
+		fmt.Fprintf(out, "(%s completed in %.2fs)\n\n", e.ID, time.Since(start).Seconds())
+		if *csv {
+			fmt.Fprintln(out, table.CSV())
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*outDir, e.ID+".csv")
+			if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,122 @@
+// Command urm-query evaluates probabilistic queries over the synthetic
+// purchase-order scenario.  It is an interactive face for the library: pick a
+// target schema, an evaluation method and a query (ad-hoc SQL or one of the
+// paper's Table III workload queries) and inspect the probabilistic answers.
+//
+// Usage:
+//
+//	urm-query -workload 1
+//	urm-query -target Noris -method q-sharing -workload 6
+//	urm-query -query "SELECT orderNum FROM PO WHERE telephone = '335-1736'"
+//	urm-query -workload 4 -topk 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	urm "github.com/probdb/urm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "urm-query:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("urm-query", flag.ContinueOnError)
+	var (
+		target   = fs.String("target", "Excel", "target schema: Excel, Noris or Paragon")
+		mappings = fs.Int("mappings", 100, "number of possible mappings h")
+		sizeMB   = fs.Float64("size", 40, "source instance scale in MB")
+		seed     = fs.Uint64("seed", 42, "data-generation seed")
+		method   = fs.String("method", "o-sharing", "evaluation method: basic, e-basic, e-mqo, q-sharing, o-sharing")
+		strategy = fs.String("strategy", "SEF", "o-sharing operator selection strategy: SEF, SNF, Random")
+		workload = fs.Int("workload", 0, "run the paper's workload query Q<n> (1-10)")
+		text     = fs.String("query", "", "ad-hoc query in the library's SQL subset")
+		topk     = fs.Int("topk", 0, "if positive, run the probabilistic top-k algorithm with this k")
+		limit    = fs.Int("limit", 20, "maximum number of answers to print")
+		verbose  = fs.Bool("v", false, "print evaluation statistics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workload == 0 && *text == "" {
+		return fmt.Errorf("provide -workload <1-10> or -query \"<sql>\"")
+	}
+
+	m, err := urm.ParseMethod(*method)
+	if err != nil {
+		return err
+	}
+	s, err := urm.ParseStrategy(*strategy)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("generating %s scenario (h=%d, %gMB)...\n", *target, *mappings, *sizeMB)
+	scenario, err := urm.NewScenario(urm.ScenarioOptions{
+		Target:   *target,
+		Mappings: *mappings,
+		SizeMB:   *sizeMB,
+		Seed:     *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	var q *urm.Query
+	if *workload > 0 {
+		q, err = scenario.WorkloadQuery(*workload)
+	} else {
+		q, err = scenario.Query("adhoc", *text)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query: %s\n", q)
+	fmt.Printf("mappings: %d (o-ratio %.2f)\n\n", len(scenario.Mappings()), urm.ORatio(scenario.Mappings()))
+
+	var res *urm.Result
+	opts := urm.Options{Method: m, Strategy: s}
+	if *topk > 0 {
+		res, err = urm.EvaluateTopK(q, scenario.Mappings(), scenario.DB, *topk, opts)
+	} else {
+		res, err = urm.Evaluate(q, scenario.Mappings(), scenario.DB, opts)
+	}
+	if err != nil {
+		return err
+	}
+
+	printResult(res, *limit, *verbose)
+	return nil
+}
+
+func printResult(res *urm.Result, limit int, verbose bool) {
+	fmt.Printf("method: %s   answers: %d   empty-probability: %.3f   time: %.3fs\n",
+		res.Method, len(res.Answers), res.EmptyProb, res.TotalTime.Seconds())
+	if len(res.Columns) > 0 {
+		fmt.Printf("columns: %v\n", res.Columns)
+	}
+	n := len(res.Answers)
+	if n > limit {
+		n = limit
+	}
+	for i := 0; i < n; i++ {
+		a := res.Answers[i]
+		fmt.Printf("  %3d. %-40s  p=%.4f\n", i+1, a.Tuple.String(), a.Prob)
+	}
+	if len(res.Answers) > n {
+		fmt.Printf("  ... (%d more)\n", len(res.Answers)-n)
+	}
+	if verbose {
+		fmt.Printf("\nrewritten queries: %d   executed queries: %d   partitions: %d\n",
+			res.RewrittenQueries, res.ExecutedQueries, res.Partitions)
+		fmt.Printf("operators: %v\n", res.Stats.Operators)
+		fmt.Printf("phases: rewrite %.3fs, execute %.3fs, aggregate %.3fs\n",
+			res.RewriteTime.Seconds(), res.ExecTime.Seconds(), res.AggregateTime.Seconds())
+	}
+}

@@ -1,0 +1,93 @@
+// Ecommerce demonstrates the paper's full evaluation scenario: a purchase-
+// order target schema (Excel, as shipped with COMA++) is matched against a
+// TPC-H-style source database, the uncertain matching is expanded into 100
+// possible mappings, and the paper's workload queries are answered
+// probabilistically with the different evaluation algorithms.
+//
+// Run with:
+//
+//	go run ./examples/ecommerce
+package main
+
+import (
+	"fmt"
+	"log"
+
+	urm "github.com/probdb/urm"
+)
+
+func main() {
+	fmt.Println("building the Excel purchase-order scenario (TPC-H source, 100 possible mappings)...")
+	scenario, err := urm.NewScenario(urm.ScenarioOptions{
+		Target:   "Excel",
+		Mappings: 100,
+		SizeMB:   40,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("source: %d relations, %d rows; target: %s with %d attributes\n",
+		len(scenario.SourceSchema.Relations), scenario.DB.NumRows(),
+		scenario.Target, scenario.TargetSchema.NumAttributes())
+	fmt.Printf("matching: %d correspondences, %d possible mappings, o-ratio %.2f\n\n",
+		len(scenario.Matching.Correspondences), len(scenario.Mappings()), urm.ORatio(scenario.Mappings()))
+
+	// Q1 of the paper: purchase orders placed by Mary with a given phone
+	// number and priority.  Depending on the mapping, "telephone" may be the
+	// customer phone or the order contact phone, and "invoiceTo" may be the
+	// customer name or the order contact - so answers are probabilistic.
+	q1, err := scenario.WorkloadQuery(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Q1:", q1)
+	res, err := scenario.Evaluator().Evaluate(q1, urm.Options{Method: urm.OSharing})
+	if err != nil {
+		log.Fatal(err)
+	}
+	printAnswers(res, 10)
+
+	// An ad-hoc query written directly against the target schema.
+	adhoc, err := scenario.Query("high-priority",
+		"SELECT orderNum FROM PO WHERE priority = 2 AND deliverToStreet = '1 Central Road'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nad-hoc:", adhoc)
+	res, err = scenario.Evaluator().Evaluate(adhoc, urm.Options{Method: urm.OSharing})
+	if err != nil {
+		log.Fatal(err)
+	}
+	printAnswers(res, 10)
+
+	// Compare the evaluation algorithms on Q2 (a Cartesian product query).
+	q2, err := scenario.WorkloadQuery(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmethod comparison on Q2:", q2)
+	fmt.Printf("  %-10s %10s %10s %12s %10s\n", "method", "answers", "rewrites", "operators", "time")
+	for _, method := range []urm.Method{urm.Basic, urm.EBasic, urm.EMQO, urm.QSharing, urm.OSharing} {
+		r, err := scenario.Evaluator().Evaluate(q2, urm.Options{Method: method})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s %10d %10d %12d %10s\n",
+			r.Method, len(r.Answers), r.RewrittenQueries, r.Stats.TotalOperators(), r.TotalTime.Round(1000))
+	}
+}
+
+func printAnswers(res *urm.Result, limit int) {
+	fmt.Printf("  %d answers (empty probability %.2f), evaluated in %s\n",
+		len(res.Answers), res.EmptyProb, res.TotalTime)
+	n := len(res.Answers)
+	if n > limit {
+		n = limit
+	}
+	for i := 0; i < n; i++ {
+		fmt.Printf("    %-30s p=%.3f\n", res.Answers[i].Tuple, res.Answers[i].Prob)
+	}
+	if len(res.Answers) > n {
+		fmt.Printf("    ... (%d more)\n", len(res.Answers)-n)
+	}
+}

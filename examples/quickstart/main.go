@@ -1,0 +1,90 @@
+// Quickstart reproduces the paper's introductory example (Figures 1-3): two
+// small customer schemas are matched automatically, the uncertain matching is
+// turned into a set of possible mappings with probabilities, and a
+// probabilistic query on the target schema is answered through every mapping.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	urm "github.com/probdb/urm"
+)
+
+func main() {
+	// The source schema (with data) describes customers of a CRM system.
+	source := urm.NewSchema("crm")
+	source.MustAddRelation(&urm.RelationSchema{Name: "Customer", Columns: []urm.Column{
+		{Name: "cid", Type: urm.TypeInt},
+		{Name: "cname"},
+		{Name: "ophone"}, // office phone
+		{Name: "hphone"}, // home phone
+		{Name: "mobile"},
+		{Name: "oaddr"}, // office address
+		{Name: "haddr"}, // home address
+	}})
+
+	// The target schema belongs to a partner application issuing queries.
+	target := urm.NewSchema("partner")
+	target.MustAddRelation(&urm.RelationSchema{Name: "Person", Columns: []urm.Column{
+		{Name: "pname"}, {Name: "phone"}, {Name: "addr"},
+	}})
+
+	// Step 1: match the schemas.  The matcher cannot know whether "phone"
+	// means the office phone, the home phone or the mobile, so the matching is
+	// uncertain: it is represented as possible mappings with probabilities.
+	matching, err := urm.Match(source, target, urm.MatchOptions{Mappings: 6, Threshold: 0.4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("matcher found %d correspondences, derived %d possible mappings (o-ratio %.2f)\n\n",
+		len(matching.Correspondences), len(matching.Mappings), urm.ORatio(matching.Mappings))
+	for _, m := range matching.Mappings {
+		fmt.Printf("  %-3s p=%.3f  %v\n", m.ID, m.Prob, m.Correspondences)
+	}
+
+	// Step 2: load the source instance (Figure 2 of the paper).
+	db := urm.NewInstance("crm-db")
+	customers := urm.NewRelation("Customer", []string{"cid", "cname", "ophone", "hphone", "mobile", "oaddr", "haddr"})
+	customers.MustAppend(urm.Tuple{urm.Int(1), urm.String("Alice"), urm.String("123"), urm.String("789"), urm.String("555"), urm.String("aaa"), urm.String("hk")})
+	customers.MustAppend(urm.Tuple{urm.Int(2), urm.String("Bob"), urm.String("456"), urm.String("123"), urm.String("556"), urm.String("bbb"), urm.String("hk")})
+	customers.MustAppend(urm.Tuple{urm.Int(3), urm.String("Cindy"), urm.String("456"), urm.String("789"), urm.String("557"), urm.String("aaa"), urm.String("aaa")})
+	db.AddRelation(customers)
+
+	// Step 3: ask a probabilistic query on the *target* schema.  Which address
+	// belongs to the person with phone number 123?  The answer depends on
+	// which mapping is correct, so every answer carries a probability.
+	q, err := urm.ParseQuery("q0", target, "SELECT addr FROM Person WHERE phone = '123'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := urm.Evaluate(q, matching.Mappings, db, urm.Options{Method: urm.OSharing})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%s\n", q)
+	for _, a := range res.Answers {
+		fmt.Printf("  %-10s probability %.3f\n", a.Tuple, a.Prob)
+	}
+	if res.EmptyProb > 0 {
+		fmt.Printf("  (no answer with probability %.3f)\n", res.EmptyProb)
+	}
+
+	// Step 4: the same query under every evaluation method returns the same
+	// probabilistic answers; the methods differ only in how much work they
+	// share across mappings.
+	fmt.Println("\nmethod comparison (same answers, different effort):")
+	for _, method := range []urm.Method{urm.Basic, urm.EBasic, urm.QSharing, urm.OSharing} {
+		r, err := urm.Evaluate(q, matching.Mappings, db, urm.Options{Method: method})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s answers=%d  executed-operators=%d  time=%s\n",
+			r.Method, len(r.Answers), r.Stats.TotalOperators(), r.TotalTime)
+	}
+}

@@ -1,0 +1,62 @@
+// Strategies compares the o-sharing operator-selection strategies of
+// Section VI-A — Random, SNF (smallest number of partitions first) and SEF
+// (smallest entropy first) — on the paper's Q4, reporting evaluation time and
+// the number of executed source operators, i.e. a small live version of
+// Table IV and Figure 11(f).
+//
+// Run with:
+//
+//	go run ./examples/strategies
+package main
+
+import (
+	"fmt"
+	"log"
+
+	urm "github.com/probdb/urm"
+)
+
+func main() {
+	scenario, err := urm.NewScenario(urm.ScenarioOptions{
+		Target:   "Excel",
+		Mappings: 100,
+		SizeMB:   30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := scenario.WorkloadQuery(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("query:", q)
+	fmt.Printf("mappings: %d (o-ratio %.2f)\n\n", len(scenario.Mappings()), urm.ORatio(scenario.Mappings()))
+
+	operatorCount := func(r *urm.Result) int {
+		return r.Stats.TotalOperators() - r.Stats.Operators["scan"]
+	}
+
+	fmt.Printf("%-10s %12s %20s %10s\n", "strategy", "answers", "source operators", "time")
+	for _, strat := range []urm.Strategy{urm.Random, urm.SNF, urm.SEF} {
+		res, err := urm.Evaluate(q, scenario.Mappings(), scenario.DB, urm.Options{
+			Method:   urm.OSharing,
+			Strategy: strat,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12d %20d %10s\n", strat, len(res.Answers), operatorCount(res), res.TotalTime.Round(1000))
+	}
+
+	// e-MQO executes the minimal number of source operators (its global plan
+	// shares every common subexpression) but pays a heavy planning cost; the
+	// paper uses it as the operator-count yardstick in Table IV.
+	emqo, err := urm.Evaluate(q, scenario.Mappings(), scenario.DB, urm.Options{Method: urm.EMQO})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s %12d %20d %10s\n", "e-MQO", len(emqo.Answers), operatorCount(emqo), emqo.TotalTime.Round(1000))
+
+	fmt.Println("\nexpected shape (Table IV of the paper): SEF <= SNF << Random in executed")
+	fmt.Println("operators, with SNF/SEF close to the e-MQO optimum; Random is slowest.")
+}

@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/probdb/urm/internal/core"
+	"github.com/probdb/urm/internal/datagen"
+)
+
+// quickConfig keeps unit tests fast: a small instance and few mappings.
+func quickConfig() Config {
+	return Config{
+		Mappings:     12,
+		SizeMB:       5,
+		Seed:         42,
+		MappingSweep: []int{6, 12},
+		SizeSweep:    []float64{3, 5},
+		KSweep:       []int{1, 3},
+		Runs:         1,
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "X", Title: "demo", Columns: []string{"a", "b"}}
+	tab.AddRow("1", "2.5")
+	tab.AddRow("long-label", "3")
+	s := tab.String()
+	if !strings.Contains(s, "X — demo") || !strings.Contains(s, "long-label") {
+		t.Errorf("table rendering missing content:\n%s", s)
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "a,b\n") || !strings.Contains(csv, "1,2.5") {
+		t.Errorf("csv rendering wrong:\n%s", csv)
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Mappings != 100 || cfg.SizeMB != 40 || len(cfg.MappingSweep) == 0 || cfg.Runs != 1 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	r := NewRunner(Config{})
+	if r.Config().Mappings != 100 {
+		t.Error("runner should expose effective config")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 14 {
+		t.Fatalf("experiments = %d, want 14 (every figure and table)", len(exps))
+	}
+	ids := map[string]bool{}
+	for _, e := range exps {
+		if e.Run == nil || e.ID == "" || e.Title == "" {
+			t.Errorf("experiment %+v incomplete", e)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"Fig9a", "Fig10a", "Fig10b", "Fig10c", "Fig11a", "Fig11b", "Fig11c", "Fig11d", "Fig11e", "Fig11f", "TableIV", "Fig12a", "Fig12b", "Fig12c"} {
+		if !ids[want] {
+			t.Errorf("experiment %s missing", want)
+		}
+	}
+	if _, err := ExperimentByID("Fig9a"); err != nil {
+		t.Errorf("ExperimentByID(Fig9a): %v", err)
+	}
+	if _, err := ExperimentByID("nope"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestFigure9a(t *testing.T) {
+	r := NewRunner(quickConfig())
+	tab, err := r.Figure9a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two sweep rows plus three per-schema rows.
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		var v float64
+		if _, err := sscan(row[1], &v); err != nil {
+			t.Fatalf("o-ratio %q not numeric: %v", row[1], err)
+		}
+		if v < 0.4 || v > 1 {
+			t.Errorf("o-ratio %v outside the high-overlap range the paper reports", v)
+		}
+	}
+}
+
+func TestFigure10aEvaluationDominates(t *testing.T) {
+	r := NewRunner(quickConfig())
+	tab, err := r.Figure10a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != datagen.NumWorkloadQueries {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), datagen.NumWorkloadQueries)
+	}
+	// The paper reports evaluation taking >80% of basic's time; on the scaled
+	// instance we only require that evaluation dominates aggregation overall.
+	dominated := 0
+	for _, row := range tab.Rows {
+		var share float64
+		if _, err := sscan(row[3], &share); err != nil {
+			t.Fatal(err)
+		}
+		if share >= 0.5 {
+			dominated++
+		}
+	}
+	if dominated < datagen.NumWorkloadQueries/2 {
+		t.Errorf("evaluation dominates in only %d/%d queries", dominated, datagen.NumWorkloadQueries)
+	}
+}
+
+func TestSweepExperiments(t *testing.T) {
+	r := NewRunner(quickConfig())
+	cases := []struct {
+		name string
+		run  func() (*Table, error)
+		rows int
+		cols int
+	}{
+		{"Fig10b", r.Figure10b, 2, 4},
+		{"Fig10c", r.Figure10c, 2, 4},
+		{"Fig11b", r.Figure11b, 2, 4},
+		{"Fig11c", r.Figure11c, 2, 4},
+		{"Fig11d", r.Figure11d, 5, 4},
+		{"Fig11e", r.Figure11e, 3, 4},
+		{"Fig11f", r.Figure11f, 5, 4},
+		{"Fig12a", r.Figure12a, 2, 3},
+	}
+	for _, c := range cases {
+		tab, err := c.run()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(tab.Rows) != c.rows {
+			t.Errorf("%s: rows = %d, want %d", c.name, len(tab.Rows), c.rows)
+		}
+		if len(tab.Columns) != c.cols {
+			t.Errorf("%s: columns = %d, want %d", c.name, len(tab.Columns), c.cols)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != c.cols {
+				t.Errorf("%s: row %v has %d cells, want %d", c.name, row, len(row), c.cols)
+			}
+		}
+	}
+}
+
+func TestFigure11aAllQueries(t *testing.T) {
+	r := NewRunner(quickConfig())
+	tab, err := r.Figure11a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != datagen.NumWorkloadQueries {
+		t.Errorf("rows = %d, want %d", len(tab.Rows), datagen.NumWorkloadQueries)
+	}
+}
+
+func TestTableIVOperatorCounts(t *testing.T) {
+	r := NewRunner(quickConfig())
+	tab, err := r.TableIV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (Random, SNF, SEF, e-MQO)", len(tab.Rows))
+	}
+	ops := map[string]float64{}
+	for _, row := range tab.Rows {
+		var v float64
+		if _, err := sscan(row[2], &v); err != nil {
+			t.Fatal(err)
+		}
+		ops[row[0]] = v
+	}
+	// The paper's Table IV shape: SEF <= SNF <= Random in executed operators.
+	if !(ops["SEF"] <= ops["SNF"]+1e-9) {
+		t.Errorf("SEF executed %v operators, SNF %v; expected SEF <= SNF", ops["SEF"], ops["SNF"])
+	}
+	if !(ops["SNF"] <= ops["Random"]+1e-9) {
+		t.Errorf("SNF executed %v operators, Random %v; expected SNF <= Random", ops["SNF"], ops["Random"])
+	}
+	if ops["e-MQO"] <= 0 {
+		t.Errorf("e-MQO operator count should be positive, got %v", ops["e-MQO"])
+	}
+}
+
+// TestSharingShapeOnOperatorCounts verifies the Figure 11 shape on a metric
+// that is stable in unit tests (executed operators rather than wall time):
+// o-sharing executes no more source operators than e-basic for the default
+// query.
+func TestSharingShapeOnOperatorCounts(t *testing.T) {
+	r := NewRunner(quickConfig())
+	ebasic, err := r.evaluate(4, core.MethodEBasic, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	osharing, err := r.evaluate(4, core.MethodOSharing, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opCount := func(res *core.Result) int {
+		return res.Stats.TotalOperators() - res.Stats.Operators["scan"]
+	}
+	if opCount(osharing) > opCount(ebasic) {
+		t.Errorf("o-sharing executed %d operators, e-basic %d", opCount(osharing), opCount(ebasic))
+	}
+	if len(osharing.Answers) != len(ebasic.Answers) {
+		t.Errorf("answer sets differ: %d vs %d", len(osharing.Answers), len(ebasic.Answers))
+	}
+}
+
+func TestDatasetCaching(t *testing.T) {
+	r := NewRunner(quickConfig())
+	a, _, err := r.dataset(datagen.TargetExcel, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, maps, err := r.dataset(datagen.TargetExcel, 5, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("dataset should be cached per (target, size)")
+	}
+	if len(maps) > 12 {
+		t.Errorf("prefix of 12 returned %d mappings", len(maps))
+	}
+}
+
+// sscan parses a single float out of a formatted table cell.
+func sscan(s string, v *float64) (int, error) {
+	parsed, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	*v = parsed
+	return 1, nil
+}

@@ -1,0 +1,208 @@
+// Package core implements the paper's query-evaluation algorithms over
+// uncertain schema matching: the baselines basic, e-basic and e-MQO
+// (Section III-B), query-level sharing (q-sharing, Section IV), operator-level
+// sharing (o-sharing, Sections V–VI) with the Random/SNF/SEF operator
+// selection strategies, and the probabilistic top-k algorithm (Section VII).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/query"
+	"github.com/probdb/urm/internal/schema"
+)
+
+// Answer is one probabilistic answer tuple: a value tuple together with the
+// probability that it belongs to the correct query result.
+type Answer struct {
+	Tuple engine.Tuple
+	Prob  float64
+}
+
+// String renders the answer as "(v1, v2)@p".
+func (a Answer) String() string {
+	return fmt.Sprintf("%s@%.3f", a.Tuple, a.Prob)
+}
+
+// Result is the outcome of evaluating a probabilistic query.
+type Result struct {
+	// Query is the evaluated target query.
+	Query *query.Query
+	// Method is the evaluation algorithm that produced the result.
+	Method Method
+	// Answers are the aggregated probabilistic answers, sorted by descending
+	// probability (ties broken by tuple key).
+	Answers []Answer
+	// EmptyProb is the probability that the query has no answer at all (the
+	// probability mass of mappings whose source query returned nothing, the
+	// null tuple θ of the paper's o-sharing Case 2).
+	EmptyProb float64
+	// Columns are display labels for the answer tuples (target-side names);
+	// empty when the query has no explicit projection or aggregate.
+	Columns []string
+
+	// Stats aggregates the physical operators executed on the source instance.
+	Stats *engine.Stats
+	// RewrittenQueries counts how many complete source queries were rewritten.
+	RewrittenQueries int
+	// ExecutedQueries counts how many distinct complete source queries were
+	// executed (o-sharing executes operators rather than whole queries, so it
+	// reports 0 here and relies on Stats).
+	ExecutedQueries int
+	// Partitions is the number of mapping partitions (representative
+	// mappings) used, when the method partitions mappings.
+	Partitions int
+
+	// RewriteTime, ExecTime and AggregateTime break the evaluation down into
+	// the phases reported in Figure 10(a).
+	RewriteTime   time.Duration
+	ExecTime      time.Duration
+	AggregateTime time.Duration
+	// TotalTime is the end-to-end evaluation time.
+	TotalTime time.Duration
+}
+
+// TopK returns the k answers with the highest probabilities.
+func (r *Result) TopK(k int) []Answer {
+	if k >= len(r.Answers) {
+		out := make([]Answer, len(r.Answers))
+		copy(out, r.Answers)
+		return out
+	}
+	out := make([]Answer, k)
+	copy(out, r.Answers[:k])
+	return out
+}
+
+// Lookup returns the probability of the given tuple, or 0 if absent.
+func (r *Result) Lookup(t engine.Tuple) float64 {
+	key := t.Key()
+	for _, a := range r.Answers {
+		if a.Tuple.Key() == key {
+			return a.Prob
+		}
+	}
+	return 0
+}
+
+// String renders the result compactly.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s via %s: %d answers (empty %.3f)", r.Query.Name, r.Method, len(r.Answers), r.EmptyProb)
+	limit := len(r.Answers)
+	if limit > 10 {
+		limit = 10
+	}
+	for i := 0; i < limit; i++ {
+		b.WriteString("\n  ")
+		b.WriteString(r.Answers[i].String())
+	}
+	if len(r.Answers) > limit {
+		fmt.Fprintf(&b, "\n  ... (%d more)", len(r.Answers)-limit)
+	}
+	return b.String()
+}
+
+// aggregator accumulates probabilistic answers, merging duplicates by tuple
+// value as the paper's result-aggregation phase does.
+type aggregator struct {
+	probs     map[string]float64
+	tuples    map[string]engine.Tuple
+	order     []string
+	emptyProb float64
+}
+
+func newAggregator() *aggregator {
+	return &aggregator{probs: make(map[string]float64), tuples: make(map[string]engine.Tuple)}
+}
+
+// add records one tuple observed under the given probability mass.
+func (g *aggregator) add(t engine.Tuple, prob float64) {
+	key := t.Key()
+	if _, ok := g.probs[key]; !ok {
+		g.order = append(g.order, key)
+		g.tuples[key] = t.Clone()
+	}
+	g.probs[key] += prob
+}
+
+// addRelation records every tuple of the relation under the probability mass;
+// duplicate rows within the relation are first collapsed so the mass is not
+// double-counted (the paper aggregates distinct answers per mapping).
+func (g *aggregator) addRelation(rel *engine.Relation, prob float64) {
+	seen := make(map[string]bool, len(rel.Rows))
+	for _, row := range rel.Rows {
+		k := row.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		g.add(row, prob)
+	}
+	if len(rel.Rows) == 0 {
+		g.addEmpty(prob)
+	}
+}
+
+// addEmpty records probability mass for the empty (θ) answer.
+func (g *aggregator) addEmpty(prob float64) { g.emptyProb += prob }
+
+// answers returns the aggregated answers sorted by descending probability.
+func (g *aggregator) answers() []Answer {
+	out := make([]Answer, 0, len(g.order))
+	for _, k := range g.order {
+		out = append(out, Answer{Tuple: g.tuples[k], Prob: g.probs[k]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return out[i].Tuple.Key() < out[j].Tuple.Key()
+	})
+	return out
+}
+
+// OutputColumns derives display labels for the query's answers: projection
+// references or the aggregate name.  Queries without an explicit projection
+// return nil.
+func OutputColumns(q *query.Query) []string {
+	switch root := q.Root.(type) {
+	case *query.Project:
+		cols := make([]string, len(root.Refs))
+		for i, r := range root.Refs {
+			cols[i] = r.String()
+		}
+		return cols
+	case *query.Aggregate:
+		if root.Ref.IsZero() {
+			return []string{root.Func.String()}
+		}
+		return []string{fmt.Sprintf("%s(%s)", root.Func, root.Ref)}
+	default:
+		return nil
+	}
+}
+
+// validateInputs checks the arguments shared by all evaluation methods.
+func validateInputs(q *query.Query, maps schema.MappingSet, db *engine.Instance) error {
+	if q == nil {
+		return fmt.Errorf("core: nil query")
+	}
+	if err := q.Validate(); err != nil {
+		return fmt.Errorf("core: invalid query: %w", err)
+	}
+	if len(maps) == 0 {
+		return fmt.Errorf("core: empty mapping set")
+	}
+	if err := maps.Validate(); err != nil {
+		return fmt.Errorf("core: invalid mapping set: %w", err)
+	}
+	if db == nil {
+		return fmt.Errorf("core: nil source instance")
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/query"
+	"github.com/probdb/urm/internal/schema"
+)
+
+// Basic evaluates the target query by reformulating it once per mapping and
+// executing every resulting source query independently, then aggregating
+// duplicate answers (Section III-B, algorithm "basic").
+func Basic(q *query.Query, maps schema.MappingSet, db *engine.Instance) (*Result, error) {
+	if err := validateInputs(q, maps, db); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &Result{Query: q, Method: MethodBasic, Columns: OutputColumns(q), Stats: engine.NewStats()}
+	ref := query.NewReformulator(q)
+	agg := newAggregator()
+
+	for _, m := range maps {
+		rewriteStart := time.Now()
+		plan, err := ref.Reformulate(m)
+		res.RewriteTime += time.Since(rewriteStart)
+		if err != nil {
+			if errors.Is(err, query.ErrNotCovered) {
+				// The mapping cannot answer the query: its probability mass
+				// goes to the empty answer.
+				agg.addEmpty(m.Prob)
+				continue
+			}
+			return nil, fmt.Errorf("basic: reformulating through %s: %w", m.ID, err)
+		}
+		plan = engine.Optimize(plan)
+		res.RewrittenQueries++
+
+		execStart := time.Now()
+		ex := &engine.Executor{DB: db, Stats: res.Stats}
+		rel, err := ex.Execute(plan)
+		res.ExecTime += time.Since(execStart)
+		if err != nil {
+			return nil, fmt.Errorf("basic: executing source query for %s: %w", m.ID, err)
+		}
+		res.ExecutedQueries++
+
+		aggStart := time.Now()
+		agg.addRelation(rel, m.Prob)
+		res.AggregateTime += time.Since(aggStart)
+	}
+
+	aggStart := time.Now()
+	res.Answers = agg.answers()
+	res.EmptyProb = agg.emptyProb
+	res.AggregateTime += time.Since(aggStart)
+	res.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// basicOver runs the basic algorithm over an explicit (mapping, probability)
+// list; q-sharing reuses it with representative mappings whose probabilities
+// are the partition totals.
+func basicOver(q *query.Query, reps []weightedMapping, db *engine.Instance, res *Result) error {
+	ref := query.NewReformulator(q)
+	agg := newAggregator()
+	for _, wm := range reps {
+		rewriteStart := time.Now()
+		plan, err := ref.Reformulate(wm.mapping)
+		res.RewriteTime += time.Since(rewriteStart)
+		if err != nil {
+			if errors.Is(err, query.ErrNotCovered) {
+				agg.addEmpty(wm.prob)
+				continue
+			}
+			return fmt.Errorf("reformulating through %s: %w", wm.mapping.ID, err)
+		}
+		plan = engine.Optimize(plan)
+		res.RewrittenQueries++
+
+		execStart := time.Now()
+		ex := &engine.Executor{DB: db, Stats: res.Stats}
+		rel, err := ex.Execute(plan)
+		res.ExecTime += time.Since(execStart)
+		if err != nil {
+			return fmt.Errorf("executing source query for %s: %w", wm.mapping.ID, err)
+		}
+		res.ExecutedQueries++
+
+		aggStart := time.Now()
+		agg.addRelation(rel, wm.prob)
+		res.AggregateTime += time.Since(aggStart)
+	}
+	aggStart := time.Now()
+	res.Answers = agg.answers()
+	res.EmptyProb = agg.emptyProb
+	res.AggregateTime += time.Since(aggStart)
+	return nil
+}
+
+// weightedMapping pairs a representative mapping with the total probability of
+// the partition it represents.
+type weightedMapping struct {
+	mapping *schema.Mapping
+	prob    float64
+}
+
+// EBasic clusters the mappings' source queries by signature so that each
+// distinct source query is executed only once, with the summed probability of
+// the mappings that produce it (Section III-B, algorithm "e-basic").  Unlike
+// q-sharing it still pays the rewriting cost for every mapping.
+func EBasic(q *query.Query, maps schema.MappingSet, db *engine.Instance) (*Result, error) {
+	if err := validateInputs(q, maps, db); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &Result{Query: q, Method: MethodEBasic, Columns: OutputColumns(q), Stats: engine.NewStats()}
+	ref := query.NewReformulator(q)
+	agg := newAggregator()
+
+	// Phase 1: rewrite every mapping and cluster by source-query signature.
+	type cluster struct {
+		plan engine.Plan
+		prob float64
+	}
+	rewriteStart := time.Now()
+	clusters := make(map[string]*cluster)
+	var order []string
+	for _, m := range maps {
+		plan, err := ref.Reformulate(m)
+		if err != nil {
+			if errors.Is(err, query.ErrNotCovered) {
+				agg.addEmpty(m.Prob)
+				continue
+			}
+			return nil, fmt.Errorf("e-basic: reformulating through %s: %w", m.ID, err)
+		}
+		plan = engine.Optimize(plan)
+		res.RewrittenQueries++
+		sig := plan.Signature()
+		c, ok := clusters[sig]
+		if !ok {
+			c = &cluster{plan: plan}
+			clusters[sig] = c
+			order = append(order, sig)
+		}
+		c.prob += m.Prob
+	}
+	res.RewriteTime = time.Since(rewriteStart)
+	res.Partitions = len(order)
+
+	// Phase 2: execute each distinct source query once.
+	for _, sig := range order {
+		c := clusters[sig]
+		execStart := time.Now()
+		ex := &engine.Executor{DB: db, Stats: res.Stats}
+		rel, err := ex.Execute(c.plan)
+		res.ExecTime += time.Since(execStart)
+		if err != nil {
+			return nil, fmt.Errorf("e-basic: executing source query: %w", err)
+		}
+		res.ExecutedQueries++
+		aggStart := time.Now()
+		agg.addRelation(rel, c.prob)
+		res.AggregateTime += time.Since(aggStart)
+	}
+
+	aggStart := time.Now()
+	res.Answers = agg.answers()
+	res.EmptyProb = agg.emptyProb
+	res.AggregateTime += time.Since(aggStart)
+	res.TotalTime = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/mqo"
+	"github.com/probdb/urm/internal/query"
+	"github.com/probdb/urm/internal/schema"
+)
+
+// EMQO evaluates the target query with the e-MQO baseline (Section III-B):
+// like e-basic it first rewrites one source query per mapping and keeps the
+// distinct ones, but before executing them it runs a multiple-query
+// optimisation pass that builds a global plan in which every common
+// subexpression is executed exactly once.
+//
+// The optimisation pass minimises the number of executed source operators, but
+// constructing the global plan is expensive and grows super-linearly with the
+// number of distinct source queries — the behaviour the paper reports in
+// Figure 10(c), where e-MQO eventually becomes slower than basic.
+func EMQO(q *query.Query, maps schema.MappingSet, db *engine.Instance) (*Result, error) {
+	if err := validateInputs(q, maps, db); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &Result{Query: q, Method: MethodEMQO, Columns: OutputColumns(q), Stats: engine.NewStats()}
+	ref := query.NewReformulator(q)
+	agg := newAggregator()
+
+	// Phase 1 (same as e-basic): rewrite every mapping, cluster identical
+	// source queries.
+	rewriteStart := time.Now()
+	type cluster struct {
+		plan engine.Plan
+		prob float64
+	}
+	clusters := make(map[string]*cluster)
+	var order []string
+	for _, m := range maps {
+		plan, err := ref.Reformulate(m)
+		if err != nil {
+			if errors.Is(err, query.ErrNotCovered) {
+				agg.addEmpty(m.Prob)
+				continue
+			}
+			return nil, fmt.Errorf("e-MQO: reformulating through %s: %w", m.ID, err)
+		}
+		plan = engine.Optimize(plan)
+		res.RewrittenQueries++
+		sig := plan.Signature()
+		c, ok := clusters[sig]
+		if !ok {
+			c = &cluster{plan: plan}
+			clusters[sig] = c
+			order = append(order, sig)
+		}
+		c.prob += m.Prob
+	}
+	res.Partitions = len(order)
+
+	// Phase 2: multiple-query optimisation over the distinct plans.  The
+	// planning cost is part of the rewrite/plan phase timing.
+	plans := make([]engine.Plan, 0, len(order))
+	probs := make(map[string]float64, len(order))
+	for _, sig := range order {
+		plans = append(plans, clusters[sig].plan)
+		probs[sig] = clusters[sig].prob
+	}
+	if len(plans) == 0 {
+		res.Answers = agg.answers()
+		res.EmptyProb = agg.emptyProb
+		res.RewriteTime = time.Since(rewriteStart)
+		res.TotalTime = time.Since(start)
+		return res, nil
+	}
+	global, err := mqo.Optimize(plans)
+	if err != nil {
+		return nil, fmt.Errorf("e-MQO: %w", err)
+	}
+	res.RewriteTime = time.Since(rewriteStart)
+
+	// Phase 3: execute the global plan with a shared-subexpression cache.
+	execStart := time.Now()
+	rels, err := global.Execute(db, res.Stats)
+	if err != nil {
+		return nil, fmt.Errorf("e-MQO: %w", err)
+	}
+	res.ExecTime = time.Since(execStart)
+	res.ExecutedQueries = len(rels)
+
+	aggStart := time.Now()
+	for i, rel := range rels {
+		agg.addRelation(rel, probs[global.Queries[i].Signature()])
+	}
+	res.Answers = agg.answers()
+	res.EmptyProb = agg.emptyProb
+	res.AggregateTime = time.Since(aggStart)
+	res.TotalTime = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/query"
+	"github.com/probdb/urm/internal/schema"
+)
+
+// Method enumerates the evaluation algorithms described in the paper.
+type Method int
+
+// Evaluation methods.
+const (
+	// MethodBasic reformulates and executes one source query per mapping
+	// (Section III-B, "basic").
+	MethodBasic Method = iota
+	// MethodEBasic clusters identical source queries before execution
+	// (Section III-B, "e-basic").
+	MethodEBasic
+	// MethodEMQO runs a multiple-query-optimisation pass over the distinct
+	// source queries before executing the shared global plan (Section III-B,
+	// "e-MQO").
+	MethodEMQO
+	// MethodQSharing partitions mappings that produce the same source query
+	// using the partition tree and evaluates one query per partition
+	// (Section IV).
+	MethodQSharing
+	// MethodOSharing shares work at the operator level with e-units and a
+	// u-trace (Sections V–VI).
+	MethodOSharing
+)
+
+// String returns the paper's name for the method.
+func (m Method) String() string {
+	switch m {
+	case MethodBasic:
+		return "basic"
+	case MethodEBasic:
+		return "e-basic"
+	case MethodEMQO:
+		return "e-MQO"
+	case MethodQSharing:
+		return "q-sharing"
+	case MethodOSharing:
+		return "o-sharing"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ParseMethod converts a method name ("basic", "e-basic", "e-mqo",
+// "q-sharing", "o-sharing") into a Method.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "basic":
+		return MethodBasic, nil
+	case "e-basic", "ebasic":
+		return MethodEBasic, nil
+	case "e-mqo", "emqo", "e-MQO":
+		return MethodEMQO, nil
+	case "q-sharing", "qsharing":
+		return MethodQSharing, nil
+	case "o-sharing", "osharing":
+		return MethodOSharing, nil
+	default:
+		return 0, fmt.Errorf("unknown evaluation method %q", s)
+	}
+}
+
+// Strategy enumerates the o-sharing operator-selection strategies of
+// Section VI-A.
+type Strategy int
+
+// Operator selection strategies.
+const (
+	// StrategySEF (Smallest Entropy First) picks the operator whose mapping
+	// partition distribution has the lowest entropy.  It is the paper's best
+	// performer and the default.
+	StrategySEF Strategy = iota
+	// StrategySNF (Smallest Number of partitions First) picks the operator
+	// with the fewest mapping partitions.
+	StrategySNF
+	// StrategyRandom picks uniformly at random among executable operators.
+	StrategyRandom
+)
+
+// String returns the paper's name for the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategySEF:
+		return "SEF"
+	case StrategySNF:
+		return "SNF"
+	case StrategyRandom:
+		return "Random"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy converts a strategy name into a Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "SEF", "sef":
+		return StrategySEF, nil
+	case "SNF", "snf":
+		return StrategySNF, nil
+	case "Random", "random":
+		return StrategyRandom, nil
+	default:
+		return 0, fmt.Errorf("unknown operator selection strategy %q", s)
+	}
+}
+
+// Options tunes query evaluation.
+type Options struct {
+	// Method selects the evaluation algorithm.  Defaults to MethodOSharing.
+	Method Method
+	// Strategy selects the o-sharing operator-selection strategy.  Defaults to
+	// StrategySEF.
+	Strategy Strategy
+	// RandomSeed seeds StrategyRandom so runs are reproducible.
+	RandomSeed int64
+}
+
+// Evaluator evaluates probabilistic target queries over a set of possible
+// mappings and a source instance.
+type Evaluator struct {
+	DB   *engine.Instance
+	Maps schema.MappingSet
+}
+
+// NewEvaluator returns an evaluator over the instance and mapping set.
+func NewEvaluator(db *engine.Instance, maps schema.MappingSet) *Evaluator {
+	return &Evaluator{DB: db, Maps: maps}
+}
+
+// Evaluate runs the target query with the selected method and returns its
+// probabilistic answers.
+func (e *Evaluator) Evaluate(q *query.Query, opts Options) (*Result, error) {
+	if err := validateInputs(q, e.Maps, e.DB); err != nil {
+		return nil, err
+	}
+	switch opts.Method {
+	case MethodBasic:
+		return Basic(q, e.Maps, e.DB)
+	case MethodEBasic:
+		return EBasic(q, e.Maps, e.DB)
+	case MethodEMQO:
+		return EMQO(q, e.Maps, e.DB)
+	case MethodQSharing:
+		return QSharing(q, e.Maps, e.DB)
+	case MethodOSharing:
+		return OSharing(q, e.Maps, e.DB, OSharingOptions{Strategy: opts.Strategy, RandomSeed: opts.RandomSeed})
+	default:
+		return nil, fmt.Errorf("evaluate: unknown method %v", opts.Method)
+	}
+}
+
+// EvaluateTopK runs the probabilistic top-k algorithm of Section VII and
+// returns the k answers with the highest probabilities.
+func (e *Evaluator) EvaluateTopK(q *query.Query, k int, opts Options) (*Result, error) {
+	if err := validateInputs(q, e.Maps, e.DB); err != nil {
+		return nil, err
+	}
+	return TopK(q, e.Maps, e.DB, k, OSharingOptions{Strategy: opts.Strategy, RandomSeed: opts.RandomSeed})
+}

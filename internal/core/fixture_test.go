@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/query"
+	"github.com/probdb/urm/internal/schema"
+)
+
+// This file builds the paper's running example (Figures 1–3) as a shared test
+// fixture: the Customer/C_Order/Nation source schema with the Figure 2
+// instance, the Person/Order target schema, and the five possible mappings of
+// Figure 3.
+
+func attr(rel, name string) schema.Attribute { return schema.Attribute{Relation: rel, Name: name} }
+
+func paperSourceSchema() *schema.Schema {
+	s := schema.NewSchema("Source")
+	s.MustAddRelation(&schema.RelationSchema{Name: "Customer", Columns: []schema.Column{
+		{Name: "cid", Type: schema.TypeInt}, {Name: "cname"}, {Name: "ophone"}, {Name: "hphone"},
+		{Name: "mobile"}, {Name: "oaddr"}, {Name: "haddr"}, {Name: "nid", Type: schema.TypeInt},
+	}})
+	s.MustAddRelation(&schema.RelationSchema{Name: "C_Order", Columns: []schema.Column{
+		{Name: "oid", Type: schema.TypeInt}, {Name: "cid", Type: schema.TypeInt}, {Name: "amount", Type: schema.TypeFloat},
+	}})
+	s.MustAddRelation(&schema.RelationSchema{Name: "Nation", Columns: []schema.Column{
+		{Name: "nid", Type: schema.TypeInt}, {Name: "name"},
+	}})
+	return s
+}
+
+func paperTargetSchema() *schema.Schema {
+	t := schema.NewSchema("Target")
+	t.MustAddRelation(&schema.RelationSchema{Name: "Person", Columns: []schema.Column{
+		{Name: "pname"}, {Name: "phone"}, {Name: "addr"}, {Name: "nation"}, {Name: "gender"},
+	}})
+	t.MustAddRelation(&schema.RelationSchema{Name: "Order", Columns: []schema.Column{
+		{Name: "sname"}, {Name: "item"}, {Name: "status"}, {Name: "price", Type: schema.TypeFloat}, {Name: "total", Type: schema.TypeFloat},
+	}})
+	return t
+}
+
+// paperInstance is the source instance of Figure 2 plus small C_Order and
+// Nation relations.
+func paperInstance() *engine.Instance {
+	db := engine.NewInstance("D")
+	cust := engine.NewRelation("Customer", []string{"cid", "cname", "ophone", "hphone", "mobile", "oaddr", "haddr", "nid"})
+	cust.MustAppend(engine.Tuple{engine.I(1), engine.S("Alice"), engine.S("123"), engine.S("789"), engine.S("555"), engine.S("aaa"), engine.S("hk"), engine.I(1)})
+	cust.MustAppend(engine.Tuple{engine.I(2), engine.S("Bob"), engine.S("456"), engine.S("123"), engine.S("556"), engine.S("bbb"), engine.S("hk"), engine.I(1)})
+	cust.MustAppend(engine.Tuple{engine.I(3), engine.S("Cindy"), engine.S("456"), engine.S("789"), engine.S("557"), engine.S("aaa"), engine.S("aaa"), engine.I(2)})
+	db.AddRelation(cust)
+	ord := engine.NewRelation("C_Order", []string{"oid", "cid", "amount"})
+	ord.MustAppend(engine.Tuple{engine.I(10), engine.I(1), engine.F(100)})
+	ord.MustAppend(engine.Tuple{engine.I(11), engine.I(2), engine.F(250)})
+	db.AddRelation(ord)
+	nat := engine.NewRelation("Nation", []string{"nid", "name"})
+	nat.MustAppend(engine.Tuple{engine.I(1), engine.S("HK")})
+	nat.MustAppend(engine.Tuple{engine.I(2), engine.S("CN")})
+	db.AddRelation(nat)
+	return db
+}
+
+// paperMappings builds the five possible mappings of Figure 3.  Every mapping
+// keeps (cname, pname) except m5, and they differ on phone and addr exactly as
+// in the figure.  Order-side correspondences are added so queries over Order
+// can be reformulated.
+func paperMappings() schema.MappingSet {
+	m1 := schema.MustNewMapping("m1", []schema.Correspondence{
+		{Source: attr("Customer", "cname"), Target: attr("Person", "pname"), Score: 0.85},
+		{Source: attr("Customer", "ophone"), Target: attr("Person", "phone"), Score: 0.85},
+		{Source: attr("Customer", "oaddr"), Target: attr("Person", "addr"), Score: 0.75},
+		{Source: attr("Nation", "name"), Target: attr("Person", "nation"), Score: 0.81},
+		{Source: attr("C_Order", "amount"), Target: attr("Order", "total"), Score: 0.63},
+	}, 0.3)
+	m2 := schema.MustNewMapping("m2", []schema.Correspondence{
+		{Source: attr("Customer", "cname"), Target: attr("Person", "pname"), Score: 0.85},
+		{Source: attr("Customer", "ophone"), Target: attr("Person", "phone"), Score: 0.85},
+		{Source: attr("Customer", "oaddr"), Target: attr("Person", "addr"), Score: 0.75},
+		{Source: attr("Nation", "name"), Target: attr("Person", "nation"), Score: 0.81},
+		{Source: attr("C_Order", "amount"), Target: attr("Order", "price"), Score: 0.4},
+	}, 0.2)
+	m3 := schema.MustNewMapping("m3", []schema.Correspondence{
+		{Source: attr("Customer", "cname"), Target: attr("Person", "pname"), Score: 0.85},
+		{Source: attr("Customer", "ophone"), Target: attr("Person", "phone"), Score: 0.85},
+		{Source: attr("Customer", "haddr"), Target: attr("Person", "addr"), Score: 0.65},
+		{Source: attr("Nation", "name"), Target: attr("Person", "nation"), Score: 0.81},
+		{Source: attr("C_Order", "amount"), Target: attr("Order", "total"), Score: 0.63},
+	}, 0.2)
+	m4 := schema.MustNewMapping("m4", []schema.Correspondence{
+		{Source: attr("Customer", "cname"), Target: attr("Person", "pname"), Score: 0.85},
+		{Source: attr("Customer", "hphone"), Target: attr("Person", "phone"), Score: 0.83},
+		{Source: attr("Customer", "haddr"), Target: attr("Person", "addr"), Score: 0.65},
+		{Source: attr("Nation", "name"), Target: attr("Person", "nation"), Score: 0.81},
+		{Source: attr("C_Order", "amount"), Target: attr("Order", "total"), Score: 0.63},
+	}, 0.2)
+	m5 := schema.MustNewMapping("m5", []schema.Correspondence{
+		{Source: attr("Customer", "cname"), Target: attr("Order", "sname"), Score: 0.45},
+		{Source: attr("Customer", "ophone"), Target: attr("Person", "phone"), Score: 0.85},
+		{Source: attr("Customer", "haddr"), Target: attr("Person", "addr"), Score: 0.65},
+		{Source: attr("Nation", "name"), Target: attr("Order", "item"), Score: 0.3},
+		{Source: attr("C_Order", "amount"), Target: attr("Order", "total"), Score: 0.63},
+	}, 0.1)
+	return schema.MappingSet{m1, m2, m3, m4, m5}
+}
+
+// mustParse builds a target query over the paper's target schema.
+func mustParse(t *testing.T, name, text string) *query.Query {
+	t.Helper()
+	q, err := query.Parse(name, paperTargetSchema(), text)
+	if err != nil {
+		t.Fatalf("parse %s: %v", text, err)
+	}
+	return q
+}
+
+// answersByValue converts a result into a value-string -> probability map for
+// easy comparison (single-column answers).
+func answersByValue(res *Result) map[string]float64 {
+	out := make(map[string]float64, len(res.Answers))
+	for _, a := range res.Answers {
+		key := ""
+		for i, v := range a.Tuple {
+			if i > 0 {
+				key += "|"
+			}
+			key += v.String()
+		}
+		out[key] = a.Prob
+	}
+	return out
+}
+
+func approxEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// sameAnswers asserts that two results contain the same answer tuples with the
+// same probabilities and the same empty-answer probability.
+func sameAnswers(t *testing.T, want, got *Result, label string) {
+	t.Helper()
+	wa, ga := answersByValue(want), answersByValue(got)
+	if len(wa) != len(ga) {
+		t.Errorf("%s: answer count %d, want %d (%v vs %v)", label, len(ga), len(wa), ga, wa)
+		return
+	}
+	for k, p := range wa {
+		if !approxEqual(ga[k], p) {
+			t.Errorf("%s: answer %q prob = %g, want %g", label, k, ga[k], p)
+		}
+	}
+	if !approxEqual(want.EmptyProb, got.EmptyProb) {
+		t.Errorf("%s: empty prob = %g, want %g", label, got.EmptyProb, want.EmptyProb)
+	}
+}

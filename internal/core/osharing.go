@@ -1,0 +1,864 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/query"
+	"github.com/probdb/urm/internal/schema"
+)
+
+// OSharingOptions tunes the o-sharing evaluation (Sections V–VI).
+type OSharingOptions struct {
+	// Strategy selects the next-operator choice: SEF (default), SNF or Random.
+	Strategy Strategy
+	// RandomSeed seeds the Random strategy; 0 uses a fixed default seed so
+	// runs stay reproducible.
+	RandomSeed int64
+}
+
+// OSharing evaluates the target query with operator-level sharing
+// (Algorithm 2): query rewriting and execution are interleaved over a u-trace
+// of e-units, so that the result of executing one source operator is shared by
+// every mapping that translates the corresponding target operator identically,
+// even when the mappings differ elsewhere.
+func OSharing(q *query.Query, maps schema.MappingSet, db *engine.Instance, opts OSharingOptions) (*Result, error) {
+	if err := validateInputs(q, maps, db); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &Result{Query: q, Method: MethodOSharing, Columns: OutputColumns(q), Stats: engine.NewStats()}
+
+	agg := newAggregator()
+	sink := &collectSink{agg: agg}
+	if err := runOSharing(q, maps, db, opts, res, sink); err != nil {
+		return nil, err
+	}
+	aggStart := time.Now()
+	res.Answers = agg.answers()
+	res.EmptyProb = agg.emptyProb
+	res.AggregateTime = time.Since(aggStart)
+	res.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// resultSink receives leaf e-unit results as the u-trace is explored.  The
+// plain o-sharing sink aggregates them; the top-k sink maintains probability
+// bounds and can stop the traversal early.
+type resultSink interface {
+	// onAnswers receives the answer relation computed for a leaf e-unit and
+	// the total probability of its mapping set.  It returns true to stop the
+	// whole traversal.
+	onAnswers(rel *engine.Relation, prob float64) bool
+	// onEmpty receives the probability mass of an e-unit whose result is
+	// empty.  It returns true to stop the traversal.
+	onEmpty(prob float64) bool
+}
+
+// collectSink aggregates every answer; it never stops the traversal.
+type collectSink struct {
+	agg *aggregator
+}
+
+func (s *collectSink) onAnswers(rel *engine.Relation, prob float64) bool {
+	s.agg.addRelation(rel, prob)
+	return false
+}
+
+func (s *collectSink) onEmpty(prob float64) bool {
+	s.agg.addEmpty(prob)
+	return false
+}
+
+// runOSharing drives Algorithm 2 for either o-sharing or top-k (which differ
+// only in the sink).  It fills the rewrite/exec timing and partition fields of
+// res.
+func runOSharing(q *query.Query, maps schema.MappingSet, db *engine.Instance, opts OSharingOptions, res *Result, sink resultSink) error {
+	nq, err := normalizeQuery(q)
+	if err != nil {
+		return fmt.Errorf("o-sharing: %w", err)
+	}
+
+	// Steps 1–2: representative mappings M' via the partition tree.
+	rewriteStart := time.Now()
+	parts, err := PartitionMappings(q, maps)
+	if err != nil {
+		return fmt.Errorf("o-sharing: %w", err)
+	}
+	reps := make(schema.MappingSet, 0, len(parts))
+	for _, p := range parts {
+		if p.Representative == nil {
+			continue
+		}
+		rep := p.Representative.Clone()
+		rep.Prob = p.Prob
+		reps = append(reps, rep)
+	}
+	res.Partitions = len(reps)
+	res.RewriteTime = time.Since(rewriteStart)
+
+	seed := opts.RandomSeed
+	if seed == 0 {
+		seed = 1
+	}
+	osh := &osharer{
+		nq:       nq,
+		db:       db,
+		stats:    res.Stats,
+		strategy: opts.Strategy,
+		rng:      rand.New(rand.NewSource(seed)),
+		sink:     sink,
+	}
+
+	// Step 3: initial e-unit covering the whole query and all representatives.
+	execStart := time.Now()
+	u1 := newEUnit(nq, reps)
+	// Step 4: recursively expand the u-trace.
+	_, err = osh.runQT(u1)
+	res.ExecTime = time.Since(execStart)
+	if err != nil {
+		return fmt.Errorf("o-sharing: %w", err)
+	}
+	return nil
+}
+
+// opKind enumerates the target-operator classes handled by o-sharing.
+type opKind int
+
+const (
+	opSelect opKind = iota
+	opJoinSelect
+	opProduct
+	opFinal
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opSelect:
+		return "select"
+	case opJoinSelect:
+		return "join-select"
+	case opProduct:
+		return "product"
+	case opFinal:
+		return "final"
+	default:
+		return fmt.Sprintf("opKind(%d)", int(k))
+	}
+}
+
+// targetOp is one operator of the normalized target query.
+type targetOp struct {
+	id   int
+	kind opKind
+
+	sel  *query.Select
+	jsel *query.JoinSelect
+
+	// Product operands: the alias sets under the left and right subtrees.
+	leftAliases  []string
+	rightAliases []string
+
+	// final is the root projection/aggregation node, or nil when the query has
+	// neither (the final op then only merges and materializes fragments).
+	final query.Node
+}
+
+// normalizedQuery is the target query decomposed into relation occurrences,
+// selection operators, Cartesian-product operators and a final operator, which
+// is the form the o-sharing e-units manipulate.  Queries whose internal nodes
+// include projections or aggregates below other operators are not supported by
+// o-sharing (they are by the other methods).
+type normalizedQuery struct {
+	q       *query.Query
+	ref     *query.Reformulator
+	aliases []string
+	ops     []*targetOp
+	// aliasAttrs caches the target attributes referenced via each alias.
+	aliasAttrs map[string][]schema.Attribute
+}
+
+func normalizeQuery(q *query.Query) (*normalizedQuery, error) {
+	nq := &normalizedQuery{q: q, ref: query.NewReformulator(q), aliasAttrs: make(map[string][]schema.Attribute)}
+
+	body := q.Root
+	var final query.Node
+	switch q.Root.(type) {
+	case *query.Project, *query.Aggregate:
+		final = q.Root
+		body = q.Root.Children()[0]
+	}
+
+	var collect func(n query.Node) error
+	collect = func(n query.Node) error {
+		switch op := n.(type) {
+		case *query.Scan:
+			nq.aliases = append(nq.aliases, op.AliasName())
+			return nil
+		case *query.Select:
+			nq.ops = append(nq.ops, &targetOp{kind: opSelect, sel: op})
+			return collect(op.Child)
+		case *query.JoinSelect:
+			nq.ops = append(nq.ops, &targetOp{kind: opJoinSelect, jsel: op})
+			return collect(op.Child)
+		case *query.Product:
+			nq.ops = append(nq.ops, &targetOp{
+				kind:         opProduct,
+				leftAliases:  subtreeAliases(op.Left),
+				rightAliases: subtreeAliases(op.Right),
+			})
+			if err := collect(op.Left); err != nil {
+				return err
+			}
+			return collect(op.Right)
+		case *query.Project, *query.Aggregate:
+			return fmt.Errorf("o-sharing does not support %T below other operators", n)
+		default:
+			return fmt.Errorf("o-sharing: unsupported node type %T", n)
+		}
+	}
+	if err := collect(body); err != nil {
+		return nil, err
+	}
+	// The final operator is always present; it merges remaining fragments and
+	// applies the root projection/aggregation if any.
+	nq.ops = append(nq.ops, &targetOp{kind: opFinal, final: final})
+	for i, op := range nq.ops {
+		op.id = i
+	}
+	// Cache per-alias attribute lists.
+	for _, alias := range nq.aliases {
+		names, err := q.AttributesForAlias(alias)
+		if err != nil {
+			return nil, err
+		}
+		rel := q.Aliases()[alias]
+		attrs := make([]schema.Attribute, 0, len(names))
+		for _, n := range names {
+			attrs = append(attrs, schema.Attribute{Relation: rel, Name: n})
+		}
+		nq.aliasAttrs[alias] = attrs
+	}
+	return nq, nil
+}
+
+func subtreeAliases(n query.Node) []string {
+	var out []string
+	var walk func(query.Node)
+	walk = func(n query.Node) {
+		if s, ok := n.(*query.Scan); ok {
+			out = append(out, s.AliasName())
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// fragment is a set of relation occurrences of the target query together with
+// the source relation that currently materializes them inside an e-unit.  A
+// nil rel means the (single) occurrence has not been touched yet.
+type fragment struct {
+	aliases  map[string]bool
+	included map[string]map[string]bool // alias -> source relations scanned in
+	rel      *engine.Relation
+}
+
+func (f *fragment) clone() *fragment {
+	out := &fragment{
+		aliases:  make(map[string]bool, len(f.aliases)),
+		included: make(map[string]map[string]bool, len(f.included)),
+		rel:      f.rel,
+	}
+	for a := range f.aliases {
+		out.aliases[a] = true
+	}
+	for a, rels := range f.included {
+		cp := make(map[string]bool, len(rels))
+		for r := range rels {
+			cp[r] = true
+		}
+		out.included[a] = cp
+	}
+	return out
+}
+
+func (f *fragment) hasAlias(a string) bool { return f.aliases[a] }
+
+// eUnit is an execution unit (Section V): the partially executed target query
+// (fragments plus the set of operators already executed) and the mapping set
+// that shares this state.
+type eUnit struct {
+	fragments []*fragment
+	done      []bool
+	maps      schema.MappingSet
+}
+
+func newEUnit(nq *normalizedQuery, maps schema.MappingSet) *eUnit {
+	u := &eUnit{done: make([]bool, len(nq.ops)), maps: maps}
+	for _, alias := range nq.aliases {
+		u.fragments = append(u.fragments, &fragment{
+			aliases:  map[string]bool{alias: true},
+			included: make(map[string]map[string]bool),
+		})
+	}
+	return u
+}
+
+func (u *eUnit) clone() *eUnit {
+	out := &eUnit{
+		fragments: make([]*fragment, len(u.fragments)),
+		done:      make([]bool, len(u.done)),
+		maps:      u.maps,
+	}
+	for i, f := range u.fragments {
+		out.fragments[i] = f.clone()
+	}
+	copy(out.done, u.done)
+	return out
+}
+
+func (u *eUnit) allDone() bool {
+	for _, d := range u.done {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+func (u *eUnit) fragmentOf(alias string) *fragment {
+	for _, f := range u.fragments {
+		if f.hasAlias(alias) {
+			return f
+		}
+	}
+	return nil
+}
+
+func (u *eUnit) fragmentCovering(aliases []string) *fragment {
+	if len(aliases) == 0 {
+		return nil
+	}
+	f := u.fragmentOf(aliases[0])
+	if f == nil {
+		return nil
+	}
+	for _, a := range aliases[1:] {
+		if !f.hasAlias(a) {
+			return nil
+		}
+	}
+	return f
+}
+
+// hasEmptyFragment reports whether any materialized fragment is empty, which
+// forces every downstream product and selection to be empty as well.
+func (u *eUnit) hasEmptyFragment() bool {
+	for _, f := range u.fragments {
+		if f.rel != nil && f.rel.IsEmpty() {
+			return true
+		}
+	}
+	return false
+}
+
+func (u *eUnit) totalProb() float64 { return u.maps.TotalProb() }
+
+// replaceFragments removes the given fragments from the unit and adds the
+// replacement.
+func (u *eUnit) replaceFragments(remove []*fragment, add *fragment) {
+	out := u.fragments[:0]
+	for _, f := range u.fragments {
+		skip := false
+		for _, r := range remove {
+			if f == r {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			out = append(out, f)
+		}
+	}
+	u.fragments = append(out, add)
+}
+
+// osharer carries the shared state of one o-sharing evaluation.
+type osharer struct {
+	nq       *normalizedQuery
+	db       *engine.Instance
+	stats    *engine.Stats
+	strategy Strategy
+	rng      *rand.Rand
+	sink     resultSink
+}
+
+// runQT is the recursive run_qt function of Algorithm 2.  It returns true when
+// the sink asked to stop the traversal (top-k early termination).
+func (os *osharer) runQT(u *eUnit) (bool, error) {
+	// Case 2: an empty intermediate relation makes the remaining result empty
+	// (or a trivially computable aggregate over an empty input).
+	if u.hasEmptyFragment() && !u.allDone() {
+		return os.finishEmpty(u)
+	}
+	// Case 1: every operator has been executed; the single remaining fragment
+	// holds the answers for all mappings of this e-unit.
+	if u.allDone() {
+		rel := u.fragments[0].rel
+		if len(u.fragments) != 1 || rel == nil {
+			return false, fmt.Errorf("o-sharing: malformed terminal e-unit (%d fragments)", len(u.fragments))
+		}
+		if rel.IsEmpty() {
+			return os.sink.onEmpty(u.totalProb()), nil
+		}
+		return os.sink.onAnswers(rel, u.totalProb()), nil
+	}
+
+	// Case 3: choose the next operator, execute it once per mapping partition,
+	// and recurse into the child e-units.
+	op, parts, err := os.chooseNext(u)
+	if err != nil {
+		return false, err
+	}
+	// Visit large partitions first: harmless for o-sharing, and it tightens
+	// the top-k bounds as early as possible.
+	sort.SliceStable(parts, func(i, j int) bool { return parts[i].Prob > parts[j].Prob })
+
+	for _, p := range parts {
+		child, execErr := os.executeOp(u, op, p)
+		if execErr != nil {
+			if errors.Is(execErr, query.ErrNotCovered) {
+				// None of the partition's mappings can answer the query.
+				if stop := os.sink.onEmpty(p.Prob); stop {
+					return true, nil
+				}
+				continue
+			}
+			return false, execErr
+		}
+		stop, err := os.runQT(child)
+		if err != nil {
+			return false, err
+		}
+		if stop {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// finishEmpty handles Case 2: the e-unit contains an empty intermediate
+// relation.  If the query's final operator is an aggregate, the aggregate over
+// an empty input is still a real answer (COUNT = 0, SUM = 0); otherwise the
+// whole result is empty.
+func (os *osharer) finishEmpty(u *eUnit) (bool, error) {
+	finalOp := os.nq.ops[len(os.nq.ops)-1]
+	if agg, ok := finalOp.final.(*query.Aggregate); ok && !u.done[finalOp.id] {
+		emptyIn := engine.NewRelation("empty", []string{"v"})
+		col := ""
+		if agg.Func != engine.AggCount {
+			col = "v"
+		}
+		rel, err := engine.Aggregate(emptyIn, agg.Func, col, os.stats)
+		if err != nil {
+			return false, err
+		}
+		return os.sink.onAnswers(rel, u.totalProb()), nil
+	}
+	return os.sink.onEmpty(u.totalProb()), nil
+}
+
+// executable reports whether the operator can be chosen as next-op in the
+// e-unit (the "correctness" criterion of Section VI-A).
+func (os *osharer) executable(u *eUnit, op *targetOp) bool {
+	if u.done[op.id] {
+		return false
+	}
+	switch op.kind {
+	case opSelect, opJoinSelect:
+		return true
+	case opProduct:
+		// Both operand alias sets must each already live inside a single
+		// fragment (their own sub-products or join conditions have merged
+		// them), mirroring a bottom-up execution of the product tree.
+		return u.fragmentCovering(op.leftAliases) != nil && u.fragmentCovering(op.rightAliases) != nil
+	case opFinal:
+		for i, d := range u.done {
+			if i != op.id && !d {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// partitionAttrs returns the target attributes whose correspondences determine
+// how the operator reformulates in the e-unit: the attributes the operator
+// references plus, for relation occurrences it must materialize, every query
+// attribute of those occurrences.
+func (os *osharer) partitionAttrs(u *eUnit, op *targetOp) ([]schema.Attribute, error) {
+	var attrs []schema.Attribute
+	addAlias := func(alias string) {
+		frag := u.fragmentOf(alias)
+		if frag != nil && frag.rel != nil {
+			return // already materialized; its shape is fixed
+		}
+		attrs = append(attrs, os.nq.aliasAttrs[alias]...)
+	}
+	switch op.kind {
+	case opSelect:
+		a, err := os.nq.q.NodeAttributes(op.sel)
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, a...)
+	case opJoinSelect:
+		a, err := os.nq.q.NodeAttributes(op.jsel)
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, a...)
+	case opProduct:
+		for _, alias := range op.leftAliases {
+			addAlias(alias)
+		}
+		for _, alias := range op.rightAliases {
+			addAlias(alias)
+		}
+	case opFinal:
+		if op.final != nil {
+			a, err := os.nq.q.NodeAttributes(op.final)
+			if err != nil {
+				return nil, err
+			}
+			attrs = append(attrs, a...)
+		}
+		for _, alias := range os.nq.aliases {
+			addAlias(alias)
+		}
+	}
+	// De-duplicate while preserving order.
+	seen := make(map[schema.Attribute]bool, len(attrs))
+	out := attrs[:0]
+	for _, a := range attrs {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// chooseNext implements the next() function of Algorithm 2 with the strategy
+// of Section VI-A: among executable operators, pick by Random, SNF (fewest
+// partitions) or SEF (lowest entropy), and return the chosen operator together
+// with the partitioning of the e-unit's mappings with respect to it.
+func (os *osharer) chooseNext(u *eUnit) (*targetOp, []*Partition, error) {
+	type candidate struct {
+		op    *targetOp
+		parts []*Partition
+	}
+	var cands []candidate
+	for _, op := range os.nq.ops {
+		if !os.executable(u, op) {
+			continue
+		}
+		attrs, err := os.partitionAttrs(u, op)
+		if err != nil {
+			return nil, nil, err
+		}
+		cands = append(cands, candidate{op: op, parts: PartitionByAttributes(attrs, u.maps)})
+	}
+	if len(cands) == 0 {
+		return nil, nil, fmt.Errorf("o-sharing: no executable operator in e-unit")
+	}
+	best := 0
+	switch os.strategy {
+	case StrategyRandom:
+		best = os.rng.Intn(len(cands))
+	case StrategySNF:
+		for i := 1; i < len(cands); i++ {
+			if len(cands[i].parts) < len(cands[best].parts) {
+				best = i
+			}
+		}
+	case StrategySEF:
+		bestE := Entropy(cands[best].parts, len(u.maps))
+		for i := 1; i < len(cands); i++ {
+			e := Entropy(cands[i].parts, len(u.maps))
+			if e < bestE-1e-12 {
+				best, bestE = i, e
+			}
+		}
+	default:
+		return nil, nil, fmt.Errorf("o-sharing: unknown strategy %v", os.strategy)
+	}
+	return cands[best].op, cands[best].parts, nil
+}
+
+// ensureIncluded guarantees that the fragment's materialization contains the
+// given source relation for the alias, scanning (and, if the fragment is
+// already materialized, extending it with a Cartesian product — Case 2 of the
+// reformulate_op rules) as needed.
+func (os *osharer) ensureIncluded(frag *fragment, alias, srcRel string) error {
+	if frag.included[alias] != nil && frag.included[alias][srcRel] {
+		return nil
+	}
+	base := os.db.Relation(srcRel)
+	if base == nil {
+		return fmt.Errorf("o-sharing: unknown source relation %q", srcRel)
+	}
+	os.stats.Operators["scan"]++
+	scanned := base.QualifyColumns(alias + "." + srcRel)
+	if frag.rel == nil {
+		frag.rel = scanned
+	} else {
+		prod, err := engine.Product(frag.rel, scanned, os.stats)
+		if err != nil {
+			return err
+		}
+		frag.rel = prod
+	}
+	if frag.included[alias] == nil {
+		frag.included[alias] = make(map[string]bool)
+	}
+	frag.included[alias][srcRel] = true
+	return nil
+}
+
+// materializeAlias brings every source relation needed to cover the query's
+// attributes of the alias (under mapping m) into the fragment.
+func (os *osharer) materializeAlias(frag *fragment, alias string, m *schema.Mapping) error {
+	rels, err := os.nq.ref.SourceRelationsForAlias(m, alias)
+	if err != nil {
+		return err
+	}
+	for _, r := range rels {
+		if err := os.ensureIncluded(frag, alias, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sourceColumnIn resolves the target attribute reference to its engine column
+// name under the mapping, making sure the owning fragment includes the needed
+// source relation.
+func (os *osharer) sourceColumnIn(u *eUnit, m *schema.Mapping, ref query.AttrRef) (string, *fragment, error) {
+	target, err := os.nq.q.ResolveRef(ref)
+	if err != nil {
+		return "", nil, err
+	}
+	alias := ref.Alias
+	if alias == "" {
+		// Resolve the alias the same way the reformulator does.
+		col, err := os.nq.ref.SourceColumn(m, ref)
+		if err != nil {
+			return "", nil, err
+		}
+		// Column is "<alias>.<rel>.<attr>"; recover the alias prefix.
+		alias = col[:indexByte(col, '.')]
+	}
+	src, ok := m.SourceFor(target)
+	if !ok {
+		return "", nil, fmt.Errorf("%w: %s under mapping %s", query.ErrNotCovered, target, m.ID)
+	}
+	frag := u.fragmentOf(alias)
+	if frag == nil {
+		return "", nil, fmt.Errorf("o-sharing: no fragment for alias %q", alias)
+	}
+	if err := os.ensureIncluded(frag, alias, src.Relation); err != nil {
+		return "", nil, err
+	}
+	return alias + "." + src.Relation + "." + src.Name, frag, nil
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return len(s)
+}
+
+// mergeFragments materializes and products the given fragments into one.
+func (os *osharer) mergeFragments(u *eUnit, frags []*fragment, m *schema.Mapping) (*fragment, error) {
+	merged := &fragment{aliases: make(map[string]bool), included: make(map[string]map[string]bool)}
+	for _, f := range frags {
+		if f.rel == nil {
+			// Materialize untouched single-alias fragments with their covering
+			// source relations.
+			for a := range f.aliases {
+				if err := os.materializeAlias(f, a, m); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if merged.rel == nil {
+			merged.rel = f.rel
+		} else {
+			prod, err := engine.Product(merged.rel, f.rel, os.stats)
+			if err != nil {
+				return nil, err
+			}
+			merged.rel = prod
+		}
+		for a := range f.aliases {
+			merged.aliases[a] = true
+		}
+		for a, rels := range f.included {
+			if merged.included[a] == nil {
+				merged.included[a] = make(map[string]bool)
+			}
+			for r := range rels {
+				merged.included[a][r] = true
+			}
+		}
+	}
+	return merged, nil
+}
+
+// executeOp executes the chosen operator for one mapping partition and returns
+// the child e-unit (Steps 15–21 of Algorithm 2).
+func (os *osharer) executeOp(u *eUnit, op *targetOp, p *Partition) (*eUnit, error) {
+	if p.Representative == nil {
+		return nil, fmt.Errorf("o-sharing: partition without representative")
+	}
+	m := p.Representative
+	child := u.clone()
+	child.maps = p.Mappings
+	child.done[op.id] = true
+
+	switch op.kind {
+	case opSelect:
+		col, frag, err := os.sourceColumnIn(child, m, op.sel.Ref)
+		if err != nil {
+			return nil, err
+		}
+		out, err := engine.Select(frag.rel, &engine.ConstPredicate{Column: col, Op: op.sel.Op, Value: op.sel.Value}, os.stats)
+		if err != nil {
+			return nil, err
+		}
+		frag.rel = out
+		return child, nil
+
+	case opJoinSelect:
+		leftCol, leftFrag, err := os.sourceColumnIn(child, m, op.jsel.Left)
+		if err != nil {
+			return nil, err
+		}
+		rightCol, rightFrag, err := os.sourceColumnIn(child, m, op.jsel.Right)
+		if err != nil {
+			return nil, err
+		}
+		if leftFrag != rightFrag {
+			// The two operands live in different fragments: combine them.  For
+			// an equality condition use a hash join instead of product+filter,
+			// which is how the engine would rearrange the operator anyway.
+			merged := &fragment{aliases: make(map[string]bool), included: make(map[string]map[string]bool)}
+			for _, f := range []*fragment{leftFrag, rightFrag} {
+				for a := range f.aliases {
+					merged.aliases[a] = true
+				}
+				for a, rels := range f.included {
+					merged.included[a] = rels
+				}
+			}
+			var joined *engine.Relation
+			if op.jsel.Op == engine.OpEq {
+				joined, err = engine.HashJoin(leftFrag.rel, rightFrag.rel, leftCol, rightCol, os.stats)
+			} else {
+				joined, err = engine.Product(leftFrag.rel, rightFrag.rel, os.stats)
+				if err == nil {
+					joined, err = engine.Select(joined, &engine.ColPredicate{Left: leftCol, Op: op.jsel.Op, Right: rightCol}, os.stats)
+				}
+			}
+			if err != nil {
+				return nil, err
+			}
+			merged.rel = joined
+			child.replaceFragments([]*fragment{leftFrag, rightFrag}, merged)
+			return child, nil
+		}
+		out, err := engine.Select(leftFrag.rel, &engine.ColPredicate{Left: leftCol, Op: op.jsel.Op, Right: rightCol}, os.stats)
+		if err != nil {
+			return nil, err
+		}
+		leftFrag.rel = out
+		return child, nil
+
+	case opProduct:
+		left := child.fragmentCovering(op.leftAliases)
+		right := child.fragmentCovering(op.rightAliases)
+		if left == nil || right == nil {
+			return nil, fmt.Errorf("o-sharing: product operands not available")
+		}
+		if left == right {
+			// Another operator (a join condition) already merged the operands.
+			return child, nil
+		}
+		merged, err := os.mergeFragments(child, []*fragment{left, right}, m)
+		if err != nil {
+			return nil, err
+		}
+		child.replaceFragments([]*fragment{left, right}, merged)
+		return child, nil
+
+	case opFinal:
+		// Merge whatever fragments remain into one relation.
+		frags := append([]*fragment(nil), child.fragments...)
+		merged, err := os.mergeFragments(child, frags, m)
+		if err != nil {
+			return nil, err
+		}
+		child.fragments = []*fragment{merged}
+		switch final := op.final.(type) {
+		case nil:
+			return child, nil
+		case *query.Project:
+			cols := make([]string, len(final.Refs))
+			for i, ref := range final.Refs {
+				col, _, err := os.sourceColumnIn(child, m, ref)
+				if err != nil {
+					return nil, err
+				}
+				cols[i] = col
+			}
+			out, err := engine.Project(merged.rel, cols, os.stats)
+			if err != nil {
+				return nil, err
+			}
+			merged.rel = out
+			return child, nil
+		case *query.Aggregate:
+			col := ""
+			if final.Func != engine.AggCount && !final.Ref.IsZero() {
+				c, _, err := os.sourceColumnIn(child, m, final.Ref)
+				if err != nil {
+					return nil, err
+				}
+				col = c
+			}
+			out, err := engine.Aggregate(merged.rel, final.Func, col, os.stats)
+			if err != nil {
+				return nil, err
+			}
+			merged.rel = out
+			return child, nil
+		default:
+			return nil, fmt.Errorf("o-sharing: unsupported final operator %T", op.final)
+		}
+	default:
+		return nil, fmt.Errorf("o-sharing: unknown operator kind %v", op.kind)
+	}
+}

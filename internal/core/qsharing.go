@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/query"
+	"github.com/probdb/urm/internal/schema"
+)
+
+// QSharing evaluates the target query with query-level sharing (Algorithm 1):
+// the mapping set is partitioned with the partition tree so that each group of
+// mappings producing the same source query is rewritten and executed exactly
+// once, with the group's total probability.
+//
+// Compared with e-basic, q-sharing avoids rewriting one source query per
+// mapping: the partition tree works directly on the mappings' correspondences
+// for the query's target attributes.
+func QSharing(q *query.Query, maps schema.MappingSet, db *engine.Instance) (*Result, error) {
+	if err := validateInputs(q, maps, db); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &Result{Query: q, Method: MethodQSharing, Columns: OutputColumns(q), Stats: engine.NewStats()}
+
+	// Step 1: partition the mappings with the partition tree.
+	rewriteStart := time.Now()
+	parts, err := PartitionMappings(q, maps)
+	if err != nil {
+		return nil, fmt.Errorf("q-sharing: %w", err)
+	}
+	// Step 2: pick representative mappings with summed probabilities.
+	reps := Represent(parts)
+	res.Partitions = len(parts)
+	res.RewriteTime = time.Since(rewriteStart)
+
+	// Step 3: run basic over the representatives.
+	if err := basicOver(q, reps, db, res); err != nil {
+		return nil, fmt.Errorf("q-sharing: %w", err)
+	}
+	res.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// Entropy computes the entropy of a mapping set with respect to a partition of
+// it (Definition 1): E = -Σ (|Pj|/|M|) log2(|Pj|/|M|).
+func Entropy(parts []*Partition, totalMappings int) float64 {
+	if totalMappings == 0 {
+		return 0
+	}
+	e := 0.0
+	for _, p := range parts {
+		if len(p.Mappings) == 0 {
+			continue
+		}
+		frac := float64(len(p.Mappings)) / float64(totalMappings)
+		e -= frac * math.Log2(frac)
+	}
+	return e
+}
+
+// EntropyForAttributes is a convenience that partitions the mapping set by the
+// given target attributes and returns the entropy of that partitioning.
+func EntropyForAttributes(attrs []schema.Attribute, maps schema.MappingSet) float64 {
+	return Entropy(PartitionByAttributes(attrs, maps), len(maps))
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/query"
+	"github.com/probdb/urm/internal/schema"
+)
+
+// MethodTopK labels results produced by the probabilistic top-k algorithm of
+// Section VII.  It is reported through Result.Method but is not a value for
+// Options.Method (use Evaluator.EvaluateTopK).
+const MethodTopK Method = 100
+
+// TopK evaluates a probabilistic top-k query (Algorithm 4): it explores the
+// same u-trace as o-sharing but maintains lower and upper probability bounds
+// for the candidate answers, stopping as soon as the k answers with the
+// highest probabilities are determined.  The reported probabilities are the
+// lower bounds accumulated so far — the algorithm deliberately avoids
+// computing exact probabilities.
+func TopK(q *query.Query, maps schema.MappingSet, db *engine.Instance, k int, opts OSharingOptions) (*Result, error) {
+	if err := validateInputs(q, maps, db); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("top-k: k must be positive, got %d", k)
+	}
+	start := time.Now()
+	res := &Result{Query: q, Method: MethodTopK, Columns: OutputColumns(q), Stats: engine.NewStats()}
+
+	sink := newTopkSink(k)
+	if err := runOSharing(q, maps, db, opts, res, sink); err != nil {
+		return nil, err
+	}
+	aggStart := time.Now()
+	res.Answers = sink.topK()
+	res.EmptyProb = sink.emptyProb
+	res.AggregateTime = time.Since(aggStart)
+	res.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// tkEntry is one candidate answer with its probability bounds.
+type tkEntry struct {
+	tuple engine.Tuple
+	lb    float64
+	ub    float64
+}
+
+// topkSink implements the decide_result bookkeeping of Algorithm 4.
+type topkSink struct {
+	k       int
+	entries map[string]*tkEntry
+	order   []string
+	// ub is the global UB: the probability mass of e-units not yet visited, an
+	// upper bound on the probability of any tuple not seen so far.
+	ub float64
+	// emptyProb accumulates mass of empty results (not candidates).
+	emptyProb float64
+}
+
+func newTopkSink(k int) *topkSink {
+	return &topkSink{k: k, entries: make(map[string]*tkEntry), ub: 1}
+}
+
+// sorted returns the current candidates ordered by descending lower bound.
+func (s *topkSink) sorted() []*tkEntry {
+	out := make([]*tkEntry, 0, len(s.order))
+	for _, key := range s.order {
+		out = append(out, s.entries[key])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].lb > out[j].lb })
+	return out
+}
+
+// lowerBound returns LB: the lower bound of the k-th highest candidate, or 0
+// when fewer than k candidates are known (a new tuple could still enter the
+// top-k, so termination must not trigger on UB alone in that case).
+func (s *topkSink) lowerBound() float64 {
+	sorted := s.sorted()
+	if len(sorted) < s.k {
+		return 0
+	}
+	return sorted[s.k-1].lb
+}
+
+// decide checks the two termination conditions of decide_result: every
+// candidate ranked below k has ub ≤ LB, and no unseen tuple can exceed LB.
+func (s *topkSink) decide() bool {
+	lb := s.lowerBound()
+	if s.ub > lb {
+		return false
+	}
+	sorted := s.sorted()
+	for i := s.k; i < len(sorted); i++ {
+		if sorted[i].ub > lb {
+			return false
+		}
+	}
+	return true
+}
+
+// onAnswers implements resultSink.
+func (s *topkSink) onAnswers(rel *engine.Relation, prob float64) bool {
+	lb := s.lowerBound()
+	seen := make(map[string]bool, len(rel.Rows))
+	for _, row := range rel.Rows {
+		key := row.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if e, ok := s.entries[key]; ok {
+			e.lb += prob
+			continue
+		}
+		if s.ub > lb || len(s.entries) < s.k {
+			s.entries[key] = &tkEntry{tuple: row.Clone(), lb: prob, ub: s.ub}
+			s.order = append(s.order, key)
+		}
+	}
+	s.ub -= prob
+	return s.decide()
+}
+
+// onEmpty implements resultSink.
+func (s *topkSink) onEmpty(prob float64) bool {
+	s.emptyProb += prob
+	s.ub -= prob
+	return s.decide()
+}
+
+// topK returns the k candidates with the highest lower-bound probabilities.
+func (s *topkSink) topK() []Answer {
+	sorted := s.sorted()
+	if len(sorted) > s.k {
+		sorted = sorted[:s.k]
+	}
+	out := make([]Answer, 0, len(sorted))
+	for _, e := range sorted {
+		out = append(out, Answer{Tuple: e.tuple, Prob: e.lb})
+	}
+	return out
+}

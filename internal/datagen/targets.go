@@ -1,0 +1,236 @@
+package datagen
+
+import (
+	"fmt"
+
+	"github.com/probdb/urm/internal/schema"
+)
+
+// TargetName identifies one of the three purchase-order target schemas of the
+// evaluation (provided by COMA++ in the paper).
+type TargetName string
+
+// The three target schemas of Section VIII-A.
+const (
+	TargetExcel   TargetName = "Excel"
+	TargetNoris   TargetName = "Noris"
+	TargetParagon TargetName = "Paragon"
+)
+
+// AllTargets lists the target schemas in the paper's order.
+func AllTargets() []TargetName { return []TargetName{TargetExcel, TargetNoris, TargetParagon} }
+
+// ParseTarget converts a name into a TargetName.
+func ParseTarget(s string) (TargetName, error) {
+	switch s {
+	case "Excel", "excel":
+		return TargetExcel, nil
+	case "Noris", "noris":
+		return TargetNoris, nil
+	case "Paragon", "paragon":
+		return TargetParagon, nil
+	default:
+		return "", fmt.Errorf("unknown target schema %q (want Excel, Noris or Paragon)", s)
+	}
+}
+
+func buildTarget(name string, poAttrs, itemAttrs []string) *schema.Schema {
+	s := schema.NewSchema(name)
+	po := &schema.RelationSchema{Name: "PO"}
+	for _, a := range poAttrs {
+		po.Columns = append(po.Columns, schema.Column{Name: a, Type: schema.TypeString})
+	}
+	item := &schema.RelationSchema{Name: "Item"}
+	for _, a := range itemAttrs {
+		item.Columns = append(item.Columns, schema.Column{Name: a, Type: schema.TypeString})
+	}
+	s.MustAddRelation(po)
+	s.MustAddRelation(item)
+	return s
+}
+
+// TargetSchema returns the requested target schema.  After the XML-to-
+// relational conversion the paper applies, each target schema consists of two
+// relations, PurchaseOrder (PO) and Item; the total attribute counts match the
+// paper: Excel 48, Noris 66, Paragon 69.
+func TargetSchema(name TargetName) *schema.Schema {
+	switch name {
+	case TargetExcel:
+		return buildTarget("Excel",
+			[]string{ // 30 attributes
+				"orderNum", "telephone", "priority", "invoiceTo", "company", "deliverToStreet",
+				"deliverToCity", "deliverToZip", "orderDate", "status", "totalAmount", "currency",
+				"contactName", "contactFax", "customerSegment", "nation", "region", "paymentTerms",
+				"shipVia", "taxRate", "subTotal", "freight", "insurance", "remark",
+				"approvedBy", "requestedBy", "department", "costCenter", "projectCode", "revision",
+			},
+			[]string{ // 18 attributes
+				"itemNum", "orderNum", "quantity", "unitPrice", "description", "brand",
+				"itemType", "size", "supplier", "supplierPhone", "discount", "tax",
+				"shipDate", "availQty", "supplyCost", "lineNumber", "unitOfMeasure", "comment",
+			})
+	case TargetNoris:
+		return buildTarget("Noris",
+			[]string{ // 36 attributes
+				"orderNum", "telephone", "invoiceTo", "deliverTo", "deliverToStreet", "deliverToCity",
+				"deliverToCountry", "deliverToZip", "invoiceStreet", "invoiceCity", "invoiceCountry", "invoiceZip",
+				"orderDate", "requiredDate", "promisedDate", "status", "total", "currency",
+				"paymentMethod", "paymentDays", "salesPerson", "salesOffice", "customerId", "customerGroup",
+				"shippingMethod", "shippingCost", "handlingFee", "taxAmount", "grandTotal", "notes",
+				"buyerName", "buyerFax", "buyerEmail", "warehouse", "dock", "carrier",
+			},
+			[]string{ // 30 attributes
+				"itemNum", "orderNum", "quantity", "unitPrice", "lineTotal", "description",
+				"manufacturer", "model", "color", "weight", "length", "width",
+				"height", "packaging", "leadTime", "warranty", "origin", "hsCode",
+				"batchNumber", "serialNumber", "expiryDate", "storageClass", "hazardClass", "reorderLevel",
+				"binLocation", "inspectionFlag", "qualityGrade", "returnPolicy", "discountCode", "lineNote",
+			})
+	case TargetParagon:
+		return buildTarget("Paragon",
+			[]string{ // 37 attributes
+				"orderNum", "telephone", "billTo", "billToAddress", "billToCity", "billToZip",
+				"shipTo", "shipToAddress", "shipToCity", "shipToZip", "shipToPhone", "invoiceTo",
+				"orderDate", "dueDate", "closeDate", "status", "total", "currency",
+				"terms", "fob", "incoterm", "buyer", "buyerPhone", "buyerDept",
+				"approver", "approvalDate", "vendorId", "vendorContact", "vendorPhone", "contractId",
+				"budgetCode", "glAccount", "costCentre", "priority", "channel", "source", "notes",
+			},
+			[]string{ // 32 attributes
+				"itemNum", "orderNum", "quantity", "price", "extendedPrice", "description",
+				"brand", "category", "subCategory", "sku", "upc", "supplier",
+				"supplierItemNum", "uom", "packSize", "caseQty", "palletQty", "minOrderQty",
+				"discount", "taxCode", "dutyRate", "countryOfOrigin", "shipDate", "receiveDate",
+				"inspectionDate", "lotNumber", "shelfLife", "temperatureClass", "fragileFlag", "insuranceValue",
+				"customsValue", "lineComment",
+			})
+	default:
+		panic(fmt.Sprintf("datagen: unknown target schema %q", name))
+	}
+}
+
+func corr(srcRel, srcAttr, tgtRel, tgtAttr string, score float64) schema.Correspondence {
+	return schema.Correspondence{
+		Source: schema.Attribute{Relation: srcRel, Name: srcAttr},
+		Target: schema.Attribute{Relation: tgtRel, Name: tgtAttr},
+		Score:  score,
+	}
+}
+
+// Correspondences returns the scored correspondence set between the TPC-H
+// source schema and the given target schema.  The sets are curated to have
+// the same cardinality COMA++ reported in the paper — 34 for Excel, 18 for
+// Noris and 31 for Paragon — and the same character: most target attributes
+// have a single plausible source attribute while a handful (phones, names,
+// addresses, keys, prices) have several competing candidates, which is what
+// makes the derived mapping sets both numerous and highly overlapping.
+func Correspondences(name TargetName) []schema.Correspondence {
+	switch name {
+	case TargetExcel:
+		return []schema.Correspondence{
+			// telephone: 3 candidates.
+			corr("Customer", "c_phone", "PO", "telephone", 0.85),
+			corr("Orders", "o_contactphone", "PO", "telephone", 0.82),
+			corr("Supplier", "s_phone", "PO", "telephone", 0.55),
+			// priority: 2 candidates.
+			corr("Orders", "o_orderpriority", "PO", "priority", 0.80),
+			corr("Orders", "o_shippriority", "PO", "priority", 0.74),
+			// invoiceTo: 3 candidates.
+			corr("Customer", "c_name", "PO", "invoiceTo", 0.70),
+			corr("Orders", "o_contactname", "PO", "invoiceTo", 0.66),
+			corr("Orders", "o_clerk", "PO", "invoiceTo", 0.50),
+			// company: 3 candidates.
+			corr("Customer", "c_mktsegment", "PO", "company", 0.62),
+			corr("Customer", "c_name", "PO", "company", 0.58),
+			corr("Supplier", "s_name", "PO", "company", 0.50),
+			// deliverToStreet: 3 candidates.
+			corr("Customer", "c_address", "PO", "deliverToStreet", 0.72),
+			corr("Orders", "o_shipaddress", "PO", "deliverToStreet", 0.70),
+			corr("Supplier", "s_address", "PO", "deliverToStreet", 0.45),
+			// orderNum on PO: 2 candidates.
+			corr("Orders", "o_orderkey", "PO", "orderNum", 0.88),
+			corr("Lineitem", "l_orderkey", "PO", "orderNum", 0.60),
+			// Unambiguous PO attributes.
+			corr("Orders", "o_orderdate", "PO", "orderDate", 0.90),
+			corr("Orders", "o_orderstatus", "PO", "status", 0.85),
+			corr("Orders", "o_totalprice", "PO", "totalAmount", 0.80),
+			corr("Nation", "n_name", "PO", "nation", 0.80),
+			// itemNum: 3 candidates.
+			corr("Part", "p_partkey", "Item", "itemNum", 0.80),
+			corr("PartSupp", "ps_partkey", "Item", "itemNum", 0.70),
+			corr("Lineitem", "l_partkey", "Item", "itemNum", 0.68),
+			// orderNum on Item: 2 candidates.
+			corr("Lineitem", "l_orderkey", "Item", "orderNum", 0.82),
+			corr("Orders", "o_orderkey", "Item", "orderNum", 0.60),
+			// quantity: 2 candidates.
+			corr("Lineitem", "l_quantity", "Item", "quantity", 0.85),
+			corr("PartSupp", "ps_availqty", "Item", "quantity", 0.60),
+			// unitPrice: 3 candidates.
+			corr("Part", "p_retailprice", "Item", "unitPrice", 0.75),
+			corr("Lineitem", "l_extendedprice", "Item", "unitPrice", 0.70),
+			corr("PartSupp", "ps_supplycost", "Item", "unitPrice", 0.50),
+			// Unambiguous Item attributes.
+			corr("Part", "p_name", "Item", "description", 0.60),
+			corr("Part", "p_brand", "Item", "brand", 0.85),
+			corr("Part", "p_type", "Item", "itemType", 0.80),
+			corr("Supplier", "s_name", "Item", "supplier", 0.70),
+		}
+	case TargetNoris:
+		return []schema.Correspondence{
+			corr("Customer", "c_phone", "PO", "telephone", 0.85),
+			corr("Orders", "o_contactphone", "PO", "telephone", 0.78),
+			corr("Customer", "c_name", "PO", "invoiceTo", 0.70),
+			corr("Orders", "o_contactname", "PO", "invoiceTo", 0.60),
+			corr("Customer", "c_name", "PO", "deliverTo", 0.55),
+			corr("Orders", "o_clerk", "PO", "deliverTo", 0.50),
+			corr("Customer", "c_address", "PO", "deliverToStreet", 0.70),
+			corr("Orders", "o_shipaddress", "PO", "deliverToStreet", 0.68),
+			corr("Orders", "o_orderkey", "PO", "orderNum", 0.85),
+			corr("Lineitem", "l_orderkey", "PO", "orderNum", 0.55),
+			corr("Part", "p_partkey", "Item", "itemNum", 0.80),
+			corr("Lineitem", "l_partkey", "Item", "itemNum", 0.65),
+			corr("Part", "p_retailprice", "Item", "unitPrice", 0.72),
+			corr("Lineitem", "l_extendedprice", "Item", "unitPrice", 0.66),
+			corr("PartSupp", "ps_supplycost", "Item", "unitPrice", 0.50),
+			corr("Lineitem", "l_orderkey", "Item", "orderNum", 0.80),
+			corr("Orders", "o_orderkey", "Item", "orderNum", 0.58),
+			corr("Lineitem", "l_quantity", "Item", "quantity", 0.80),
+		}
+	case TargetParagon:
+		return []schema.Correspondence{
+			corr("Customer", "c_name", "PO", "billTo", 0.72),
+			corr("Orders", "o_contactname", "PO", "billTo", 0.60),
+			corr("Orders", "o_shipaddress", "PO", "shipToAddress", 0.74),
+			corr("Customer", "c_address", "PO", "shipToAddress", 0.68),
+			corr("Supplier", "s_address", "PO", "shipToAddress", 0.50),
+			corr("Orders", "o_contactphone", "PO", "shipToPhone", 0.78),
+			corr("Customer", "c_phone", "PO", "shipToPhone", 0.70),
+			corr("Customer", "c_mobile", "PO", "shipToPhone", 0.50),
+			corr("Customer", "c_phone", "PO", "telephone", 0.84),
+			corr("Orders", "o_contactphone", "PO", "telephone", 0.66),
+			corr("Supplier", "s_phone", "PO", "telephone", 0.60),
+			corr("Customer", "c_address", "PO", "billToAddress", 0.72),
+			corr("Orders", "o_shipaddress", "PO", "billToAddress", 0.55),
+			corr("Customer", "c_name", "PO", "invoiceTo", 0.68),
+			corr("Orders", "o_clerk", "PO", "invoiceTo", 0.52),
+			corr("Orders", "o_orderkey", "PO", "orderNum", 0.86),
+			corr("Lineitem", "l_orderkey", "PO", "orderNum", 0.50),
+			corr("Orders", "o_orderstatus", "PO", "status", 0.80),
+			corr("Orders", "o_totalprice", "PO", "total", 0.78),
+			corr("Part", "p_partkey", "Item", "itemNum", 0.80),
+			corr("PartSupp", "ps_partkey", "Item", "itemNum", 0.66),
+			corr("Lineitem", "l_partkey", "Item", "itemNum", 0.60),
+			corr("Part", "p_retailprice", "Item", "price", 0.76),
+			corr("Lineitem", "l_extendedprice", "Item", "price", 0.70),
+			corr("PartSupp", "ps_supplycost", "Item", "price", 0.52),
+			corr("Lineitem", "l_orderkey", "Item", "orderNum", 0.80),
+			corr("Orders", "o_orderkey", "Item", "orderNum", 0.55),
+			corr("Lineitem", "l_quantity", "Item", "quantity", 0.82),
+			corr("PartSupp", "ps_availqty", "Item", "quantity", 0.60),
+			corr("Part", "p_brand", "Item", "brand", 0.80),
+			corr("Supplier", "s_name", "Item", "supplier", 0.70),
+		}
+	default:
+		panic(fmt.Sprintf("datagen: unknown target schema %q", name))
+	}
+}

@@ -1,0 +1,277 @@
+package engine
+
+import (
+	"fmt"
+)
+
+// Stats records the work done by the engine while evaluating plans.  The
+// evaluation algorithms in internal/core share one Stats per query run so that
+// the number of executed source operators (Table IV), rows scanned and
+// intermediate tuples produced can be reported.
+type Stats struct {
+	// Operators counts executed physical operators by kind name
+	// ("select", "project", "product", "join", "aggregate", "distinct", "scan").
+	Operators map[string]int
+	// RowsRead is the total number of input rows consumed by operators.
+	RowsRead int
+	// RowsProduced is the total number of output rows produced by operators.
+	RowsProduced int
+}
+
+// NewStats returns an empty statistics collector.
+func NewStats() *Stats { return &Stats{Operators: make(map[string]int)} }
+
+func (s *Stats) record(op string, in, out int) {
+	if s == nil {
+		return
+	}
+	if s.Operators == nil {
+		s.Operators = make(map[string]int)
+	}
+	s.Operators[op]++
+	s.RowsRead += in
+	s.RowsProduced += out
+}
+
+// TotalOperators returns the total number of executed physical operators.
+func (s *Stats) TotalOperators() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, c := range s.Operators {
+		n += c
+	}
+	return n
+}
+
+// Add accumulates another collector into s.
+func (s *Stats) Add(o *Stats) {
+	if s == nil || o == nil {
+		return
+	}
+	if s.Operators == nil {
+		s.Operators = make(map[string]int)
+	}
+	for k, v := range o.Operators {
+		s.Operators[k] += v
+	}
+	s.RowsRead += o.RowsRead
+	s.RowsProduced += o.RowsProduced
+}
+
+// Reset clears the collector.
+func (s *Stats) Reset() {
+	if s == nil {
+		return
+	}
+	s.Operators = make(map[string]int)
+	s.RowsRead = 0
+	s.RowsProduced = 0
+}
+
+// Select returns the rows of rel satisfying the predicate.
+func Select(rel *Relation, pred Predicate, stats *Stats) (*Relation, error) {
+	out := NewRelation(rel.Name, rel.Columns)
+	for _, row := range rel.Rows {
+		ok, err := pred.Eval(rel, row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	stats.record("select", len(rel.Rows), len(out.Rows))
+	return out, nil
+}
+
+// Project returns rel restricted to the given columns, in the given order.
+// Duplicate rows are preserved (bag semantics); use Distinct to remove them.
+func Project(rel *Relation, columns []string, stats *Stats) (*Relation, error) {
+	idx := make([]int, len(columns))
+	outCols := make([]string, len(columns))
+	for i, c := range columns {
+		j := rel.ColumnIndex(c)
+		if j < 0 {
+			return nil, fmt.Errorf("project: column %q not found in %v", c, rel.Columns)
+		}
+		idx[i] = j
+		outCols[i] = rel.Columns[j]
+	}
+	out := NewRelation(rel.Name, outCols)
+	out.Rows = make([]Tuple, 0, len(rel.Rows))
+	for _, row := range rel.Rows {
+		t := make(Tuple, len(idx))
+		for i, j := range idx {
+			t[i] = row[j]
+		}
+		out.Rows = append(out.Rows, t)
+	}
+	stats.record("project", len(rel.Rows), len(out.Rows))
+	return out, nil
+}
+
+// Product returns the Cartesian product of two relations.  Column names are
+// kept as-is, so callers should qualify them beforehand when they may collide.
+func Product(left, right *Relation, stats *Stats) (*Relation, error) {
+	cols := make([]string, 0, len(left.Columns)+len(right.Columns))
+	cols = append(cols, left.Columns...)
+	cols = append(cols, right.Columns...)
+	out := NewRelation(left.Name+"x"+right.Name, cols)
+	out.Rows = make([]Tuple, 0, len(left.Rows)*len(right.Rows))
+	for _, lr := range left.Rows {
+		for _, rr := range right.Rows {
+			t := make(Tuple, 0, len(lr)+len(rr))
+			t = append(t, lr...)
+			t = append(t, rr...)
+			out.Rows = append(out.Rows, t)
+		}
+	}
+	stats.record("product", len(left.Rows)+len(right.Rows), len(out.Rows))
+	return out, nil
+}
+
+// HashJoin returns the equi-join of left and right on leftCol = rightCol.
+// It builds a hash table on the smaller input.
+func HashJoin(left, right *Relation, leftCol, rightCol string, stats *Stats) (*Relation, error) {
+	li := left.ColumnIndex(leftCol)
+	if li < 0 {
+		return nil, fmt.Errorf("join: column %q not found in %v", leftCol, left.Columns)
+	}
+	ri := right.ColumnIndex(rightCol)
+	if ri < 0 {
+		return nil, fmt.Errorf("join: column %q not found in %v", rightCol, right.Columns)
+	}
+	cols := make([]string, 0, len(left.Columns)+len(right.Columns))
+	cols = append(cols, left.Columns...)
+	cols = append(cols, right.Columns...)
+	out := NewRelation(left.Name+"⋈"+right.Name, cols)
+
+	// Build on the right side.
+	build := make(map[string][]Tuple, len(right.Rows))
+	for _, rr := range right.Rows {
+		k := Tuple{rr[ri]}.Key()
+		build[k] = append(build[k], rr)
+	}
+	for _, lr := range left.Rows {
+		k := Tuple{lr[li]}.Key()
+		for _, rr := range build[k] {
+			t := make(Tuple, 0, len(lr)+len(rr))
+			t = append(t, lr...)
+			t = append(t, rr...)
+			out.Rows = append(out.Rows, t)
+		}
+	}
+	stats.record("join", len(left.Rows)+len(right.Rows), len(out.Rows))
+	return out, nil
+}
+
+// Distinct removes duplicate rows, preserving first-seen order.
+func Distinct(rel *Relation, stats *Stats) (*Relation, error) {
+	out := NewRelation(rel.Name, rel.Columns)
+	seen := make(map[string]bool, len(rel.Rows))
+	for _, row := range rel.Rows {
+		k := row.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Rows = append(out.Rows, row)
+	}
+	stats.record("distinct", len(rel.Rows), len(out.Rows))
+	return out, nil
+}
+
+// AggFunc enumerates aggregate functions.
+type AggFunc int
+
+// Aggregate functions supported by the workloads (COUNT and SUM are the ones
+// used by the paper's queries; AVG/MIN/MAX round out the engine).
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the SQL spelling of the aggregate.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(f))
+	}
+}
+
+// Aggregate computes a single-row aggregate over the relation.  COUNT ignores
+// the column (counting rows); the other functions require a numeric column
+// except MIN/MAX which also order strings.  The result relation has a single
+// column named after the aggregate.
+func Aggregate(rel *Relation, fn AggFunc, column string, stats *Stats) (*Relation, error) {
+	outCol := fn.String()
+	if column != "" {
+		outCol = fn.String() + "(" + column + ")"
+	}
+	out := NewRelation(rel.Name, []string{outCol})
+
+	switch fn {
+	case AggCount:
+		out.Rows = append(out.Rows, Tuple{I(int64(len(rel.Rows)))})
+	case AggSum, AggAvg:
+		idx := rel.ColumnIndex(column)
+		if idx < 0 {
+			return nil, fmt.Errorf("aggregate %s: column %q not found in %v", fn, column, rel.Columns)
+		}
+		sum := 0.0
+		n := 0
+		for _, row := range rel.Rows {
+			f, ok := row[idx].AsFloat()
+			if !ok {
+				return nil, fmt.Errorf("aggregate %s: non-numeric value %v in column %q", fn, row[idx], column)
+			}
+			sum += f
+			n++
+		}
+		if fn == AggSum {
+			out.Rows = append(out.Rows, Tuple{F(sum)})
+		} else {
+			if n == 0 {
+				out.Rows = append(out.Rows, Tuple{Null()})
+			} else {
+				out.Rows = append(out.Rows, Tuple{F(sum / float64(n))})
+			}
+		}
+	case AggMin, AggMax:
+		idx := rel.ColumnIndex(column)
+		if idx < 0 {
+			return nil, fmt.Errorf("aggregate %s: column %q not found in %v", fn, column, rel.Columns)
+		}
+		if len(rel.Rows) == 0 {
+			out.Rows = append(out.Rows, Tuple{Null()})
+			break
+		}
+		best := rel.Rows[0][idx]
+		for _, row := range rel.Rows[1:] {
+			cmp := row[idx].Compare(best)
+			if (fn == AggMin && cmp < 0) || (fn == AggMax && cmp > 0) {
+				best = row[idx]
+			}
+		}
+		out.Rows = append(out.Rows, Tuple{best})
+	default:
+		return nil, fmt.Errorf("aggregate: unsupported function %v", fn)
+	}
+	stats.record("aggregate", len(rel.Rows), len(out.Rows))
+	return out, nil
+}

@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func optimizerInstance() *Instance {
+	db := NewInstance("D")
+	c := NewRelation("Customer", []string{"cid", "cname", "city"})
+	c.MustAppend(Tuple{I(1), S("Alice"), S("hk")})
+	c.MustAppend(Tuple{I(2), S("Bob"), S("sz")})
+	c.MustAppend(Tuple{I(3), S("Cindy"), S("hk")})
+	db.AddRelation(c)
+	o := NewRelation("Orders", []string{"oid", "cid", "price"})
+	o.MustAppend(Tuple{I(10), I(1), F(5)})
+	o.MustAppend(Tuple{I(11), I(2), F(7)})
+	o.MustAppend(Tuple{I(12), I(1), F(9)})
+	o.MustAppend(Tuple{I(13), I(3), F(1)})
+	db.AddRelation(o)
+	return db
+}
+
+func TestOptimizeConvertsProductToJoin(t *testing.T) {
+	plan := &SelectPlan{
+		Pred: ColEq("C.Customer.cid", "O.Orders.cid"),
+		Child: &ProductPlan{
+			Left:  &ScanPlan{Relation: "Customer", Alias: "C.Customer"},
+			Right: &ScanPlan{Relation: "Orders", Alias: "O.Orders"},
+		},
+	}
+	opt := Optimize(plan)
+	if _, ok := opt.(*JoinPlan); !ok {
+		t.Fatalf("optimized plan is %T, want *JoinPlan (%s)", opt, opt.Signature())
+	}
+	db := optimizerInstance()
+	exOpt := NewExecutor(db)
+	relOpt, err := exOpt.Execute(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exRaw := NewExecutor(db)
+	relRaw, err := exRaw.Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relOpt.NumRows() != relRaw.NumRows() {
+		t.Errorf("optimized plan returned %d rows, raw %d", relOpt.NumRows(), relRaw.NumRows())
+	}
+	// The join avoids the 3x4 product.
+	if exOpt.Stats.RowsProduced >= exRaw.Stats.RowsProduced {
+		t.Errorf("optimizer should reduce intermediate rows: %d vs %d",
+			exOpt.Stats.RowsProduced, exRaw.Stats.RowsProduced)
+	}
+	// Reversed column order also converts.
+	rev := &SelectPlan{
+		Pred: ColEq("O.Orders.cid", "C.Customer.cid"),
+		Child: &ProductPlan{
+			Left:  &ScanPlan{Relation: "Customer", Alias: "C.Customer"},
+			Right: &ScanPlan{Relation: "Orders", Alias: "O.Orders"},
+		},
+	}
+	if _, ok := Optimize(rev).(*JoinPlan); !ok {
+		t.Error("reversed join predicate should still convert to a join")
+	}
+}
+
+func TestOptimizePushesSelectionsDown(t *testing.T) {
+	plan := &SelectPlan{
+		Pred: Eq("C.Customer.city", S("hk")),
+		Child: &SelectPlan{
+			Pred: &ConstPredicate{Column: "O.Orders.price", Op: OpGt, Value: F(4)},
+			Child: &ProductPlan{
+				Left:  &ScanPlan{Relation: "Customer", Alias: "C.Customer"},
+				Right: &ScanPlan{Relation: "Orders", Alias: "O.Orders"},
+			},
+		},
+	}
+	opt := Optimize(plan)
+	sig := opt.Signature()
+	// Both selections must now sit directly above their scans, inside the
+	// product.
+	if !strings.Contains(sig, "product(select") {
+		t.Errorf("selections not pushed below the product: %s", sig)
+	}
+	db := optimizerInstance()
+	a, err := NewExecutor(db).Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewExecutor(db).Execute(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SortRows()
+	b.SortRows()
+	if a.NumRows() != b.NumRows() {
+		t.Fatalf("row counts differ: %d vs %d", a.NumRows(), b.NumRows())
+	}
+	for i := range a.Rows {
+		if !a.Rows[i].Equal(b.Rows[i]) {
+			t.Errorf("row %d differs: %v vs %v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+}
+
+func TestOptimizeLeavesUnrelatedPlansAlone(t *testing.T) {
+	plan := &AggregatePlan{Func: AggCount, Child: &ScanPlan{Relation: "Customer"}}
+	if got := Optimize(plan).Signature(); got != plan.Signature() {
+		t.Errorf("aggregate-over-scan changed: %s", got)
+	}
+	sel := &SelectPlan{Pred: Eq("Customer.city", S("hk")), Child: &ScanPlan{Relation: "Customer"}}
+	if got := Optimize(sel).Signature(); got != sel.Signature() {
+		t.Errorf("simple selection changed: %s", got)
+	}
+	if Optimize(nil) != nil {
+		t.Error("Optimize(nil) should be nil")
+	}
+	// A selection whose column belongs to neither product side stays put.
+	odd := &SelectPlan{
+		Pred: Eq("X.unknown", S("v")),
+		Child: &ProductPlan{
+			Left:  &ScanPlan{Relation: "Customer", Alias: "C.Customer"},
+			Right: &ScanPlan{Relation: "Orders", Alias: "O.Orders"},
+		},
+	}
+	if _, ok := Optimize(odd).(*SelectPlan); !ok {
+		t.Error("unpushable selection should remain a selection")
+	}
+}
+
+func TestProvidesColumn(t *testing.T) {
+	scan := &ScanPlan{Relation: "Customer", Alias: "C.Customer"}
+	if !providesColumn(scan, "C.Customer.cid") || providesColumn(scan, "O.Orders.cid") {
+		t.Error("scan column detection broken")
+	}
+	mat := &MaterialPlan{Rel: NewRelation("R", []string{"a", "b"}), Label: "R"}
+	if !providesColumn(mat, "a") || providesColumn(mat, "zz") {
+		t.Error("material column detection broken")
+	}
+	proj := &ProjectPlan{Columns: []string{"C.Customer.cid"}, Child: scan}
+	if !providesColumn(proj, "C.Customer.cid") || providesColumn(proj, "C.Customer.cname") {
+		t.Error("project column detection broken")
+	}
+	agg := &AggregatePlan{Func: AggCount, Child: scan}
+	if providesColumn(agg, "C.Customer.cid") {
+		t.Error("aggregate should not claim pass-through columns")
+	}
+	join := &JoinPlan{LeftCol: "x", RightCol: "y", Left: scan, Right: mat}
+	if !providesColumn(join, "a") || !providesColumn(join, "C.Customer.cid") {
+		t.Error("join column detection broken")
+	}
+}

@@ -1,0 +1,264 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Plan is a node of a physical source-query plan tree.  Plans are built by the
+// query-reformulation layer and executed by Execute.  Each node can produce a
+// canonical Signature; two plans with equal signatures compute the same result
+// on every instance, which is what e-basic uses to cluster identical source
+// queries and what the MQO substrate uses to find common subexpressions.
+type Plan interface {
+	// Signature returns the canonical rendering of the plan.
+	Signature() string
+	// Children returns the child plans (empty for leaves).
+	Children() []Plan
+}
+
+// ScanPlan reads a base relation from the instance, qualifying its columns
+// with the alias ("alias.column").  If Alias is empty the relation name is
+// used.
+type ScanPlan struct {
+	Relation string
+	Alias    string
+}
+
+// Signature implements Plan.
+func (p *ScanPlan) Signature() string {
+	if p.Alias != "" && p.Alias != p.Relation {
+		return fmt.Sprintf("scan(%s as %s)", p.Relation, p.Alias)
+	}
+	return fmt.Sprintf("scan(%s)", p.Relation)
+}
+
+// Children implements Plan.
+func (p *ScanPlan) Children() []Plan { return nil }
+
+// MaterialPlan wraps an already-materialized relation (an intermediate result
+// produced earlier, e.g. by o-sharing).  Its signature incorporates an
+// identity label provided by the producer so that distinct intermediates do
+// not collide.
+type MaterialPlan struct {
+	Rel   *Relation
+	Label string
+}
+
+// Signature implements Plan.
+func (p *MaterialPlan) Signature() string { return fmt.Sprintf("mat(%s)", p.Label) }
+
+// Children implements Plan.
+func (p *MaterialPlan) Children() []Plan { return nil }
+
+// SelectPlan filters its child by a predicate.
+type SelectPlan struct {
+	Pred  Predicate
+	Child Plan
+}
+
+// Signature implements Plan.
+func (p *SelectPlan) Signature() string {
+	return fmt.Sprintf("select[%s](%s)", p.Pred.String(), p.Child.Signature())
+}
+
+// Children implements Plan.
+func (p *SelectPlan) Children() []Plan { return []Plan{p.Child} }
+
+// ProjectPlan projects its child onto the named columns.
+type ProjectPlan struct {
+	Columns []string
+	Child   Plan
+}
+
+// Signature implements Plan.
+func (p *ProjectPlan) Signature() string {
+	return fmt.Sprintf("project[%s](%s)", strings.Join(p.Columns, ","), p.Child.Signature())
+}
+
+// Children implements Plan.
+func (p *ProjectPlan) Children() []Plan { return []Plan{p.Child} }
+
+// ProductPlan is the Cartesian product of its children.
+type ProductPlan struct {
+	Left, Right Plan
+}
+
+// Signature implements Plan.
+func (p *ProductPlan) Signature() string {
+	return fmt.Sprintf("product(%s,%s)", p.Left.Signature(), p.Right.Signature())
+}
+
+// Children implements Plan.
+func (p *ProductPlan) Children() []Plan { return []Plan{p.Left, p.Right} }
+
+// JoinPlan is the equi-join of its children on LeftCol = RightCol.
+type JoinPlan struct {
+	LeftCol, RightCol string
+	Left, Right       Plan
+}
+
+// Signature implements Plan.
+func (p *JoinPlan) Signature() string {
+	return fmt.Sprintf("join[%s=%s](%s,%s)", p.LeftCol, p.RightCol, p.Left.Signature(), p.Right.Signature())
+}
+
+// Children implements Plan.
+func (p *JoinPlan) Children() []Plan { return []Plan{p.Left, p.Right} }
+
+// AggregatePlan computes a single aggregate over its child.
+type AggregatePlan struct {
+	Func   AggFunc
+	Column string
+	Child  Plan
+}
+
+// Signature implements Plan.
+func (p *AggregatePlan) Signature() string {
+	return fmt.Sprintf("agg[%s(%s)](%s)", p.Func, p.Column, p.Child.Signature())
+}
+
+// Children implements Plan.
+func (p *AggregatePlan) Children() []Plan { return []Plan{p.Child} }
+
+// DistinctPlan removes duplicate rows from its child.
+type DistinctPlan struct {
+	Child Plan
+}
+
+// Signature implements Plan.
+func (p *DistinctPlan) Signature() string {
+	return fmt.Sprintf("distinct(%s)", p.Child.Signature())
+}
+
+// Children implements Plan.
+func (p *DistinctPlan) Children() []Plan { return []Plan{p.Child} }
+
+// CountOperators returns the number of operator nodes in the plan tree,
+// excluding leaves (scans and materialized inputs), which matches the paper's
+// notion of "source query operators".
+func CountOperators(p Plan) int {
+	if p == nil {
+		return 0
+	}
+	n := 0
+	switch p.(type) {
+	case *ScanPlan, *MaterialPlan:
+		// leaves are not operators
+	default:
+		n = 1
+	}
+	for _, c := range p.Children() {
+		n += CountOperators(c)
+	}
+	return n
+}
+
+// Executor evaluates plans against an instance, optionally caching results of
+// identical sub-plans (used by the MQO substrate to share common
+// subexpressions) and recording statistics.
+type Executor struct {
+	DB    *Instance
+	Stats *Stats
+	// Cache maps plan signatures to materialized results.  When non-nil,
+	// Execute reuses results for identical sub-plans instead of recomputing
+	// them; cache hits do not count as executed operators.
+	Cache map[string]*Relation
+}
+
+// NewExecutor returns an executor over the instance with a fresh Stats.
+func NewExecutor(db *Instance) *Executor {
+	return &Executor{DB: db, Stats: NewStats()}
+}
+
+// EnableCache turns on common-subexpression result caching.
+func (e *Executor) EnableCache() { e.Cache = make(map[string]*Relation) }
+
+// Execute evaluates the plan and returns its materialized result.
+func (e *Executor) Execute(p Plan) (*Relation, error) {
+	if p == nil {
+		return nil, fmt.Errorf("execute: nil plan")
+	}
+	var sig string
+	if e.Cache != nil {
+		sig = p.Signature()
+		if rel, ok := e.Cache[sig]; ok {
+			return rel, nil
+		}
+	}
+	rel, err := e.executeNode(p)
+	if err != nil {
+		return nil, err
+	}
+	if e.Cache != nil {
+		e.Cache[sig] = rel
+	}
+	return rel, nil
+}
+
+func (e *Executor) executeNode(p Plan) (*Relation, error) {
+	switch n := p.(type) {
+	case *ScanPlan:
+		base := e.DB.Relation(n.Relation)
+		if base == nil {
+			return nil, fmt.Errorf("scan: unknown relation %q", n.Relation)
+		}
+		alias := n.Alias
+		if alias == "" {
+			alias = n.Relation
+		}
+		e.Stats.record("scan", 0, len(base.Rows))
+		return base.QualifyColumns(alias), nil
+	case *MaterialPlan:
+		if n.Rel == nil {
+			return nil, fmt.Errorf("materialized plan %q has nil relation", n.Label)
+		}
+		return n.Rel, nil
+	case *SelectPlan:
+		child, err := e.Execute(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return Select(child, n.Pred, e.Stats)
+	case *ProjectPlan:
+		child, err := e.Execute(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return Project(child, n.Columns, e.Stats)
+	case *ProductPlan:
+		left, err := e.Execute(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.Execute(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		return Product(left, right, e.Stats)
+	case *JoinPlan:
+		left, err := e.Execute(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.Execute(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		return HashJoin(left, right, n.LeftCol, n.RightCol, e.Stats)
+	case *AggregatePlan:
+		child, err := e.Execute(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return Aggregate(child, n.Func, n.Column, e.Stats)
+	case *DistinctPlan:
+		child, err := e.Execute(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return Distinct(child, e.Stats)
+	default:
+		return nil, fmt.Errorf("execute: unsupported plan node %T", p)
+	}
+}

@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is a materialized table: an ordered list of column names and a list
+// of rows.  Column names are usually qualified ("Relation.attr") so that the
+// columns of a Cartesian product remain unambiguous.
+type Relation struct {
+	Name    string
+	Columns []string
+	Rows    []Tuple
+}
+
+// NewRelation creates an empty relation with the given name and columns.
+func NewRelation(name string, columns []string) *Relation {
+	cols := make([]string, len(columns))
+	copy(cols, columns)
+	return &Relation{Name: name, Columns: cols}
+}
+
+// ColumnIndex returns the position of the named column.  The lookup first
+// tries an exact match, then an unqualified suffix match ("attr" matching
+// "Rel.attr") when that suffix is unambiguous.  It returns -1 if not found or
+// ambiguous.
+func (r *Relation) ColumnIndex(name string) int {
+	for i, c := range r.Columns {
+		if c == name {
+			return i
+		}
+	}
+	// Fall back to suffix matching on the unqualified attribute name, but only
+	// when the requested name is itself unqualified.
+	if strings.Contains(name, ".") {
+		return -1
+	}
+	idx := -1
+	for i, c := range r.Columns {
+		if unqualified(c) == name {
+			if idx >= 0 {
+				return -1 // ambiguous
+			}
+			idx = i
+		}
+	}
+	return idx
+}
+
+func unqualified(col string) string {
+	if i := strings.LastIndexByte(col, '.'); i >= 0 {
+		return col[i+1:]
+	}
+	return col
+}
+
+// HasColumn reports whether the column resolves uniquely in the relation.
+func (r *Relation) HasColumn(name string) bool { return r.ColumnIndex(name) >= 0 }
+
+// NumRows returns the number of rows.
+func (r *Relation) NumRows() int { return len(r.Rows) }
+
+// NumColumns returns the number of columns.
+func (r *Relation) NumColumns() int { return len(r.Columns) }
+
+// IsEmpty reports whether the relation has no rows.
+func (r *Relation) IsEmpty() bool { return len(r.Rows) == 0 }
+
+// Append adds a row.  It returns an error if the arity does not match.
+func (r *Relation) Append(t Tuple) error {
+	if len(t) != len(r.Columns) {
+		return fmt.Errorf("relation %s: tuple arity %d does not match %d columns", r.Name, len(t), len(r.Columns))
+	}
+	r.Rows = append(r.Rows, t)
+	return nil
+}
+
+// MustAppend is Append that panics on arity mismatch.
+func (r *Relation) MustAppend(t Tuple) {
+	if err := r.Append(t); err != nil {
+		panic(err)
+	}
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	out := NewRelation(r.Name, r.Columns)
+	out.Rows = make([]Tuple, len(r.Rows))
+	for i, row := range r.Rows {
+		out.Rows[i] = row.Clone()
+	}
+	return out
+}
+
+// Column returns all values of the named column in row order.
+func (r *Relation) Column(name string) ([]Value, error) {
+	idx := r.ColumnIndex(name)
+	if idx < 0 {
+		return nil, fmt.Errorf("relation %s: unknown column %q", r.Name, name)
+	}
+	out := make([]Value, len(r.Rows))
+	for i, row := range r.Rows {
+		out[i] = row[idx]
+	}
+	return out, nil
+}
+
+// SortRows orders the rows by the canonical tuple key; useful for
+// deterministic comparison in tests.
+func (r *Relation) SortRows() {
+	sort.Slice(r.Rows, func(i, j int) bool { return r.Rows[i].Key() < r.Rows[j].Key() })
+}
+
+// String renders a compact textual table (header plus up to 20 rows).
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s[%d rows](%s)", r.Name, len(r.Rows), strings.Join(r.Columns, ", "))
+	limit := len(r.Rows)
+	if limit > 20 {
+		limit = 20
+	}
+	for i := 0; i < limit; i++ {
+		b.WriteString("\n  ")
+		b.WriteString(r.Rows[i].String())
+	}
+	if len(r.Rows) > limit {
+		fmt.Fprintf(&b, "\n  ... (%d more)", len(r.Rows)-limit)
+	}
+	return b.String()
+}
+
+// QualifyColumns returns a copy of the relation whose column names are
+// prefixed with the given relation name (columns already containing a '.' are
+// re-qualified).
+func (r *Relation) QualifyColumns(relName string) *Relation {
+	cols := make([]string, len(r.Columns))
+	for i, c := range r.Columns {
+		cols[i] = relName + "." + unqualified(c)
+	}
+	out := &Relation{Name: relName, Columns: cols, Rows: r.Rows}
+	return out
+}
+
+// Instance is a named database: a set of base relations keyed by relation
+// name.  It is the "source instance D" of the paper.
+type Instance struct {
+	Name      string
+	relations map[string]*Relation
+	order     []string
+}
+
+// NewInstance creates an empty instance.
+func NewInstance(name string) *Instance {
+	return &Instance{Name: name, relations: make(map[string]*Relation)}
+}
+
+// AddRelation registers a base relation.  Re-adding a name replaces the
+// previous relation but keeps its position.
+func (db *Instance) AddRelation(rel *Relation) {
+	if _, ok := db.relations[rel.Name]; !ok {
+		db.order = append(db.order, rel.Name)
+	}
+	db.relations[rel.Name] = rel
+}
+
+// Relation returns the named base relation, or nil.
+func (db *Instance) Relation(name string) *Relation { return db.relations[name] }
+
+// RelationNames returns the base relation names in insertion order.
+func (db *Instance) RelationNames() []string {
+	out := make([]string, len(db.order))
+	copy(out, db.order)
+	return out
+}
+
+// NumRows returns the total number of rows across all base relations.
+func (db *Instance) NumRows() int {
+	n := 0
+	for _, r := range db.relations {
+		n += len(r.Rows)
+	}
+	return n
+}
+
+// SizeBytes estimates the storage footprint of the instance, counting string
+// lengths plus 8 bytes per numeric value.  The experiment harness uses it to
+// express database size in MB as the paper does.
+func (db *Instance) SizeBytes() int {
+	total := 0
+	for _, r := range db.relations {
+		for _, row := range r.Rows {
+			for _, v := range row {
+				switch v.Kind {
+				case KindString:
+					total += len(v.Str)
+				default:
+					total += 8
+				}
+			}
+		}
+	}
+	return total
+}

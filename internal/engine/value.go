@@ -1,0 +1,194 @@
+// Package engine is an in-memory relational algebra engine: typed values,
+// tuples, relations, a named instance (database), predicates, and the physical
+// operators needed by the paper's workloads — selection, projection, Cartesian
+// product, equi-join, duplicate elimination and COUNT/SUM/AVG/MIN/MAX
+// aggregation.  Every operator execution is recorded in a Stats collector so
+// the evaluation algorithms can report how many source operators they ran
+// (Table IV of the paper).
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime types a Value can hold.
+type Kind int
+
+// Value kinds.
+const (
+	KindNull Kind = iota
+	KindString
+	KindInt
+	KindFloat
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Value is a single typed datum.  The zero value is NULL.
+type Value struct {
+	Kind  Kind
+	Str   string
+	Int   int64
+	Float float64
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// S returns a string value.
+func S(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// I returns an integer value.
+func I(i int64) Value { return Value{Kind: KindInt, Int: i} }
+
+// F returns a float value.
+func F(f float64) Value { return Value{Kind: KindFloat, Float: f} }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// AsFloat converts numeric values to float64; strings parse if possible.
+// The second result reports whether the conversion succeeded.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.Int), true
+	case KindFloat:
+		return v.Float, true
+	case KindString:
+		f, err := strconv.ParseFloat(v.Str, 64)
+		return f, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// String renders the value for display and for canonical answer-tuple keys.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "NULL"
+	case KindString:
+		return v.Str
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	default:
+		return "?"
+	}
+}
+
+// Equal reports whether two values are equal.  Numeric values compare by
+// numeric value across int/float kinds; NULL equals only NULL.
+func (v Value) Equal(o Value) bool {
+	if v.Kind == KindNull || o.Kind == KindNull {
+		return v.Kind == KindNull && o.Kind == KindNull
+	}
+	if v.Kind == KindString && o.Kind == KindString {
+		return v.Str == o.Str
+	}
+	vf, vok := v.AsFloat()
+	of, ook := o.AsFloat()
+	if vok && ook {
+		return vf == of
+	}
+	return v.String() == o.String()
+}
+
+// Compare returns -1, 0 or +1 ordering v relative to o.  NULL sorts before
+// everything; strings compare lexicographically; numbers numerically.  Mixed
+// string/number comparisons fall back to string comparison of renderings.
+func (v Value) Compare(o Value) int {
+	if v.Kind == KindNull || o.Kind == KindNull {
+		switch {
+		case v.Kind == KindNull && o.Kind == KindNull:
+			return 0
+		case v.Kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if v.Kind == KindString && o.Kind == KindString {
+		return strings.Compare(v.Str, o.Str)
+	}
+	vf, vok := v.AsFloat()
+	of, ook := o.AsFloat()
+	if vok && ook {
+		switch {
+		case vf < of:
+			return -1
+		case vf > of:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(v.String(), o.String())
+}
+
+// Tuple is an ordered list of values; positions correspond to the owning
+// relation's columns.
+type Tuple []Value
+
+// Key returns a canonical encoding of the tuple used for duplicate detection
+// and probabilistic answer aggregation.  Values are separated by an unlikely
+// delimiter and prefixed by their kind to keep S("1") distinct from I(1).
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte(0x1f)
+		}
+		b.WriteByte(byte('0' + int(v.Kind)))
+		b.WriteByte(':')
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// Equal reports element-wise equality of two tuples.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// String renders the tuple as "(v1, v2, ...)".
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

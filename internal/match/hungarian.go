@@ -1,0 +1,187 @@
+package match
+
+import (
+	"fmt"
+	"math"
+)
+
+// assignmentProblem is a maximum-weight bipartite assignment instance over
+// rows (target attributes) and columns (source attributes).  Weights of
+// negative infinity mark forbidden pairs.  The solver may leave a row
+// unassigned when every remaining column is forbidden or when skipping yields
+// a higher total weight than only non-positive candidates (weights are
+// expected to be positive for real candidate correspondences).
+type assignmentProblem struct {
+	weights [][]float64 // weights[row][col]
+}
+
+var negInf = math.Inf(-1)
+
+// newAssignmentProblem copies the weight matrix.
+func newAssignmentProblem(weights [][]float64) *assignmentProblem {
+	w := make([][]float64, len(weights))
+	for i := range weights {
+		w[i] = make([]float64, len(weights[i]))
+		copy(w[i], weights[i])
+	}
+	return &assignmentProblem{weights: w}
+}
+
+// clone deep-copies the problem.
+func (p *assignmentProblem) clone() *assignmentProblem {
+	return newAssignmentProblem(p.weights)
+}
+
+// forbid marks a (row, col) pair as unusable.
+func (p *assignmentProblem) forbid(row, col int) { p.weights[row][col] = negInf }
+
+// require forces row to be assigned to col by forbidding every alternative in
+// the same row and the same column.
+func (p *assignmentProblem) require(row, col int) {
+	for c := range p.weights[row] {
+		if c != col {
+			p.weights[row][c] = negInf
+		}
+	}
+	for r := range p.weights {
+		if r != row {
+			p.weights[r][col] = negInf
+		}
+	}
+}
+
+// assignment is a solution: assign[row] = col, or -1 when the row is left
+// unassigned.  Weight is the total weight of the assigned pairs.
+type assignment struct {
+	assign []int
+	weight float64
+}
+
+// solve finds a maximum-weight assignment using the Jonker–Volgenant style
+// Hungarian algorithm with potentials (O(n^3)).  Unassignable rows (all
+// candidates forbidden or non-positive) are matched to a dummy column, which
+// appears in the result as -1.
+func (p *assignmentProblem) solve() (*assignment, bool) {
+	nRows := len(p.weights)
+	if nRows == 0 {
+		return &assignment{assign: nil, weight: 0}, true
+	}
+	nCols := len(p.weights[0])
+	// Build a square cost matrix of size n = nRows + nCols: real columns plus
+	// one dummy column per row (cost 0, meaning "leave unassigned"), and dummy
+	// rows so the matrix is square.  Costs are negated weights so the standard
+	// minimisation Hungarian applies.  Forbidden pairs get a huge cost.
+	n := nRows + nCols
+	const bigCost = 1e9
+	cost := make([][]float64, n+1)
+	for i := range cost {
+		cost[i] = make([]float64, n+1)
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			switch {
+			case i <= nRows && j <= nCols:
+				w := p.weights[i-1][j-1]
+				if math.IsInf(w, -1) {
+					cost[i][j] = bigCost
+				} else {
+					cost[i][j] = -w
+				}
+			case i <= nRows && j > nCols:
+				// Dummy column for row i: only the row's own dummy is free so a
+				// row skips at zero gain; other rows' dummies are available at
+				// zero too (they are interchangeable), which is fine.
+				cost[i][j] = 0
+			case i > nRows && j <= nCols:
+				// Dummy row for column j: zero cost (column left unassigned).
+				cost[i][j] = 0
+			default:
+				cost[i][j] = 0
+			}
+		}
+	}
+
+	// Hungarian algorithm with potentials (1-indexed).
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	matchCol := make([]int, n+1) // matchCol[col] = row
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		matchCol[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := matchCol[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0][j] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[matchCol[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if matchCol[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			matchCol[j0] = matchCol[j1]
+			j0 = j1
+		}
+	}
+
+	assign := make([]int, nRows)
+	for i := range assign {
+		assign[i] = -1
+	}
+	total := 0.0
+	feasible := true
+	for j := 1; j <= n; j++ {
+		i := matchCol[j]
+		if i >= 1 && i <= nRows && j <= nCols {
+			w := p.weights[i-1][j-1]
+			if math.IsInf(w, -1) || cost[i][j] >= bigCost {
+				// The solver was forced onto a forbidden pair; treat the row as
+				// unassigned and remember that the constrained problem may be
+				// infeasible for required edges.
+				feasible = false
+				continue
+			}
+			if w <= 0 {
+				// Prefer leaving the row unassigned over a non-positive gain.
+				continue
+			}
+			assign[i-1] = j - 1
+			total += w
+		}
+	}
+	return &assignment{assign: assign, weight: total}, feasible
+}
+
+// String renders the assignment for debugging.
+func (a *assignment) String() string {
+	return fmt.Sprintf("assignment(weight=%.3f, pairs=%v)", a.weight, a.assign)
+}

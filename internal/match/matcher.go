@@ -1,0 +1,118 @@
+package match
+
+import (
+	"fmt"
+
+	"github.com/probdb/urm/internal/schema"
+)
+
+// MatcherOptions configures the lexical schema matcher.
+type MatcherOptions struct {
+	// Threshold is the minimum similarity for a candidate correspondence to be
+	// reported.  Defaults to 0.45, which keeps only plausible pairs while still
+	// producing ambiguous candidates for related attributes.
+	Threshold float64
+	// MaxCandidatesPerTarget caps how many source candidates are kept per
+	// target attribute (highest scores win).  0 means unlimited.
+	MaxCandidatesPerTarget int
+	// Synonyms optionally overrides the built-in synonym table.
+	Synonyms map[string]string
+	// RelationWeight is the contribution of relation-name similarity to the
+	// final score (attribute-name similarity contributes the rest).  Defaults
+	// to 0.2.
+	RelationWeight float64
+}
+
+func (o MatcherOptions) withDefaults() MatcherOptions {
+	if o.Threshold <= 0 {
+		o.Threshold = 0.45
+	}
+	if o.RelationWeight <= 0 {
+		o.RelationWeight = 0.2
+	}
+	if o.Synonyms == nil {
+		o.Synonyms = defaultSynonyms
+	}
+	return o
+}
+
+// Matcher produces scored attribute correspondences between two schemas using
+// composite lexical similarity.  It is the reproduction's stand-in for
+// COMA++: the downstream algorithms only require a scored correspondence set,
+// which this matcher provides with comparable shape (a few dozen candidates,
+// scores in (0,1], some target attributes with several competing candidates).
+type Matcher struct {
+	opts MatcherOptions
+}
+
+// NewMatcher returns a matcher with the given options.
+func NewMatcher(opts MatcherOptions) *Matcher {
+	return &Matcher{opts: opts.withDefaults()}
+}
+
+// Match computes the scored correspondences between the source and target
+// schemas.  The result contains no mappings; use DeriveMappings or
+// BuildMatching to generate them.
+func (m *Matcher) Match(source, target *schema.Schema) *schema.Matching {
+	var corrs []schema.Correspondence
+	for _, tRel := range target.Relations {
+		for _, tCol := range tRel.Columns {
+			tAttr := schema.Attribute{Relation: tRel.Name, Name: tCol.Name}
+			var best []schema.Correspondence
+			for _, sRel := range source.Relations {
+				relSim := NameSimilarityWith(sRel.Name, tRel.Name, m.opts.Synonyms)
+				for _, sCol := range sRel.Columns {
+					attrSim := NameSimilarityWith(sCol.Name, tCol.Name, m.opts.Synonyms)
+					score := (1-m.opts.RelationWeight)*attrSim + m.opts.RelationWeight*relSim
+					if score < m.opts.Threshold {
+						continue
+					}
+					if score > 1 {
+						score = 1
+					}
+					best = append(best, schema.Correspondence{
+						Source: schema.Attribute{Relation: sRel.Name, Name: sCol.Name},
+						Target: tAttr,
+						Score:  score,
+					})
+				}
+			}
+			schema.SortCorrespondences(best)
+			if m.opts.MaxCandidatesPerTarget > 0 && len(best) > m.opts.MaxCandidatesPerTarget {
+				best = best[:m.opts.MaxCandidatesPerTarget]
+			}
+			corrs = append(corrs, best...)
+		}
+	}
+	schema.SortCorrespondences(corrs)
+	return &schema.Matching{Source: source, Target: target, Correspondences: corrs}
+}
+
+// DeriveMappings populates the matching's possible mappings with the top-h
+// assignments derived from its correspondences.
+func DeriveMappings(mt *schema.Matching, h int) error {
+	if mt == nil {
+		return fmt.Errorf("derive mappings: nil matching")
+	}
+	set, err := KBestMappings(mt.Correspondences, KBestOptions{K: h})
+	if err != nil {
+		return fmt.Errorf("derive mappings: %w", err)
+	}
+	mt.Mappings = set
+	return nil
+}
+
+// BuildMatching runs the matcher and derives h possible mappings in one step.
+func BuildMatching(source, target *schema.Schema, opts MatcherOptions, h int) (*schema.Matching, error) {
+	mt := NewMatcher(opts).Match(source, target)
+	if len(mt.Correspondences) == 0 {
+		return nil, fmt.Errorf("matcher found no correspondences between %s and %s", source.Name, target.Name)
+	}
+	if err := DeriveMappings(mt, h); err != nil {
+		return nil, err
+	}
+	if err := mt.Validate(); err != nil {
+		return nil, fmt.Errorf("generated matching is invalid: %w", err)
+	}
+	return mt, nil
+}

@@ -1,0 +1,298 @@
+// Package match provides the schema-matching substrate of the reproduction:
+// a lexical similarity matcher that stands in for COMA++ (which is
+// closed-source) and a k-best bipartite mapping generator (Hungarian
+// assignment plus Murty's algorithm) that derives the set of h possible
+// mappings with probabilities, as described in Sections I–II of the paper and
+// its references [9], [10].
+package match
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits an attribute name into lower-cased word tokens.  It handles
+// camelCase, snake_case, kebab-case and digit boundaries, e.g.
+// "deliverToStreet" -> ["deliver", "to", "street"].
+func Tokenize(name string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	runes := []rune(name)
+	for i, r := range runes {
+		switch {
+		case r == '_' || r == '-' || r == '.' || r == ' ':
+			flush()
+		case unicode.IsUpper(r):
+			// Start of a new camelCase token unless the previous rune was also
+			// upper-case (acronym run).
+			if i > 0 && !unicode.IsUpper(runes[i-1]) {
+				flush()
+			}
+			cur.WriteRune(unicode.ToLower(r))
+		case unicode.IsDigit(r):
+			if i > 0 && !unicode.IsDigit(runes[i-1]) {
+				flush()
+			}
+			cur.WriteRune(r)
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return tokens
+}
+
+// NGrams returns the set of character n-grams of the lower-cased string.
+func NGrams(s string, n int) map[string]bool {
+	s = strings.ToLower(s)
+	grams := make(map[string]bool)
+	if n <= 0 {
+		return grams
+	}
+	if len(s) < n {
+		if s != "" {
+			grams[s] = true
+		}
+		return grams
+	}
+	for i := 0; i+n <= len(s); i++ {
+		grams[s[i:i+n]] = true
+	}
+	return grams
+}
+
+// JaccardStrings computes the Jaccard similarity of two string sets.
+func JaccardStrings(a, b map[string]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for k := range a {
+		if b[k] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// EditDistance returns the Levenshtein distance between two strings.
+func EditDistance(a, b string) int {
+	a, b = strings.ToLower(a), strings.ToLower(b)
+	la, lb := len(a), len(b)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1
+			if cur[j-1]+1 < m {
+				m = cur[j-1] + 1
+			}
+			if prev[j-1]+cost < m {
+				m = prev[j-1] + cost
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[lb]
+}
+
+// EditSimilarity converts edit distance to a similarity in [0,1].
+func EditSimilarity(a, b string) float64 {
+	if a == "" && b == "" {
+		return 1
+	}
+	d := EditDistance(a, b)
+	max := len(a)
+	if len(b) > max {
+		max = len(b)
+	}
+	if max == 0 {
+		return 1
+	}
+	return 1 - float64(d)/float64(max)
+}
+
+// defaultSynonyms maps tokens to canonical concepts so that, for example,
+// "phone" and "telephone" or "addr" and "address" are recognised as related,
+// mimicking the auxiliary thesaurus COMA++ uses.
+var defaultSynonyms = map[string]string{
+	"phone":     "phone",
+	"telephone": "phone",
+	"tel":       "phone",
+	"mobile":    "phone",
+	"fax":       "phone",
+	"addr":      "address",
+	"address":   "address",
+	"street":    "address",
+	"city":      "address",
+	"name":      "name",
+	"cname":     "name",
+	"pname":     "name",
+	"sname":     "name",
+	"firstname": "name",
+	"lastname":  "name",
+	"nation":    "nation",
+	"country":   "nation",
+	"price":     "price",
+	"cost":      "price",
+	"amount":    "price",
+	"total":     "price",
+	"qty":       "quantity",
+	"quantity":  "quantity",
+	"num":       "number",
+	"number":    "number",
+	"no":        "number",
+	"id":        "number",
+	"key":       "number",
+	"date":      "date",
+	"time":      "date",
+	"comment":   "comment",
+	"remark":    "comment",
+	"note":      "comment",
+	"item":      "item",
+	"part":      "item",
+	"product":   "item",
+	"order":     "order",
+	"po":        "order",
+	"purchase":  "order",
+	"customer":  "customer",
+	"cust":      "customer",
+	"person":    "customer",
+	"supplier":  "supplier",
+	"vendor":    "supplier",
+	"ship":      "deliver",
+	"deliver":   "deliver",
+	"delivery":  "deliver",
+	"bill":      "invoice",
+	"invoice":   "invoice",
+	"status":    "status",
+	"priority":  "priority",
+	"segment":   "segment",
+	"balance":   "balance",
+	"account":   "balance",
+	"discount":  "discount",
+	"tax":       "tax",
+	"size":      "size",
+	"type":      "type",
+	"brand":     "brand",
+	"company":   "company",
+	"clerk":     "clerk",
+	"contact":   "contact",
+	"region":    "region",
+	"email":     "email",
+	"mail":      "email",
+}
+
+// synonymOverlap measures the fraction of tokens in a and b that map to a
+// shared canonical concept.
+func synonymOverlap(aTokens, bTokens []string, synonyms map[string]string) float64 {
+	if len(aTokens) == 0 || len(bTokens) == 0 {
+		return 0
+	}
+	conceptsA := make(map[string]bool)
+	for _, t := range aTokens {
+		if c, ok := synonyms[t]; ok {
+			conceptsA[c] = true
+		}
+	}
+	conceptsB := make(map[string]bool)
+	for _, t := range bTokens {
+		if c, ok := synonyms[t]; ok {
+			conceptsB[c] = true
+		}
+	}
+	if len(conceptsA) == 0 || len(conceptsB) == 0 {
+		return 0
+	}
+	return JaccardStrings(conceptsA, conceptsB)
+}
+
+// tokenSet converts a token slice to a set.
+func tokenSet(tokens []string) map[string]bool {
+	s := make(map[string]bool, len(tokens))
+	for _, t := range tokens {
+		s[t] = true
+	}
+	return s
+}
+
+// NameSimilarity is the composite lexical similarity between two attribute
+// names: a weighted blend of token Jaccard, trigram Jaccard, edit similarity
+// and synonym-concept overlap.  It approximates the combined matcher score
+// COMA++ produces for a candidate correspondence.
+func NameSimilarity(a, b string) float64 {
+	return NameSimilarityWith(a, b, defaultSynonyms)
+}
+
+// NameSimilarityWith is NameSimilarity with a caller-provided synonym table.
+func NameSimilarityWith(a, b string, synonyms map[string]string) float64 {
+	if strings.EqualFold(a, b) {
+		return 1
+	}
+	ta, tb := Tokenize(a), Tokenize(b)
+	token := JaccardStrings(tokenSet(ta), tokenSet(tb))
+	gram := JaccardStrings(NGrams(a, 3), NGrams(b, 3))
+	edit := EditSimilarity(a, b)
+	syn := synonymOverlap(ta, tb, synonyms)
+	blend := 0.30*token + 0.25*gram + 0.20*edit + 0.25*syn
+
+	// COMA-style combination: a strong signal from a single matcher (substring
+	// containment such as "ophone"/"phone", or synonym-concept agreement such
+	// as "mobile"/"phone") should dominate a mediocre blend.
+	score := blend
+	if c := 0.80 * containment(a, b); c > score {
+		score = c
+	}
+	if s := 0.70 * syn; s > score {
+		score = s
+	}
+	if score > 1 {
+		score = 1
+	}
+	if score < 0 {
+		score = 0
+	}
+	return score
+}
+
+// containment measures substring containment between the lower-cased names:
+// if one contains the other it returns len(shorter)/len(longer), else 0.
+func containment(a, b string) float64 {
+	la, lb := strings.ToLower(a), strings.ToLower(b)
+	if la == "" || lb == "" {
+		return 0
+	}
+	shorter, longer := la, lb
+	if len(shorter) > len(longer) {
+		shorter, longer = longer, shorter
+	}
+	if strings.Contains(longer, shorter) {
+		return float64(len(shorter)) / float64(len(longer))
+	}
+	return 0
+}

@@ -1,0 +1,119 @@
+package mqo
+
+import (
+	"testing"
+
+	"github.com/probdb/urm/internal/engine"
+)
+
+func testDB() *engine.Instance {
+	db := engine.NewInstance("D")
+	r := engine.NewRelation("R", []string{"a", "b"})
+	r.MustAppend(engine.Tuple{engine.S("x"), engine.I(1)})
+	r.MustAppend(engine.Tuple{engine.S("y"), engine.I(2)})
+	r.MustAppend(engine.Tuple{engine.S("x"), engine.I(3)})
+	db.AddRelation(r)
+	return db
+}
+
+func selPlan(col, val string, projCol string) engine.Plan {
+	return &engine.ProjectPlan{
+		Columns: []string{projCol},
+		Child: &engine.SelectPlan{
+			Pred:  engine.Eq(col, engine.S(val)),
+			Child: &engine.ScanPlan{Relation: "R", Alias: "R.R"},
+		},
+	}
+}
+
+func TestOptimizeFindsSharedSubexpressions(t *testing.T) {
+	p1 := selPlan("R.R.a", "x", "R.R.a")
+	p2 := selPlan("R.R.a", "x", "R.R.b") // shares the select+scan subtree
+	p3 := selPlan("R.R.a", "y", "R.R.a") // different selection
+	plan, err := Optimize([]engine.Plan{p1, p2, p3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Queries) != 3 {
+		t.Fatalf("queries = %d, want 3", len(plan.Queries))
+	}
+	if len(plan.SharedSignatures) == 0 {
+		t.Error("expected shared subexpressions between p1 and p2")
+	}
+	if plan.TotalOperators != 6 {
+		t.Errorf("naive operators = %d, want 6", plan.TotalOperators)
+	}
+	// Optimal: 3 projects + 2 distinct selects = 5.
+	if plan.OptimalOperators != 5 {
+		t.Errorf("optimal operators = %d, want 5", plan.OptimalOperators)
+	}
+	if plan.PlanningSteps == 0 {
+		t.Error("plan search should record pairwise comparisons")
+	}
+}
+
+func TestExecuteSharesWork(t *testing.T) {
+	db := testDB()
+	p1 := selPlan("R.R.a", "x", "R.R.a")
+	p2 := selPlan("R.R.a", "x", "R.R.b")
+	plan, err := Optimize([]engine.Plan{p1, p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := engine.NewStats()
+	rels, err := plan.Execute(db, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rels) != 2 {
+		t.Fatalf("results = %d, want 2", len(rels))
+	}
+	for _, rel := range rels {
+		if rel.NumRows() != 2 {
+			t.Errorf("expected 2 matching rows, got %d", rel.NumRows())
+		}
+	}
+	// The shared select executes once thanks to the cache.
+	if stats.Operators["select"] != 1 {
+		t.Errorf("select executed %d times, want 1", stats.Operators["select"])
+	}
+	if stats.Operators["project"] != 2 {
+		t.Errorf("project executed %d times, want 2", stats.Operators["project"])
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	if _, err := Optimize(nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := Optimize([]engine.Plan{nil}); err == nil {
+		t.Error("nil plan should error")
+	}
+}
+
+func TestPlanningCostGrowsSuperLinearly(t *testing.T) {
+	build := func(n int) []engine.Plan {
+		plans := make([]engine.Plan, n)
+		for i := range plans {
+			plans[i] = selPlan("R.R.a", string(rune('a'+i%26))+"v", "R.R.a")
+		}
+		return plans
+	}
+	small, err := Optimize(build(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Optimize(build(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4x the queries should cost much more than 4x the planning steps
+	// (roughly cubic growth).
+	if large.PlanningSteps < 16*small.PlanningSteps {
+		t.Errorf("planning cost grew too slowly: %d -> %d", small.PlanningSteps, large.PlanningSteps)
+	}
+	if large.PlanningSteps <= small.PlanningSteps {
+		t.Error("planning cost should grow with the number of queries")
+	}
+	_ = engine.CountOperators(small.Queries[0])
+}

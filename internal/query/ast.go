@@ -1,0 +1,460 @@
+// Package query models target queries — relational algebra expressions over
+// the target schema — and their reformulation into source-query plans through
+// a possible mapping, following Section III (query model) and Section VI-B
+// (operator reformulation) of the paper.
+//
+// A Query is a tree of operators (selection, projection, Cartesian product,
+// aggregation) whose leaves are aliased scans of target relations.  Attribute
+// references are (alias, attribute-name) pairs so that self-joins such as
+// Q3/Q4 in Table III can reference several occurrences of the same target
+// relation.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/schema"
+)
+
+// AttrRef references a target attribute through the alias of a relation
+// occurrence in the query ("PO1.orderNum").  An empty Alias means the
+// reference is unqualified and resolves against the single relation occurrence
+// that has such an attribute.
+type AttrRef struct {
+	Alias string
+	Name  string
+}
+
+// String renders the reference.
+func (r AttrRef) String() string {
+	if r.Alias == "" {
+		return r.Name
+	}
+	return r.Alias + "." + r.Name
+}
+
+// IsZero reports whether the reference is empty.
+func (r AttrRef) IsZero() bool { return r.Alias == "" && r.Name == "" }
+
+// Ref builds an AttrRef.
+func Ref(alias, name string) AttrRef { return AttrRef{Alias: alias, Name: name} }
+
+// Node is an operator of a target query tree.
+type Node interface {
+	// Children returns the child operators.
+	Children() []Node
+	// String renders the node (and its subtree) in algebra notation.
+	String() string
+}
+
+// Scan is a leaf: one occurrence of a target relation under an alias.
+type Scan struct {
+	Relation string
+	Alias    string
+}
+
+// Children implements Node.
+func (s *Scan) Children() []Node { return nil }
+
+// String implements Node.
+func (s *Scan) String() string {
+	if s.Alias != "" && s.Alias != s.Relation {
+		return fmt.Sprintf("%s AS %s", s.Relation, s.Alias)
+	}
+	return s.Relation
+}
+
+// AliasName returns the effective alias of the scan.
+func (s *Scan) AliasName() string {
+	if s.Alias != "" {
+		return s.Alias
+	}
+	return s.Relation
+}
+
+// Select filters its child by comparing a target attribute with a constant.
+type Select struct {
+	Ref   AttrRef
+	Op    engine.CompareOp
+	Value engine.Value
+	Child Node
+}
+
+// Children implements Node.
+func (s *Select) Children() []Node { return []Node{s.Child} }
+
+// String implements Node.
+func (s *Select) String() string {
+	return fmt.Sprintf("σ[%s%s%s](%s)", s.Ref, s.Op, s.Value, s.Child)
+}
+
+// JoinSelect filters its child by comparing two target attributes (the join
+// condition of an equi/theta join expressed over a Cartesian product).
+type JoinSelect struct {
+	Left  AttrRef
+	Op    engine.CompareOp
+	Right AttrRef
+	Child Node
+}
+
+// Children implements Node.
+func (s *JoinSelect) Children() []Node { return []Node{s.Child} }
+
+// String implements Node.
+func (s *JoinSelect) String() string {
+	return fmt.Sprintf("σ[%s%s%s](%s)", s.Left, s.Op, s.Right, s.Child)
+}
+
+// Project restricts its child to the referenced target attributes.
+type Project struct {
+	Refs  []AttrRef
+	Child Node
+}
+
+// Children implements Node.
+func (p *Project) Children() []Node { return []Node{p.Child} }
+
+// String implements Node.
+func (p *Project) String() string {
+	parts := make([]string, len(p.Refs))
+	for i, r := range p.Refs {
+		parts[i] = r.String()
+	}
+	return fmt.Sprintf("π[%s](%s)", strings.Join(parts, ","), p.Child)
+}
+
+// Product is the Cartesian product of its children.
+type Product struct {
+	Left, Right Node
+}
+
+// Children implements Node.
+func (p *Product) Children() []Node { return []Node{p.Left, p.Right} }
+
+// String implements Node.
+func (p *Product) String() string { return fmt.Sprintf("(%s × %s)", p.Left, p.Right) }
+
+// Aggregate computes COUNT, SUM, AVG, MIN or MAX over its child.  Ref is
+// ignored for COUNT.
+type Aggregate struct {
+	Func  engine.AggFunc
+	Ref   AttrRef
+	Child Node
+}
+
+// Children implements Node.
+func (a *Aggregate) Children() []Node { return []Node{a.Child} }
+
+// String implements Node.
+func (a *Aggregate) String() string {
+	return fmt.Sprintf("%s[%s](%s)", a.Func, a.Ref, a.Child)
+}
+
+// Query is a complete target query: a root operator plus the target schema it
+// is written against.
+type Query struct {
+	// Name is an optional label ("Q4") used in experiment output.
+	Name string
+	// Target is the target schema the query is expressed over.
+	Target *schema.Schema
+	// Root is the root operator.
+	Root Node
+}
+
+// String renders the query.
+func (q *Query) String() string {
+	if q.Name != "" {
+		return q.Name + ": " + q.Root.String()
+	}
+	return q.Root.String()
+}
+
+// Scans returns every relation occurrence (leaf) in the query, left to right.
+func (q *Query) Scans() []*Scan {
+	var scans []*Scan
+	walk(q.Root, func(n Node) {
+		if s, ok := n.(*Scan); ok {
+			scans = append(scans, s)
+		}
+	})
+	return scans
+}
+
+// Aliases returns a map from alias to target relation name.
+func (q *Query) Aliases() map[string]string {
+	out := make(map[string]string)
+	for _, s := range q.Scans() {
+		out[s.AliasName()] = s.Relation
+	}
+	return out
+}
+
+// Operators returns every non-leaf operator node in the query in pre-order.
+func (q *Query) Operators() []Node {
+	var ops []Node
+	walk(q.Root, func(n Node) {
+		if _, ok := n.(*Scan); !ok {
+			ops = append(ops, n)
+		}
+	})
+	return ops
+}
+
+// NumOperators returns the number of non-leaf operators (the paper's l).
+func (q *Query) NumOperators() int { return len(q.Operators()) }
+
+func walk(n Node, fn func(Node)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children() {
+		walk(c, fn)
+	}
+}
+
+// ResolveRef resolves an attribute reference to the base target attribute it
+// denotes, using the query's aliases.  Unqualified references resolve if
+// exactly one relation occurrence has the attribute.
+func (q *Query) ResolveRef(r AttrRef) (schema.Attribute, error) {
+	aliases := q.Aliases()
+	if r.Alias != "" {
+		rel, ok := aliases[r.Alias]
+		if !ok {
+			return schema.Attribute{}, fmt.Errorf("query %s: unknown alias %q in reference %s", q.Name, r.Alias, r)
+		}
+		attr := schema.Attribute{Relation: rel, Name: r.Name}
+		if q.Target != nil && !q.Target.HasAttribute(attr) {
+			return schema.Attribute{}, fmt.Errorf("query %s: attribute %s not in target schema", q.Name, attr)
+		}
+		return attr, nil
+	}
+	var found schema.Attribute
+	matches := 0
+	// Deterministic iteration over aliases.
+	names := make([]string, 0, len(aliases))
+	for a := range aliases {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	for _, a := range names {
+		rel := aliases[a]
+		attr := schema.Attribute{Relation: rel, Name: r.Name}
+		if q.Target == nil || q.Target.HasAttribute(attr) {
+			found = attr
+			matches++
+		}
+	}
+	switch matches {
+	case 1:
+		return found, nil
+	case 0:
+		return schema.Attribute{}, fmt.Errorf("query %s: attribute %q not found in any relation occurrence", q.Name, r.Name)
+	default:
+		return schema.Attribute{}, fmt.Errorf("query %s: attribute %q is ambiguous across relation occurrences", q.Name, r.Name)
+	}
+}
+
+// qualifyRef returns the reference with its alias filled in (resolving
+// unqualified references against the query's aliases).
+func (q *Query) qualifyRef(r AttrRef) (AttrRef, error) {
+	if r.Alias != "" {
+		if _, err := q.ResolveRef(r); err != nil {
+			return AttrRef{}, err
+		}
+		return r, nil
+	}
+	aliases := q.Aliases()
+	names := make([]string, 0, len(aliases))
+	for a := range aliases {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	var out AttrRef
+	matches := 0
+	for _, a := range names {
+		rel := aliases[a]
+		attr := schema.Attribute{Relation: rel, Name: r.Name}
+		if q.Target == nil || q.Target.HasAttribute(attr) {
+			out = AttrRef{Alias: a, Name: r.Name}
+			matches++
+		}
+	}
+	switch matches {
+	case 1:
+		return out, nil
+	case 0:
+		return AttrRef{}, fmt.Errorf("query %s: attribute %q not found", q.Name, r.Name)
+	default:
+		return AttrRef{}, fmt.Errorf("query %s: attribute %q is ambiguous", q.Name, r.Name)
+	}
+}
+
+// NodeRefs returns the attribute references used directly by a single operator
+// node (not including its subtree).
+func NodeRefs(n Node) []AttrRef {
+	switch op := n.(type) {
+	case *Select:
+		return []AttrRef{op.Ref}
+	case *JoinSelect:
+		return []AttrRef{op.Left, op.Right}
+	case *Project:
+		out := make([]AttrRef, len(op.Refs))
+		copy(out, op.Refs)
+		return out
+	case *Aggregate:
+		if op.Func == engine.AggCount || op.Ref.IsZero() {
+			return nil
+		}
+		return []AttrRef{op.Ref}
+	default:
+		return nil
+	}
+}
+
+// NodeAttributes resolves the target attributes referenced directly by the
+// operator, de-duplicated, in reference order.
+func (q *Query) NodeAttributes(n Node) ([]schema.Attribute, error) {
+	refs := NodeRefs(n)
+	var out []schema.Attribute
+	seen := make(map[schema.Attribute]bool)
+	for _, r := range refs {
+		attr, err := q.ResolveRef(r)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[attr] {
+			seen[attr] = true
+			out = append(out, attr)
+		}
+	}
+	return out, nil
+}
+
+// TargetAttributes returns the distinct base target attributes referenced
+// anywhere in the query, in first-use (pre-order) order.  The partition tree
+// of q-sharing has one level per element of this list.
+func (q *Query) TargetAttributes() ([]schema.Attribute, error) {
+	var out []schema.Attribute
+	seen := make(map[schema.Attribute]bool)
+	var firstErr error
+	walk(q.Root, func(n Node) {
+		if firstErr != nil {
+			return
+		}
+		attrs, err := q.NodeAttributes(n)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		for _, a := range attrs {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	})
+	return out, firstErr
+}
+
+// AttributesForAlias returns the distinct attribute names referenced anywhere
+// in the query for the given relation occurrence (alias).
+func (q *Query) AttributesForAlias(alias string) ([]string, error) {
+	aliases := q.Aliases()
+	rel, ok := aliases[alias]
+	if !ok {
+		return nil, fmt.Errorf("query %s: unknown alias %q", q.Name, alias)
+	}
+	var out []string
+	seen := make(map[string]bool)
+	var firstErr error
+	walk(q.Root, func(n Node) {
+		if firstErr != nil {
+			return
+		}
+		for _, r := range NodeRefs(n) {
+			qr, err := q.qualifyRef(r)
+			if err != nil {
+				firstErr = err
+				return
+			}
+			if qr.Alias != alias {
+				continue
+			}
+			if !seen[qr.Name] {
+				seen[qr.Name] = true
+				out = append(out, qr.Name)
+			}
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	_ = rel
+	return out, nil
+}
+
+// Validate checks that every alias is unique, every reference resolves and
+// every referenced attribute exists in the target schema.
+func (q *Query) Validate() error {
+	if q.Root == nil {
+		return fmt.Errorf("query %s: nil root", q.Name)
+	}
+	if q.Target == nil {
+		return fmt.Errorf("query %s: nil target schema", q.Name)
+	}
+	seen := make(map[string]bool)
+	for _, s := range q.Scans() {
+		if q.Target.Relation(s.Relation) == nil {
+			return fmt.Errorf("query %s: unknown target relation %q", q.Name, s.Relation)
+		}
+		a := s.AliasName()
+		if seen[a] {
+			return fmt.Errorf("query %s: duplicate alias %q", q.Name, a)
+		}
+		seen[a] = true
+	}
+	var err error
+	walk(q.Root, func(n Node) {
+		if err != nil {
+			return
+		}
+		if _, e := q.NodeAttributes(n); e != nil {
+			err = e
+		}
+	})
+	return err
+}
+
+// Clone returns a deep copy of the query tree (the target schema is shared).
+func (q *Query) Clone() *Query {
+	return &Query{Name: q.Name, Target: q.Target, Root: CloneNode(q.Root)}
+}
+
+// CloneNode deep-copies a query subtree.
+func CloneNode(n Node) Node {
+	switch op := n.(type) {
+	case nil:
+		return nil
+	case *Scan:
+		c := *op
+		return &c
+	case *Select:
+		return &Select{Ref: op.Ref, Op: op.Op, Value: op.Value, Child: CloneNode(op.Child)}
+	case *JoinSelect:
+		return &JoinSelect{Left: op.Left, Op: op.Op, Right: op.Right, Child: CloneNode(op.Child)}
+	case *Project:
+		refs := make([]AttrRef, len(op.Refs))
+		copy(refs, op.Refs)
+		return &Project{Refs: refs, Child: CloneNode(op.Child)}
+	case *Product:
+		return &Product{Left: CloneNode(op.Left), Right: CloneNode(op.Right)}
+	case *Aggregate:
+		return &Aggregate{Func: op.Func, Ref: op.Ref, Child: CloneNode(op.Child)}
+	default:
+		panic(fmt.Sprintf("query: unknown node type %T", n))
+	}
+}

@@ -1,0 +1,216 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/schema"
+)
+
+// ErrNotCovered is returned when a mapping lacks a correspondence for a target
+// attribute the query needs.  Under such a mapping the query has no answer;
+// the evaluation algorithms assign the mapping's probability to the empty
+// result.
+var ErrNotCovered = errors.New("mapping does not cover a target attribute required by the query")
+
+// Reformulator translates target queries into source-query plans through a
+// possible mapping (the query-reformulation step of Section III, with the
+// per-operator rules of Section VI-B).
+type Reformulator struct {
+	Query *Query
+}
+
+// NewReformulator returns a reformulator for the query.
+func NewReformulator(q *Query) *Reformulator { return &Reformulator{Query: q} }
+
+// SourceAttribute resolves a target attribute reference to the source
+// attribute assigned by the mapping.
+func (r *Reformulator) SourceAttribute(m *schema.Mapping, ref AttrRef) (schema.Attribute, error) {
+	target, err := r.Query.ResolveRef(ref)
+	if err != nil {
+		return schema.Attribute{}, err
+	}
+	src, ok := m.SourceFor(target)
+	if !ok {
+		return schema.Attribute{}, fmt.Errorf("%w: %s under mapping %s", ErrNotCovered, target, m.ID)
+	}
+	return src, nil
+}
+
+// SourceColumn returns the engine column name that the reference denotes in
+// the reformulated plan: "<alias>.<source relation>.<source attribute>".
+// The alias prefix keeps several occurrences of the same source relation
+// (self-joins) distinguishable.
+func (r *Reformulator) SourceColumn(m *schema.Mapping, ref AttrRef) (string, error) {
+	qref, err := r.Query.qualifyRef(ref)
+	if err != nil {
+		return "", err
+	}
+	src, err := r.SourceAttribute(m, qref)
+	if err != nil {
+		return "", err
+	}
+	return qref.Alias + "." + src.Relation + "." + src.Name, nil
+}
+
+// SourceRelationsForAlias returns the minimal set of source relations that
+// cover, under the mapping, every target attribute the query references
+// through the given relation occurrence.  The result is sorted for
+// determinism.
+func (r *Reformulator) SourceRelationsForAlias(m *schema.Mapping, alias string) ([]string, error) {
+	attrNames, err := r.Query.AttributesForAlias(alias)
+	if err != nil {
+		return nil, err
+	}
+	relName := r.Query.Aliases()[alias]
+	seen := make(map[string]bool)
+	var rels []string
+	for _, name := range attrNames {
+		target := schema.Attribute{Relation: relName, Name: name}
+		src, ok := m.SourceFor(target)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s under mapping %s", ErrNotCovered, target, m.ID)
+		}
+		if !seen[src.Relation] {
+			seen[src.Relation] = true
+			rels = append(rels, src.Relation)
+		}
+	}
+	if len(rels) == 0 {
+		// The occurrence is never referenced by an attribute (e.g. COUNT(*)
+		// over a bare relation): fall back to the source relations of every
+		// correspondence the mapping has for the target relation.
+		for _, c := range m.Correspondences {
+			if c.Target.Relation == relName && !seen[c.Source.Relation] {
+				seen[c.Source.Relation] = true
+				rels = append(rels, c.Source.Relation)
+			}
+		}
+		sort.Strings(rels)
+		if len(rels) > 1 {
+			rels = rels[:1]
+		}
+	}
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("%w: relation %s under mapping %s", ErrNotCovered, relName, m.ID)
+	}
+	sort.Strings(rels)
+	return rels, nil
+}
+
+// LeafPlan builds the source plan that replaces one target relation
+// occurrence: the Cartesian product of the covering source relations, each
+// scanned under an alias-qualified name.
+func (r *Reformulator) LeafPlan(m *schema.Mapping, alias string) (engine.Plan, error) {
+	rels, err := r.SourceRelationsForAlias(m, alias)
+	if err != nil {
+		return nil, err
+	}
+	var plan engine.Plan
+	for _, rel := range rels {
+		scan := &engine.ScanPlan{Relation: rel, Alias: alias + "." + rel}
+		if plan == nil {
+			plan = scan
+		} else {
+			plan = &engine.ProductPlan{Left: plan, Right: scan}
+		}
+	}
+	return plan, nil
+}
+
+// Reformulate translates the whole target query into a source plan under the
+// mapping.  It returns ErrNotCovered (wrapped) when the mapping cannot answer
+// the query.
+func (r *Reformulator) Reformulate(m *schema.Mapping) (engine.Plan, error) {
+	return r.reformulateNode(r.Query.Root, m)
+}
+
+func (r *Reformulator) reformulateNode(n Node, m *schema.Mapping) (engine.Plan, error) {
+	switch op := n.(type) {
+	case *Scan:
+		return r.LeafPlan(m, op.AliasName())
+	case *Select:
+		child, err := r.reformulateNode(op.Child, m)
+		if err != nil {
+			return nil, err
+		}
+		col, err := r.SourceColumn(m, op.Ref)
+		if err != nil {
+			return nil, err
+		}
+		return &engine.SelectPlan{
+			Pred:  &engine.ConstPredicate{Column: col, Op: op.Op, Value: op.Value},
+			Child: child,
+		}, nil
+	case *JoinSelect:
+		child, err := r.reformulateNode(op.Child, m)
+		if err != nil {
+			return nil, err
+		}
+		left, err := r.SourceColumn(m, op.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := r.SourceColumn(m, op.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &engine.SelectPlan{
+			Pred:  &engine.ColPredicate{Left: left, Op: op.Op, Right: right},
+			Child: child,
+		}, nil
+	case *Project:
+		child, err := r.reformulateNode(op.Child, m)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]string, len(op.Refs))
+		for i, ref := range op.Refs {
+			col, err := r.SourceColumn(m, ref)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = col
+		}
+		return &engine.ProjectPlan{Columns: cols, Child: child}, nil
+	case *Product:
+		left, err := r.reformulateNode(op.Left, m)
+		if err != nil {
+			return nil, err
+		}
+		right, err := r.reformulateNode(op.Right, m)
+		if err != nil {
+			return nil, err
+		}
+		return &engine.ProductPlan{Left: left, Right: right}, nil
+	case *Aggregate:
+		child, err := r.reformulateNode(op.Child, m)
+		if err != nil {
+			return nil, err
+		}
+		col := ""
+		if op.Func != engine.AggCount && !op.Ref.IsZero() {
+			c, err := r.SourceColumn(m, op.Ref)
+			if err != nil {
+				return nil, err
+			}
+			col = c
+		}
+		return &engine.AggregatePlan{Func: op.Func, Column: col, Child: child}, nil
+	default:
+		return nil, fmt.Errorf("reformulate: unsupported node type %T", n)
+	}
+}
+
+// SourceSignature returns the canonical signature of the source query the
+// mapping produces for this target query, or "" with ErrNotCovered when the
+// mapping does not cover it.  e-basic clusters mappings by this signature.
+func (r *Reformulator) SourceSignature(m *schema.Mapping) (string, error) {
+	plan, err := r.Reformulate(m)
+	if err != nil {
+		return "", err
+	}
+	return plan.Signature(), nil
+}

@@ -1,0 +1,288 @@
+package schema
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func demoSchema(t *testing.T) *Schema {
+	t.Helper()
+	s := NewSchema("Src")
+	s.MustAddRelation(&RelationSchema{
+		Name: "Customer",
+		Columns: []Column{
+			{Name: "cid", Type: TypeInt},
+			{Name: "cname", Type: TypeString},
+			{Name: "ophone", Type: TypeString},
+			{Name: "hphone", Type: TypeString},
+			{Name: "oaddr", Type: TypeString},
+			{Name: "haddr", Type: TypeString},
+		},
+	})
+	s.MustAddRelation(&RelationSchema{
+		Name: "C_Order",
+		Columns: []Column{
+			{Name: "oid", Type: TypeInt},
+			{Name: "cid", Type: TypeInt},
+			{Name: "amount", Type: TypeFloat},
+		},
+	})
+	return s
+}
+
+func TestSchemaAddRelationDuplicate(t *testing.T) {
+	s := NewSchema("S")
+	if err := s.AddRelation(&RelationSchema{Name: "R", Columns: []Column{{Name: "a"}}}); err != nil {
+		t.Fatalf("first AddRelation: %v", err)
+	}
+	if err := s.AddRelation(&RelationSchema{Name: "R", Columns: []Column{{Name: "b"}}}); err == nil {
+		t.Fatal("expected error adding duplicate relation")
+	}
+	if err := s.AddRelation(&RelationSchema{Name: "Q", Columns: []Column{{Name: "a"}, {Name: "a"}}}); err == nil {
+		t.Fatal("expected error adding relation with duplicate column")
+	}
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := demoSchema(t)
+	if got := s.NumAttributes(); got != 9 {
+		t.Fatalf("NumAttributes = %d, want 9", got)
+	}
+	if !s.HasAttribute(Attribute{Relation: "Customer", Name: "ophone"}) {
+		t.Error("expected Customer.ophone to exist")
+	}
+	if s.HasAttribute(Attribute{Relation: "Customer", Name: "missing"}) {
+		t.Error("did not expect Customer.missing")
+	}
+	typ, ok := s.AttributeType(Attribute{Relation: "C_Order", Name: "amount"})
+	if !ok || typ != TypeFloat {
+		t.Errorf("AttributeType(amount) = %v,%v; want float,true", typ, ok)
+	}
+	if _, ok := s.AttributeType(Attribute{Relation: "Nope", Name: "x"}); ok {
+		t.Error("AttributeType on missing relation should report false")
+	}
+	if rel := s.RelationOf(Attribute{Relation: "Customer", Name: "cid"}); rel == nil || rel.Name != "Customer" {
+		t.Errorf("RelationOf = %v, want Customer", rel)
+	}
+	if got := len(s.Attributes()); got != 9 {
+		t.Errorf("Attributes() length = %d, want 9", got)
+	}
+	if !strings.Contains(s.String(), "Customer(") {
+		t.Errorf("String() = %q lacks relation name", s.String())
+	}
+}
+
+func TestSchemaClone(t *testing.T) {
+	s := demoSchema(t)
+	c := s.Clone()
+	c.Relation("Customer").Columns[0].Name = "changed"
+	if s.Relation("Customer").Columns[0].Name != "cid" {
+		t.Error("Clone is not deep: mutation leaked to original")
+	}
+	if c.NumAttributes() != s.NumAttributes() {
+		t.Error("Clone changed attribute count")
+	}
+}
+
+func attr(rel, name string) Attribute { return Attribute{Relation: rel, Name: name} }
+
+func TestMappingOneToOneValidation(t *testing.T) {
+	corrs := []Correspondence{
+		{Source: attr("Customer", "cname"), Target: attr("Person", "pname"), Score: 0.85},
+		{Source: attr("Customer", "ophone"), Target: attr("Person", "phone"), Score: 0.85},
+	}
+	if _, err := NewMapping("m1", corrs, 0.5); err != nil {
+		t.Fatalf("valid mapping rejected: %v", err)
+	}
+	dupTarget := append(corrs[:1:1], Correspondence{Source: attr("Customer", "hphone"), Target: attr("Person", "pname"), Score: 0.2})
+	if _, err := NewMapping("m2", dupTarget, 0.5); err == nil {
+		t.Error("expected error for duplicate target attribute")
+	}
+	dupSource := append(corrs[:1:1], Correspondence{Source: attr("Customer", "cname"), Target: attr("Person", "phone"), Score: 0.2})
+	if _, err := NewMapping("m3", dupSource, 0.5); err == nil {
+		t.Error("expected error for duplicate source attribute")
+	}
+}
+
+func TestMappingLookupAndSignature(t *testing.T) {
+	m := MustNewMapping("m1", []Correspondence{
+		{Source: attr("Customer", "cname"), Target: attr("Person", "pname"), Score: 0.85},
+		{Source: attr("Customer", "oaddr"), Target: attr("Person", "addr"), Score: 0.75},
+	}, 0.3)
+	src, ok := m.SourceFor(attr("Person", "addr"))
+	if !ok || src != attr("Customer", "oaddr") {
+		t.Errorf("SourceFor(addr) = %v,%v", src, ok)
+	}
+	if _, ok := m.SourceFor(attr("Person", "gender")); ok {
+		t.Error("SourceFor(gender) should be absent")
+	}
+	if !m.Covers([]Attribute{attr("Person", "pname"), attr("Person", "addr")}) {
+		t.Error("Covers should be true")
+	}
+	if m.Covers([]Attribute{attr("Person", "pname"), attr("Person", "gender")}) {
+		t.Error("Covers should be false for gender")
+	}
+	m2 := MustNewMapping("m2", []Correspondence{
+		{Source: attr("Customer", "oaddr"), Target: attr("Person", "addr"), Score: 0.10},
+		{Source: attr("Customer", "cname"), Target: attr("Person", "pname"), Score: 0.20},
+	}, 0.2)
+	if m.Signature() != m2.Signature() {
+		t.Errorf("signatures differ for same correspondence sets:\n%s\n%s", m.Signature(), m2.Signature())
+	}
+	proj := []Attribute{attr("Person", "addr")}
+	if m.ProjectedSignature(proj) != m2.ProjectedSignature(proj) {
+		t.Error("projected signatures should match")
+	}
+	m3 := MustNewMapping("m3", []Correspondence{
+		{Source: attr("Customer", "haddr"), Target: attr("Person", "addr"), Score: 0.65},
+		{Source: attr("Customer", "cname"), Target: attr("Person", "pname"), Score: 0.20},
+	}, 0.5)
+	if m.ProjectedSignature(proj) == m3.ProjectedSignature(proj) {
+		t.Error("projected signatures should differ when addr maps differently")
+	}
+	if m.TotalScore() != 0.85+0.75 {
+		t.Errorf("TotalScore = %g", m.TotalScore())
+	}
+}
+
+func TestORatio(t *testing.T) {
+	m1 := MustNewMapping("m1", []Correspondence{
+		{Source: attr("C", "a"), Target: attr("T", "x"), Score: 1},
+		{Source: attr("C", "b"), Target: attr("T", "y"), Score: 1},
+		{Source: attr("C", "c"), Target: attr("T", "z"), Score: 1},
+	}, 0.5)
+	m2 := MustNewMapping("m2", []Correspondence{
+		{Source: attr("C", "a"), Target: attr("T", "x"), Score: 1},
+		{Source: attr("C", "b"), Target: attr("T", "y"), Score: 1},
+		{Source: attr("C", "d"), Target: attr("T", "z"), Score: 1},
+	}, 0.5)
+	got := ORatio(m1, m2)
+	want := 2.0 / 4.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("ORatio = %g, want %g", got, want)
+	}
+	if ORatio(m1, m1) != 1 {
+		t.Error("self o-ratio should be 1")
+	}
+	set := MappingSet{m1, m2}
+	if math.Abs(set.ORatio()-want) > 1e-12 {
+		t.Errorf("set ORatio = %g, want %g", set.ORatio(), want)
+	}
+	if (MappingSet{m1}).ORatio() != 1 {
+		t.Error("singleton set o-ratio should be 1")
+	}
+}
+
+func TestNormalizeProbabilities(t *testing.T) {
+	m1 := MustNewMapping("m1", []Correspondence{{Source: attr("C", "a"), Target: attr("T", "x"), Score: 0.6}}, 0)
+	m2 := MustNewMapping("m2", []Correspondence{{Source: attr("C", "b"), Target: attr("T", "x"), Score: 0.4}}, 0)
+	set := MappingSet{m1, m2}
+	set.NormalizeProbabilities()
+	if math.Abs(m1.Prob-0.6) > 1e-12 || math.Abs(m2.Prob-0.4) > 1e-12 {
+		t.Errorf("normalized probs = %g,%g; want 0.6,0.4", m1.Prob, m2.Prob)
+	}
+	if err := set.Validate(); err != nil {
+		t.Errorf("Validate after normalize: %v", err)
+	}
+	// Zero-score sets fall back to uniform.
+	z1 := MustNewMapping("z1", nil, 0)
+	z2 := MustNewMapping("z2", nil, 0)
+	zs := MappingSet{z1, z2}
+	zs.NormalizeProbabilities()
+	if z1.Prob != 0.5 || z2.Prob != 0.5 {
+		t.Errorf("uniform fallback = %g,%g", z1.Prob, z2.Prob)
+	}
+}
+
+func TestMappingSetValidateErrors(t *testing.T) {
+	if err := (MappingSet{}).Validate(); err == nil {
+		t.Error("empty set should not validate")
+	}
+	a := MustNewMapping("m1", nil, 0.7)
+	b := MustNewMapping("m1", nil, 0.3)
+	if err := (MappingSet{a, b}).Validate(); err == nil {
+		t.Error("duplicate ids should not validate")
+	}
+	c := MustNewMapping("m2", nil, 0.1)
+	if err := (MappingSet{a, c}).Validate(); err == nil {
+		t.Error("probabilities not summing to 1 should not validate")
+	}
+}
+
+func TestMatchingValidate(t *testing.T) {
+	src := demoSchema(t)
+	tgt := NewSchema("Tgt")
+	tgt.MustAddRelation(&RelationSchema{Name: "Person", Columns: []Column{{Name: "pname"}, {Name: "phone"}, {Name: "addr"}}})
+	good := Correspondence{Source: attr("Customer", "cname"), Target: attr("Person", "pname"), Score: 0.9}
+	m := MustNewMapping("m1", []Correspondence{good}, 1)
+	mt := &Matching{Source: src, Target: tgt, Correspondences: []Correspondence{good}, Mappings: MappingSet{m}}
+	if err := mt.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	bad := &Matching{Source: src, Target: tgt, Correspondences: []Correspondence{{Source: attr("Nope", "x"), Target: attr("Person", "pname"), Score: 0.5}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for correspondence outside source schema")
+	}
+	badScore := &Matching{Source: src, Target: tgt, Correspondences: []Correspondence{{Source: attr("Customer", "cname"), Target: attr("Person", "pname"), Score: 1.5}}}
+	if err := badScore.Validate(); err == nil {
+		t.Error("expected error for score > 1")
+	}
+}
+
+func TestSortCorrespondences(t *testing.T) {
+	cs := []Correspondence{
+		{Source: attr("C", "b"), Target: attr("T", "y"), Score: 0.5},
+		{Source: attr("C", "a"), Target: attr("T", "x"), Score: 0.9},
+		{Source: attr("C", "c"), Target: attr("T", "x"), Score: 0.9},
+	}
+	SortCorrespondences(cs)
+	if cs[0].Score != 0.9 || cs[2].Score != 0.5 {
+		t.Errorf("not sorted by score: %v", cs)
+	}
+	if cs[0].Source.Name != "a" {
+		t.Errorf("tie not broken by source attr: %v", cs[0])
+	}
+}
+
+// Property: o-ratio is symmetric and within [0,1].
+func TestORatioProperties(t *testing.T) {
+	build := func(mask uint8, id string) *Mapping {
+		var corrs []Correspondence
+		names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+		for i, n := range names {
+			if mask&(1<<uint(i)) != 0 {
+				corrs = append(corrs, Correspondence{Source: attr("C", n), Target: attr("T", "t"+n), Score: 1})
+			}
+		}
+		return MustNewMapping(id, corrs, 0)
+	}
+	prop := func(x, y uint8) bool {
+		m1, m2 := build(x, "m1"), build(y, "m2")
+		r1, r2 := ORatio(m1, m2), ORatio(m2, m1)
+		return r1 == r2 && r1 >= 0 && r1 <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAttributeString(t *testing.T) {
+	a := attr("Customer", "cid")
+	if a.String() != "Customer.cid" {
+		t.Errorf("String = %q", a.String())
+	}
+	if a.IsZero() {
+		t.Error("non-zero attribute reported zero")
+	}
+	if !(Attribute{}).IsZero() {
+		t.Error("zero attribute not reported zero")
+	}
+	if TypeString.String() != "string" || TypeInt.String() != "int" || TypeFloat.String() != "float" {
+		t.Error("Type.String mismatch")
+	}
+	if Type(99).String() == "" {
+		t.Error("unknown type should still render")
+	}
+}

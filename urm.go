@@ -1,0 +1,313 @@
+// Package urm (Uncertain-matching Relational Matching) is a library for
+// evaluating probabilistic queries over uncertain schema matching, a
+// from-scratch reproduction of:
+//
+//	R. Cheng, J. Gong, D. W. Cheung, J. Cheng.
+//	"Evaluating Probabilistic Queries over Uncertain Matching", ICDE 2012.
+//
+// An uncertain matching between a source schema (with data) and a target
+// schema is represented as a set of possible mappings, each a one-to-one
+// partial set of attribute correspondences with a probability of being the
+// correct one.  A probabilistic query is posed against the target schema and
+// answered through every possible mapping, returning each answer tuple with
+// the probability that it is correct.
+//
+// The package exposes the full pipeline:
+//
+//   - schema modelling and a lexical schema matcher (a stand-in for COMA++),
+//   - top-h possible-mapping generation via maximum-weight bipartite
+//     assignment and Murty's ranking algorithm,
+//   - an in-memory relational engine for the source instance,
+//   - a small SQL-subset parser for target queries, and
+//   - the paper's evaluation algorithms: basic, e-basic, e-MQO, q-sharing,
+//     o-sharing (with the Random/SNF/SEF operator-selection strategies) and
+//     probabilistic top-k.
+//
+// # Quick start
+//
+//	source := urm.NewSchema("Source")
+//	// ... add relations ...
+//	target := urm.NewSchema("Target")
+//	// ... add relations ...
+//
+//	matching, _ := urm.Match(source, target, urm.MatchOptions{Mappings: 10})
+//	db := urm.NewInstance("db")
+//	// ... load relations ...
+//
+//	q, _ := urm.ParseQuery("q0", target, "SELECT addr FROM Person WHERE phone = '123'")
+//	ev := urm.NewEvaluator(db, matching.Mappings)
+//	res, _ := ev.Evaluate(q, urm.Options{Method: urm.OSharing})
+//	for _, a := range res.Answers {
+//	    fmt.Println(a.Tuple, a.Prob)
+//	}
+//
+// See the examples directory for complete programs and DESIGN.md /
+// EXPERIMENTS.md for the mapping between the paper's evaluation and the
+// benchmark harness.
+package urm
+
+import (
+	"fmt"
+
+	"github.com/probdb/urm/internal/core"
+	"github.com/probdb/urm/internal/datagen"
+	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/match"
+	"github.com/probdb/urm/internal/query"
+	"github.com/probdb/urm/internal/schema"
+)
+
+// Schema-model types re-exported from the schema layer.
+type (
+	// Schema is a named set of relation schemas.
+	Schema = schema.Schema
+	// RelationSchema is the schema of one relation.
+	RelationSchema = schema.RelationSchema
+	// Column is one attribute declaration of a relation schema.
+	Column = schema.Column
+	// Attribute identifies a relation attribute.
+	Attribute = schema.Attribute
+	// Correspondence is a scored source/target attribute pair.
+	Correspondence = schema.Correspondence
+	// Mapping is one possible mapping with its probability.
+	Mapping = schema.Mapping
+	// MappingSet is a set of possible mappings.
+	MappingSet = schema.MappingSet
+	// Matching is the uncertain matching: correspondences plus mappings.
+	Matching = schema.Matching
+)
+
+// Engine types re-exported from the storage/execution layer.
+type (
+	// Instance is an in-memory source database.
+	Instance = engine.Instance
+	// Relation is a materialized table.
+	Relation = engine.Relation
+	// Tuple is a row of values.
+	Tuple = engine.Tuple
+	// Value is a typed datum.
+	Value = engine.Value
+)
+
+// Query and evaluation types.
+type (
+	// Query is a parsed target query.
+	Query = query.Query
+	// Result is a probabilistic query result.
+	Result = core.Result
+	// Answer is one probabilistic answer tuple.
+	Answer = core.Answer
+	// Method selects an evaluation algorithm.
+	Method = core.Method
+	// Strategy selects an o-sharing operator-selection strategy.
+	Strategy = core.Strategy
+	// Options tunes evaluation.
+	Options = core.Options
+	// Evaluator evaluates probabilistic queries.
+	Evaluator = core.Evaluator
+)
+
+// Evaluation methods (Section III-B, IV and V of the paper).
+const (
+	Basic    = core.MethodBasic
+	EBasic   = core.MethodEBasic
+	EMQO     = core.MethodEMQO
+	QSharing = core.MethodQSharing
+	OSharing = core.MethodOSharing
+)
+
+// Operator-selection strategies for o-sharing (Section VI-A).
+const (
+	SEF    = core.StrategySEF
+	SNF    = core.StrategySNF
+	Random = core.StrategyRandom
+)
+
+// Attribute value kinds re-exported for building relations.
+const (
+	TypeString = schema.TypeString
+	TypeInt    = schema.TypeInt
+	TypeFloat  = schema.TypeFloat
+)
+
+// NewSchema creates an empty schema.
+func NewSchema(name string) *Schema { return schema.NewSchema(name) }
+
+// NewInstance creates an empty source database.
+func NewInstance(name string) *Instance { return engine.NewInstance(name) }
+
+// NewRelation creates an empty relation with the given columns.
+func NewRelation(name string, columns []string) *Relation { return engine.NewRelation(name, columns) }
+
+// String builds a string value.
+func String(s string) Value { return engine.S(s) }
+
+// Int builds an integer value.
+func Int(i int64) Value { return engine.I(i) }
+
+// Float builds a floating-point value.
+func Float(f float64) Value { return engine.F(f) }
+
+// Null builds the NULL value.
+func Null() Value { return engine.Null() }
+
+// MatchOptions configures Match.
+type MatchOptions struct {
+	// Mappings is the number h of possible mappings to derive (default 10).
+	Mappings int
+	// Threshold is the matcher's minimum similarity (default 0.45).
+	Threshold float64
+	// MaxCandidatesPerTarget caps candidates per target attribute (0 = all).
+	MaxCandidatesPerTarget int
+	// Synonyms optionally extends the matcher's synonym table.
+	Synonyms map[string]string
+}
+
+// Match runs the lexical schema matcher between the source and target schemas
+// and derives the top-h possible mappings with probabilities.
+func Match(source, target *Schema, opts MatchOptions) (*Matching, error) {
+	if opts.Mappings <= 0 {
+		opts.Mappings = 10
+	}
+	return match.BuildMatching(source, target, match.MatcherOptions{
+		Threshold:              opts.Threshold,
+		MaxCandidatesPerTarget: opts.MaxCandidatesPerTarget,
+		Synonyms:               opts.Synonyms,
+	}, opts.Mappings)
+}
+
+// MatchCorrespondences runs only the matcher, returning scored correspondences
+// without deriving mappings.
+func MatchCorrespondences(source, target *Schema, opts MatchOptions) *Matching {
+	return match.NewMatcher(match.MatcherOptions{
+		Threshold:              opts.Threshold,
+		MaxCandidatesPerTarget: opts.MaxCandidatesPerTarget,
+		Synonyms:               opts.Synonyms,
+	}).Match(source, target)
+}
+
+// DeriveMappings derives the top-h possible mappings from an explicit scored
+// correspondence set (for callers that bring their own matcher output).
+func DeriveMappings(correspondences []Correspondence, h int) (MappingSet, error) {
+	return match.KBestMappings(correspondences, match.KBestOptions{K: h})
+}
+
+// NewMapping builds a possible mapping from correspondences; probabilities of
+// a hand-built mapping set can be normalised with MappingSet.NormalizeProbabilities.
+func NewMapping(id string, correspondences []Correspondence, prob float64) (*Mapping, error) {
+	return schema.NewMapping(id, correspondences, prob)
+}
+
+// ParseQuery parses a target query written in the library's SQL subset
+// (SELECT ... FROM ... WHERE ... with conjunctive conditions, aliases and
+// COUNT/SUM/AVG/MIN/MAX aggregates).
+func ParseQuery(name string, target *Schema, text string) (*Query, error) {
+	return query.Parse(name, target, text)
+}
+
+// NewEvaluator builds an evaluator over a source instance and a mapping set.
+func NewEvaluator(db *Instance, maps MappingSet) *Evaluator { return core.NewEvaluator(db, maps) }
+
+// Evaluate is a convenience for one-off evaluation: it runs the query over the
+// mappings and instance with the given options.
+func Evaluate(q *Query, maps MappingSet, db *Instance, opts Options) (*Result, error) {
+	return core.NewEvaluator(db, maps).Evaluate(q, opts)
+}
+
+// EvaluateTopK runs the probabilistic top-k algorithm of Section VII.
+func EvaluateTopK(q *Query, maps MappingSet, db *Instance, k int, opts Options) (*Result, error) {
+	return core.NewEvaluator(db, maps).EvaluateTopK(q, k, opts)
+}
+
+// ParseMethod converts a method name ("basic", "e-basic", "e-mqo",
+// "q-sharing", "o-sharing") into a Method.
+func ParseMethod(s string) (Method, error) { return core.ParseMethod(s) }
+
+// ParseStrategy converts a strategy name ("SEF", "SNF", "Random") into a
+// Strategy.
+func ParseStrategy(s string) (Strategy, error) { return core.ParseStrategy(s) }
+
+// ORatio returns the average pairwise overlap ratio of a mapping set, the
+// mapping-similarity metric of Section VIII (Figure 9).
+func ORatio(maps MappingSet) float64 { return maps.ORatio() }
+
+// Scenario is a ready-made evaluation environment: the synthetic TPC-H-style
+// purchase-order source instance, one of the paper's target schemas, its
+// correspondences and possible mappings, and the Table III workload queries.
+// It is the programmatic face of the benchmark data generator.
+type Scenario struct {
+	// Target is the target schema name ("Excel", "Noris" or "Paragon").
+	Target string
+	// SourceSchema and TargetSchema describe the two sides of the matching.
+	SourceSchema *Schema
+	TargetSchema *Schema
+	// DB is the generated source instance.
+	DB *Instance
+	// Matching holds the correspondences and possible mappings.
+	Matching *Matching
+}
+
+// ScenarioOptions configures NewScenario.
+type ScenarioOptions struct {
+	// Target is "Excel" (default), "Noris" or "Paragon".
+	Target string
+	// Mappings is the number of possible mappings h (default 100).
+	Mappings int
+	// SizeMB scales the synthetic instance (default 100, the paper's size).
+	SizeMB float64
+	// Seed makes generation deterministic.
+	Seed uint64
+}
+
+// NewScenario generates the synthetic purchase-order integration scenario used
+// by the paper's evaluation (Section VIII).
+func NewScenario(opts ScenarioOptions) (*Scenario, error) {
+	name := opts.Target
+	if name == "" {
+		name = string(datagen.TargetExcel)
+	}
+	target, err := datagen.ParseTarget(name)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := datagen.NewDataset(datagen.DatasetOptions{
+		Target:      target,
+		NumMappings: opts.Mappings,
+		SizeMB:      opts.SizeMB,
+		Seed:        opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{
+		Target:       string(ds.TargetName),
+		SourceSchema: ds.Source,
+		TargetSchema: ds.Target,
+		DB:           ds.DB,
+		Matching:     ds.Matching,
+	}, nil
+}
+
+// Mappings returns the scenario's possible mappings.
+func (s *Scenario) Mappings() MappingSet { return s.Matching.Mappings }
+
+// WorkloadQuery returns one of the paper's Table III queries (1–10) if it is
+// defined on this scenario's target schema.
+func (s *Scenario) WorkloadQuery(id int) (*Query, error) {
+	tgt, err := datagen.QueryTarget(id)
+	if err != nil {
+		return nil, err
+	}
+	if string(tgt) != s.Target {
+		return nil, fmt.Errorf("query Q%d is defined on target %s, scenario uses %s", id, tgt, s.Target)
+	}
+	return datagen.WorkloadQuery(id)
+}
+
+// Query parses an ad-hoc query against the scenario's target schema.
+func (s *Scenario) Query(name, text string) (*Query, error) {
+	return query.Parse(name, s.TargetSchema, text)
+}
+
+// Evaluator returns an evaluator over the scenario's instance and mappings.
+func (s *Scenario) Evaluator() *Evaluator { return core.NewEvaluator(s.DB, s.Matching.Mappings) }

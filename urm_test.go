@@ -1,0 +1,192 @@
+package urm
+
+import (
+	"math"
+	"testing"
+)
+
+// buildPeopleSchemas creates the small running-example schemas of the paper's
+// introduction through the public API.
+func buildPeopleSchemas() (*Schema, *Schema) {
+	source := NewSchema("crm")
+	source.MustAddRelation(&RelationSchema{Name: "Customer", Columns: []Column{
+		{Name: "cid", Type: TypeInt}, {Name: "cname"}, {Name: "ophone"}, {Name: "hphone"},
+		{Name: "mobile"}, {Name: "oaddr"}, {Name: "haddr"},
+	}})
+	target := NewSchema("partner")
+	target.MustAddRelation(&RelationSchema{Name: "Person", Columns: []Column{
+		{Name: "pname"}, {Name: "phone"}, {Name: "addr"},
+	}})
+	return source, target
+}
+
+func buildPeopleInstance() *Instance {
+	db := NewInstance("crm-db")
+	c := NewRelation("Customer", []string{"cid", "cname", "ophone", "hphone", "mobile", "oaddr", "haddr"})
+	c.MustAppend(Tuple{Int(1), String("Alice"), String("123"), String("789"), String("555"), String("aaa"), String("hk")})
+	c.MustAppend(Tuple{Int(2), String("Bob"), String("456"), String("123"), String("556"), String("bbb"), String("hk")})
+	c.MustAppend(Tuple{Int(3), String("Cindy"), String("456"), String("789"), String("557"), String("aaa"), String("aaa")})
+	db.AddRelation(c)
+	return db
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	source, target := buildPeopleSchemas()
+	matching, err := Match(source, target, MatchOptions{Mappings: 6, Threshold: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matching.Mappings) == 0 {
+		t.Fatal("no mappings derived")
+	}
+	if r := ORatio(matching.Mappings); r <= 0 || r > 1 {
+		t.Errorf("o-ratio out of range: %g", r)
+	}
+	db := buildPeopleInstance()
+	q, err := ParseQuery("q0", target, "SELECT addr FROM Person WHERE phone = '123'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []Method{Basic, EBasic, EMQO, QSharing, OSharing} {
+		res, err := Evaluate(q, matching.Mappings, db, Options{Method: method, Strategy: SEF})
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		total := res.EmptyProb
+		for _, a := range res.Answers {
+			total += a.Prob
+			if a.Prob <= 0 || a.Prob > 1+1e-9 {
+				t.Errorf("%v: answer probability out of range: %v", method, a)
+			}
+		}
+		if total > 1+1e-6 {
+			t.Errorf("%v: total probability mass %g exceeds 1", method, total)
+		}
+	}
+	// Top-k through the facade.
+	full, err := Evaluate(q, matching.Mappings, db, Options{Method: OSharing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Answers) > 0 {
+		top, err := EvaluateTopK(q, matching.Mappings, db, 1, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(top.Answers) != 1 {
+			t.Fatalf("top-1 returned %d answers", len(top.Answers))
+		}
+		if top.Answers[0].Tuple.Key() != full.Answers[0].Tuple.Key() {
+			t.Errorf("top-1 tuple %v differs from the most probable answer %v",
+				top.Answers[0].Tuple, full.Answers[0].Tuple)
+		}
+	}
+}
+
+func TestFacadeManualMappings(t *testing.T) {
+	_, target := buildPeopleSchemas()
+	corrs := []Correspondence{
+		{Source: Attribute{Relation: "Customer", Name: "ophone"}, Target: Attribute{Relation: "Person", Name: "phone"}, Score: 0.85},
+		{Source: Attribute{Relation: "Customer", Name: "hphone"}, Target: Attribute{Relation: "Person", Name: "phone"}, Score: 0.83},
+		{Source: Attribute{Relation: "Customer", Name: "oaddr"}, Target: Attribute{Relation: "Person", Name: "addr"}, Score: 0.75},
+	}
+	maps, err := DeriveMappings(corrs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maps) != 2 {
+		t.Fatalf("mappings = %d, want 2 (two phone alternatives)", len(maps))
+	}
+	if err := maps.Validate(); err != nil {
+		t.Errorf("derived mappings invalid: %v", err)
+	}
+	m, err := NewMapping("manual", corrs[:1], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 1 {
+		t.Error("manual mapping size wrong")
+	}
+	db := buildPeopleInstance()
+	q, err := ParseQuery("q", target, "SELECT addr FROM Person WHERE phone = '123'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(q, maps, db, Options{Method: OSharing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ophone=123 -> Alice -> aaa (prob of the ophone mapping);
+	// hphone=123 -> Bob -> aaa? no: addr maps to oaddr in both -> Bob's oaddr is bbb.
+	sum := 0.0
+	for _, a := range res.Answers {
+		sum += a.Prob
+	}
+	if sum <= 0 || sum > 1+1e-9 {
+		t.Errorf("probability mass = %g", sum)
+	}
+}
+
+func TestFacadeParsers(t *testing.T) {
+	if _, err := ParseMethod("o-sharing"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseMethod("bogus"); err == nil {
+		t.Error("bogus method should fail")
+	}
+	if _, err := ParseStrategy("SEF"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Error("bogus strategy should fail")
+	}
+	if Null().IsNull() != true || Float(2).IsNull() {
+		t.Error("value constructors broken")
+	}
+}
+
+func TestScenario(t *testing.T) {
+	s, err := NewScenario(ScenarioOptions{Target: "Excel", Mappings: 10, SizeMB: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Target != "Excel" || s.DB == nil || s.TargetSchema == nil || s.SourceSchema == nil {
+		t.Fatal("scenario incomplete")
+	}
+	if len(s.Mappings()) == 0 {
+		t.Fatal("scenario has no mappings")
+	}
+	q, err := s.WorkloadQuery(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Evaluator().Evaluate(q, Options{Method: OSharing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mass := res.EmptyProb
+	for _, a := range res.Answers {
+		mass += a.Prob
+	}
+	if math.Abs(mass-1) > 1e-6 {
+		t.Errorf("probability mass = %g, want 1", mass)
+	}
+	// Q6 belongs to Noris, not Excel.
+	if _, err := s.WorkloadQuery(6); err == nil {
+		t.Error("cross-target workload query should be rejected")
+	}
+	if _, err := s.Query("adhoc", "SELECT orderNum FROM PO WHERE telephone = '335-1736'"); err != nil {
+		t.Errorf("ad-hoc query: %v", err)
+	}
+	if _, err := NewScenario(ScenarioOptions{Target: "bogus"}); err == nil {
+		t.Error("bogus target should fail")
+	}
+	// Defaults.
+	d, err := NewScenario(ScenarioOptions{Mappings: 5, SizeMB: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Target != "Excel" {
+		t.Errorf("default target = %s, want Excel", d.Target)
+	}
+}
