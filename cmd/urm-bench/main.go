@@ -7,6 +7,7 @@
 //	urm-bench                          # run every experiment at default scale
 //	urm-bench -fig Fig11a              # run a single figure
 //	urm-bench -mappings 500 -size 100  # paper-scale run (slower)
+//	urm-bench -parallel 0              # use the concurrent runtime on all cores
 //	urm-bench -csv -out results/       # also write CSV files
 //	urm-bench -list                    # list experiment IDs
 package main
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -40,6 +42,7 @@ func run(args []string, out *os.File) error {
 		runs     = fs.Int("runs", 1, "repetitions averaged per measurement")
 		sweepH   = fs.String("mapping-sweep", "", "comma-separated mapping counts for the sweep figures (default 100,200,300,400,500)")
 		sweepMB  = fs.String("size-sweep", "", "comma-separated database sizes for the sweep figures (default 20,40,60,80,100)")
+		parallel = fs.Int("parallel", 1, "evaluation worker goroutines (0 = all cores; 1 = sequential, the paper's setting)")
 		csv      = fs.Bool("csv", false, "also emit CSV for each table")
 		outDir   = fs.String("out", "", "directory to write <ID>.csv files into")
 		list     = fs.Bool("list", false, "list experiment IDs and exit")
@@ -63,6 +66,10 @@ func run(args []string, out *os.File) error {
 	}
 	cfg.Seed = *seed
 	cfg.Runs = *runs
+	cfg.Parallelism = *parallel
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	if *sweepH != "" {
 		ints, err := parseInts(*sweepH)
 		if err != nil {
@@ -90,8 +97,8 @@ func run(args []string, out *os.File) error {
 		experiments = []bench.Experiment{e}
 	}
 
-	fmt.Fprintf(out, "urm-bench: h=%d, size=%.0fMB, seed=%d, runs=%d\n\n",
-		cfg.Mappings, cfg.SizeMB, cfg.Seed, cfg.Runs)
+	fmt.Fprintf(out, "urm-bench: h=%d, size=%.0fMB, seed=%d, runs=%d, parallel=%d\n\n",
+		cfg.Mappings, cfg.SizeMB, cfg.Seed, cfg.Runs, cfg.Parallelism)
 	for _, e := range experiments {
 		start := time.Now()
 		table, err := e.Run(runner)

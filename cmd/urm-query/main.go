@@ -9,6 +9,7 @@
 //	urm-query -target Noris -method q-sharing -workload 6
 //	urm-query -query "SELECT orderNum FROM PO WHERE telephone = '335-1736'"
 //	urm-query -workload 4 -topk 5
+//	urm-query -workload 2 -method basic -parallel 8
 package main
 
 import (
@@ -38,6 +39,7 @@ func run(args []string) error {
 		workload = fs.Int("workload", 0, "run the paper's workload query Q<n> (1-10)")
 		text     = fs.String("query", "", "ad-hoc query in the library's SQL subset")
 		topk     = fs.Int("topk", 0, "if positive, run the probabilistic top-k algorithm with this k")
+		parallel = fs.Int("parallel", 0, "evaluation worker goroutines (0 = all cores, 1 = sequential)")
 		limit    = fs.Int("limit", 20, "maximum number of answers to print")
 		verbose  = fs.Bool("v", false, "print evaluation statistics")
 	)
@@ -81,7 +83,7 @@ func run(args []string) error {
 	fmt.Printf("mappings: %d (o-ratio %.2f)\n\n", len(scenario.Mappings()), urm.ORatio(scenario.Mappings()))
 
 	var res *urm.Result
-	opts := urm.Options{Method: m, Strategy: s}
+	opts := urm.Options{Method: m, Strategy: s, Parallelism: *parallel}
 	if *topk > 0 {
 		res, err = urm.EvaluateTopK(q, scenario.Mappings(), scenario.DB, *topk, opts)
 	} else {

@@ -1,0 +1,3 @@
+module github.com/probdb/urm
+
+go 1.22

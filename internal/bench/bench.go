@@ -7,16 +7,20 @@
 // Absolute times differ from the paper — this reproduction runs an in-memory
 // Go engine on synthetic data rather than the authors' C++ system on a 100 MB
 // disk-resident TPC-H instance — but the comparisons the paper draws (who
-// wins, how methods scale, where crossovers happen) are preserved, and
-// EXPERIMENTS.md records both side by side.
+// wins, how methods scale, where crossovers happen) are preserved.  By default
+// the harness evaluates sequentially, matching the paper's single-threaded
+// setting; Config.Parallelism (urm-bench -parallel) measures the concurrent
+// evaluation runtime instead.
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"github.com/probdb/urm/internal/datagen"
+	"github.com/probdb/urm/internal/exec"
 	"github.com/probdb/urm/internal/schema"
 )
 
@@ -39,6 +43,11 @@ type Config struct {
 	KSweep []int
 	// Runs is the number of repetitions averaged per measurement.
 	Runs int
+	// Parallelism is the evaluation runtime's worker bound.  The harness
+	// defaults to 1 (sequential) so that reported timings reproduce the
+	// paper's single-threaded comparisons; pass -parallel to urm-bench to
+	// measure the concurrent runtime.
+	Parallelism int
 }
 
 // DefaultConfig returns the configuration used by cmd/urm-bench when no flags
@@ -52,6 +61,7 @@ func DefaultConfig() Config {
 		SizeSweep:    []float64{20, 40, 60, 80, 100},
 		KSweep:       []int{1, 5, 10, 15, 20},
 		Runs:         1,
+		Parallelism:  1,
 	}
 }
 
@@ -77,6 +87,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Runs <= 0 {
 		c.Runs = d.Runs
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = d.Parallelism
 	}
 	return c
 }
@@ -162,6 +175,12 @@ func NewRunner(cfg Config) *Runner {
 
 // Config returns the runner's effective configuration.
 func (r *Runner) Config() Config { return r.cfg }
+
+// execContext returns the evaluation runtime context used by experiments that
+// call the core algorithms directly.
+func (r *Runner) execContext() *exec.Context {
+	return exec.NewContext(context.Background(), r.cfg.Parallelism)
+}
 
 func (r *Runner) maxMappings() int {
 	max := r.cfg.Mappings

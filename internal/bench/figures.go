@@ -74,7 +74,7 @@ func (r *Runner) evaluate(queryID int, method core.Method, h int, sizeMB float64
 	if err != nil {
 		return nil, err
 	}
-	return core.NewEvaluator(ds.DB, maps).Evaluate(q, core.Options{Method: method})
+	return core.NewEvaluator(ds.DB, maps).Evaluate(q, core.Options{Method: method, Parallelism: r.cfg.Parallelism})
 }
 
 // evaluateTime returns the mean total evaluation time of a query/method pair.
@@ -245,7 +245,7 @@ func (r *Runner) runCustomQuery(build func() (*query.Query, error), method core.
 		if err != nil {
 			return 0, err
 		}
-		res, err := core.NewEvaluator(ds.DB, maps).Evaluate(q, core.Options{Method: method})
+		res, err := core.NewEvaluator(ds.DB, maps).Evaluate(q, core.Options{Method: method, Parallelism: r.cfg.Parallelism})
 		if err != nil {
 			return 0, err
 		}
@@ -318,7 +318,7 @@ func (r *Runner) Figure11f() (*Table, error) {
 				return nil, err
 			}
 			d, err := r.timed(func() (time.Duration, error) {
-				res, err := core.OSharing(q, maps, ds.DB, core.OSharingOptions{Strategy: s, RandomSeed: int64(r.cfg.Seed)})
+				res, err := core.OSharing(r.execContext(), q, maps, ds.DB, core.OSharingOptions{Strategy: s, RandomSeed: int64(r.cfg.Seed)})
 				if err != nil {
 					return 0, err
 				}
@@ -353,13 +353,13 @@ func (r *Runner) TableIV() (*Table, error) {
 		return total - res.Stats.Operators["scan"]
 	}
 	for _, s := range strategies {
-		res, err := core.OSharing(q, maps, ds.DB, core.OSharingOptions{Strategy: s, RandomSeed: int64(r.cfg.Seed)})
+		res, err := core.OSharing(r.execContext(), q, maps, ds.DB, core.OSharingOptions{Strategy: s, RandomSeed: int64(r.cfg.Seed)})
 		if err != nil {
 			return nil, err
 		}
 		t.AddRow(s.String(), seconds(res.TotalTime), fmt.Sprintf("%d", operatorCount(res)))
 	}
-	emqo, err := core.EMQO(q, maps, ds.DB)
+	emqo, err := core.EMQO(r.execContext(), q, maps, ds.DB)
 	if err != nil {
 		return nil, err
 	}
@@ -385,7 +385,7 @@ func (r *Runner) figure12(id string, queryID int) (*Table, error) {
 		return nil, err
 	}
 	full, err := r.timed(func() (time.Duration, error) {
-		res, err := core.OSharing(q, maps, ds.DB, core.OSharingOptions{})
+		res, err := core.OSharing(r.execContext(), q, maps, ds.DB, core.OSharingOptions{})
 		if err != nil {
 			return 0, err
 		}
@@ -397,7 +397,7 @@ func (r *Runner) figure12(id string, queryID int) (*Table, error) {
 	for _, k := range r.cfg.KSweep {
 		k := k
 		d, err := r.timed(func() (time.Duration, error) {
-			res, err := core.TopK(q, maps, ds.DB, k, core.OSharingOptions{})
+			res, err := core.TopK(r.execContext(), q, maps, ds.DB, k, core.OSharingOptions{})
 			if err != nil {
 				return 0, err
 			}

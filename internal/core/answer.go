@@ -58,11 +58,17 @@ type Result struct {
 	Partitions int
 
 	// RewriteTime, ExecTime and AggregateTime break the evaluation down into
-	// the phases reported in Figure 10(a).
+	// the phases reported in Figure 10(a).  Phases that fan out over the
+	// worker pool (per-mapping rewrite+execution in basic/q-sharing, source
+	// query execution in e-basic) sum the per-worker durations, so with
+	// Options.Parallelism > 1 those fields report CPU time per phase and
+	// their sum can exceed TotalTime; at Parallelism 1 every field is the
+	// wall-clock phase time as in the paper.
 	RewriteTime   time.Duration
 	ExecTime      time.Duration
 	AggregateTime time.Duration
-	// TotalTime is the end-to-end evaluation time.
+	// TotalTime is the end-to-end (wall-clock) evaluation time; this is the
+	// figure that shrinks with parallelism.
 	TotalTime time.Duration
 }
 
@@ -150,6 +156,15 @@ func (g *aggregator) addRelation(rel *engine.Relation, prob float64) {
 
 // addEmpty records probability mass for the empty (θ) answer.
 func (g *aggregator) addEmpty(prob float64) { g.emptyProb += prob }
+
+// finalize sorts the aggregated answers into the result and accounts the time
+// to the aggregation phase.
+func (g *aggregator) finalize(res *Result) {
+	start := time.Now()
+	res.Answers = g.answers()
+	res.EmptyProb = g.emptyProb
+	res.AggregateTime += time.Since(start)
+}
 
 // answers returns the aggregated answers sorted by descending probability.
 func (g *aggregator) answers() []Answer {

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/exec"
 	"github.com/probdb/urm/internal/query"
 	"github.com/probdb/urm/internal/schema"
 )
@@ -13,91 +15,29 @@ import (
 // Basic evaluates the target query by reformulating it once per mapping and
 // executing every resulting source query independently, then aggregating
 // duplicate answers (Section III-B, algorithm "basic").
-func Basic(q *query.Query, maps schema.MappingSet, db *engine.Instance) (*Result, error) {
+//
+// The per-mapping reformulation+execution steps are independent, so they run
+// on the runtime's worker pool; answers are still aggregated in mapping order,
+// which keeps the result identical to a sequential run at any parallelism.
+func Basic(ec *exec.Context, q *query.Query, maps schema.MappingSet, db *engine.Instance) (*Result, error) {
 	if err := validateInputs(q, maps, db); err != nil {
 		return nil, err
 	}
 	start := time.Now()
 	res := &Result{Query: q, Method: MethodBasic, Columns: OutputColumns(q), Stats: engine.NewStats()}
-	ref := query.NewReformulator(q)
 	agg := newAggregator()
 
-	for _, m := range maps {
-		rewriteStart := time.Now()
-		plan, err := ref.Reformulate(m)
-		res.RewriteTime += time.Since(rewriteStart)
-		if err != nil {
-			if errors.Is(err, query.ErrNotCovered) {
-				// The mapping cannot answer the query: its probability mass
-				// goes to the empty answer.
-				agg.addEmpty(m.Prob)
-				continue
-			}
-			return nil, fmt.Errorf("basic: reformulating through %s: %w", m.ID, err)
-		}
-		plan = engine.Optimize(plan)
-		res.RewrittenQueries++
-
-		execStart := time.Now()
-		ex := &engine.Executor{DB: db, Stats: res.Stats}
-		rel, err := ex.Execute(plan)
-		res.ExecTime += time.Since(execStart)
-		if err != nil {
-			return nil, fmt.Errorf("basic: executing source query for %s: %w", m.ID, err)
-		}
-		res.ExecutedQueries++
-
-		aggStart := time.Now()
-		agg.addRelation(rel, m.Prob)
-		res.AggregateTime += time.Since(aggStart)
+	wms := make([]weightedMapping, len(maps))
+	for i, m := range maps {
+		wms[i] = weightedMapping{mapping: m, prob: m.Prob}
+	}
+	if err := basicOver(ec, q, wms, db, res, agg); err != nil {
+		return nil, fmt.Errorf("basic: %w", err)
 	}
 
-	aggStart := time.Now()
-	res.Answers = agg.answers()
-	res.EmptyProb = agg.emptyProb
-	res.AggregateTime += time.Since(aggStart)
+	agg.finalize(res)
 	res.TotalTime = time.Since(start)
 	return res, nil
-}
-
-// basicOver runs the basic algorithm over an explicit (mapping, probability)
-// list; q-sharing reuses it with representative mappings whose probabilities
-// are the partition totals.
-func basicOver(q *query.Query, reps []weightedMapping, db *engine.Instance, res *Result) error {
-	ref := query.NewReformulator(q)
-	agg := newAggregator()
-	for _, wm := range reps {
-		rewriteStart := time.Now()
-		plan, err := ref.Reformulate(wm.mapping)
-		res.RewriteTime += time.Since(rewriteStart)
-		if err != nil {
-			if errors.Is(err, query.ErrNotCovered) {
-				agg.addEmpty(wm.prob)
-				continue
-			}
-			return fmt.Errorf("reformulating through %s: %w", wm.mapping.ID, err)
-		}
-		plan = engine.Optimize(plan)
-		res.RewrittenQueries++
-
-		execStart := time.Now()
-		ex := &engine.Executor{DB: db, Stats: res.Stats}
-		rel, err := ex.Execute(plan)
-		res.ExecTime += time.Since(execStart)
-		if err != nil {
-			return fmt.Errorf("executing source query for %s: %w", wm.mapping.ID, err)
-		}
-		res.ExecutedQueries++
-
-		aggStart := time.Now()
-		agg.addRelation(rel, wm.prob)
-		res.AggregateTime += time.Since(aggStart)
-	}
-	aggStart := time.Now()
-	res.Answers = agg.answers()
-	res.EmptyProb = agg.emptyProb
-	res.AggregateTime += time.Since(aggStart)
-	return nil
 }
 
 // weightedMapping pairs a representative mapping with the total probability of
@@ -107,70 +47,185 @@ type weightedMapping struct {
 	prob    float64
 }
 
+// mappingRun is the outcome of reformulating and executing the source query of
+// one mapping on a worker: the answer relation (nil when the mapping cannot
+// answer the query), the worker's private statistics and phase timings.
+type mappingRun struct {
+	rel     *engine.Relation
+	stats   *engine.Stats
+	rewrite time.Duration
+	exec    time.Duration
+}
+
+// runMapping reformulates the target query through the mapping, optimizes the
+// plan and executes it.  A mapping that does not cover the query returns a run
+// with a nil relation rather than an error, so callers can assign its
+// probability mass to the empty answer.
+func runMapping(ctx context.Context, q *query.Query, m *schema.Mapping, db *engine.Instance) (*mappingRun, error) {
+	run := &mappingRun{stats: engine.NewStats()}
+	rewriteStart := time.Now()
+	plan, err := query.NewReformulator(q).Reformulate(m)
+	if err != nil {
+		run.rewrite = time.Since(rewriteStart)
+		if errors.Is(err, query.ErrNotCovered) {
+			return run, nil
+		}
+		return nil, fmt.Errorf("reformulating through %s: %w", m.ID, err)
+	}
+	plan = engine.Optimize(plan)
+	run.rewrite = time.Since(rewriteStart)
+
+	execStart := time.Now()
+	ex := &engine.Executor{DB: db, Stats: run.stats}
+	rel, err := ex.ExecuteContext(ctx, plan)
+	run.exec = time.Since(execStart)
+	if err != nil {
+		return nil, fmt.Errorf("executing source query for %s: %w", m.ID, err)
+	}
+	run.rel = rel
+	return run, nil
+}
+
+// basicOver runs the basic algorithm over an explicit (mapping, probability)
+// list on the runtime's worker pool; q-sharing reuses it with representative
+// mappings whose probabilities are the partition totals.  Results are consumed
+// in mapping order, so the aggregated probabilities are bit-identical at any
+// parallelism level.
+func basicOver(ec *exec.Context, q *query.Query, reps []weightedMapping, db *engine.Instance, res *Result, agg *aggregator) error {
+	return exec.Map(ec, len(reps),
+		func(ctx context.Context, i int) (*mappingRun, error) {
+			return runMapping(ctx, q, reps[i].mapping, db)
+		},
+		func(i int, run *mappingRun) error {
+			res.RewriteTime += run.rewrite
+			res.ExecTime += run.exec
+			res.Stats.Add(run.stats)
+			if run.rel == nil {
+				// The mapping cannot answer the query: its probability mass
+				// goes to the empty answer.
+				agg.addEmpty(reps[i].prob)
+				return nil
+			}
+			res.RewrittenQueries++
+			res.ExecutedQueries++
+			aggStart := time.Now()
+			agg.addRelation(run.rel, reps[i].prob)
+			res.AggregateTime += time.Since(aggStart)
+			return nil
+		})
+}
+
+// rewriteAll reformulates the target query through every mapping on the worker
+// pool and returns the optimized plans in mapping order.  A nil plan marks a
+// mapping that does not cover the query.
+func rewriteAll(ec *exec.Context, q *query.Query, maps schema.MappingSet, label string) ([]engine.Plan, error) {
+	plans := make([]engine.Plan, len(maps))
+	err := exec.Map(ec, len(maps),
+		func(ctx context.Context, i int) (engine.Plan, error) {
+			plan, err := query.NewReformulator(q).Reformulate(maps[i])
+			if err != nil {
+				if errors.Is(err, query.ErrNotCovered) {
+					return nil, nil
+				}
+				return nil, fmt.Errorf("%s: reformulating through %s: %w", label, maps[i].ID, err)
+			}
+			return engine.Optimize(plan), nil
+		},
+		func(i int, plan engine.Plan) error {
+			plans[i] = plan
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return plans, nil
+}
+
+// planCluster groups mappings whose source queries are identical.
+type planCluster struct {
+	plan engine.Plan
+	prob float64
+}
+
+// clusterPlans buckets per-mapping plans by signature, summing the mapping
+// probabilities, and feeds the probability mass of non-covering mappings (nil
+// plans) to the aggregator.  Cluster order is the first-seen mapping order.
+func clusterPlans(plans []engine.Plan, maps schema.MappingSet, agg *aggregator, res *Result) (map[string]*planCluster, []string) {
+	clusters := make(map[string]*planCluster)
+	var order []string
+	for i, plan := range plans {
+		if plan == nil {
+			agg.addEmpty(maps[i].Prob)
+			continue
+		}
+		res.RewrittenQueries++
+		sig := plan.Signature()
+		c, ok := clusters[sig]
+		if !ok {
+			c = &planCluster{plan: plan}
+			clusters[sig] = c
+			order = append(order, sig)
+		}
+		c.prob += maps[i].Prob
+	}
+	return clusters, order
+}
+
 // EBasic clusters the mappings' source queries by signature so that each
 // distinct source query is executed only once, with the summed probability of
 // the mappings that produce it (Section III-B, algorithm "e-basic").  Unlike
 // q-sharing it still pays the rewriting cost for every mapping.
-func EBasic(q *query.Query, maps schema.MappingSet, db *engine.Instance) (*Result, error) {
+//
+// Both phases use the runtime's worker pool: the per-mapping rewrites are
+// independent, and so are the distinct source queries.  Clustering and
+// aggregation happen in mapping/cluster order, keeping results identical at
+// any parallelism.
+func EBasic(ec *exec.Context, q *query.Query, maps schema.MappingSet, db *engine.Instance) (*Result, error) {
 	if err := validateInputs(q, maps, db); err != nil {
 		return nil, err
 	}
 	start := time.Now()
 	res := &Result{Query: q, Method: MethodEBasic, Columns: OutputColumns(q), Stats: engine.NewStats()}
-	ref := query.NewReformulator(q)
 	agg := newAggregator()
 
 	// Phase 1: rewrite every mapping and cluster by source-query signature.
-	type cluster struct {
-		plan engine.Plan
-		prob float64
-	}
 	rewriteStart := time.Now()
-	clusters := make(map[string]*cluster)
-	var order []string
-	for _, m := range maps {
-		plan, err := ref.Reformulate(m)
-		if err != nil {
-			if errors.Is(err, query.ErrNotCovered) {
-				agg.addEmpty(m.Prob)
-				continue
-			}
-			return nil, fmt.Errorf("e-basic: reformulating through %s: %w", m.ID, err)
-		}
-		plan = engine.Optimize(plan)
-		res.RewrittenQueries++
-		sig := plan.Signature()
-		c, ok := clusters[sig]
-		if !ok {
-			c = &cluster{plan: plan}
-			clusters[sig] = c
-			order = append(order, sig)
-		}
-		c.prob += m.Prob
+	plans, err := rewriteAll(ec, q, maps, "e-basic")
+	if err != nil {
+		return nil, err
 	}
+	clusters, order := clusterPlans(plans, maps, agg, res)
 	res.RewriteTime = time.Since(rewriteStart)
 	res.Partitions = len(order)
 
 	// Phase 2: execute each distinct source query once.
-	for _, sig := range order {
-		c := clusters[sig]
-		execStart := time.Now()
-		ex := &engine.Executor{DB: db, Stats: res.Stats}
-		rel, err := ex.Execute(c.plan)
-		res.ExecTime += time.Since(execStart)
-		if err != nil {
-			return nil, fmt.Errorf("e-basic: executing source query: %w", err)
-		}
-		res.ExecutedQueries++
-		aggStart := time.Now()
-		agg.addRelation(rel, c.prob)
-		res.AggregateTime += time.Since(aggStart)
+	err = exec.Map(ec, len(order),
+		func(ctx context.Context, i int) (*mappingRun, error) {
+			run := &mappingRun{stats: engine.NewStats()}
+			execStart := time.Now()
+			ex := &engine.Executor{DB: db, Stats: run.stats}
+			rel, err := ex.ExecuteContext(ctx, clusters[order[i]].plan)
+			run.exec = time.Since(execStart)
+			if err != nil {
+				return nil, fmt.Errorf("e-basic: executing source query: %w", err)
+			}
+			run.rel = rel
+			return run, nil
+		},
+		func(i int, run *mappingRun) error {
+			res.ExecTime += run.exec
+			res.Stats.Add(run.stats)
+			res.ExecutedQueries++
+			aggStart := time.Now()
+			agg.addRelation(run.rel, clusters[order[i]].prob)
+			res.AggregateTime += time.Since(aggStart)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
-	aggStart := time.Now()
-	res.Answers = agg.answers()
-	res.EmptyProb = agg.emptyProb
-	res.AggregateTime += time.Since(aggStart)
+	agg.finalize(res)
 	res.TotalTime = time.Since(start)
 	return res, nil
 }

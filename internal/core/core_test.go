@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/exec"
 	"github.com/probdb/urm/internal/query"
 	"github.com/probdb/urm/internal/schema"
 )
@@ -15,7 +16,7 @@ import (
 // instance yields (123, 0.5), (456, 0.8), (789, 0.2).
 func TestBasicPaperExample(t *testing.T) {
 	q := mustParse(t, "q", "SELECT phone FROM Person WHERE addr = 'aaa'")
-	res, err := Basic(q, paperMappings(), paperInstance())
+	res, err := Basic(exec.Sequential(), q, paperMappings(), paperInstance())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestBasicPaperExample(t *testing.T) {
 // attributes (m1..m4 plus m5).
 func TestQ0PaperExample(t *testing.T) {
 	q := mustParse(t, "q0", "SELECT addr FROM Person WHERE phone = '123'")
-	res, err := Basic(q, paperMappings(), paperInstance())
+	res, err := Basic(exec.Sequential(), q, paperMappings(), paperInstance())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,11 +79,11 @@ func TestEBasicClustersDistinctQueries(t *testing.T) {
 	maps := paperMappings()
 	db := paperInstance()
 
-	basic, err := Basic(q, maps, db)
+	basic, err := Basic(exec.Sequential(), q, maps, db)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ebasic, err := EBasic(q, maps, db)
+	ebasic, err := EBasic(exec.Sequential(), q, maps, db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,11 +181,11 @@ func TestQSharingMatchesBasic(t *testing.T) {
 	}
 	for _, text := range queries {
 		q := mustParse(t, "q", text)
-		want, err := Basic(q, maps, db)
+		want, err := Basic(exec.Sequential(), q, maps, db)
 		if err != nil {
 			t.Fatalf("%s: %v", text, err)
 		}
-		got, err := QSharing(q, maps, db)
+		got, err := QSharing(exec.Sequential(), q, maps, db)
 		if err != nil {
 			t.Fatalf("%s: %v", text, err)
 		}
@@ -204,16 +205,16 @@ func TestEMQOMatchesBasic(t *testing.T) {
 	maps := paperMappings()
 	db := paperInstance()
 	q := mustParse(t, "q", "SELECT phone FROM Person WHERE addr = 'aaa'")
-	want, err := Basic(q, maps, db)
+	want, err := Basic(exec.Sequential(), q, maps, db)
 	if err != nil {
 		t.Fatal(err)
 	}
-	emqo, err := EMQO(q, maps, db)
+	emqo, err := EMQO(exec.Sequential(), q, maps, db)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sameAnswers(t, want, emqo, "e-MQO vs basic")
-	ebasic, err := EBasic(q, maps, db)
+	ebasic, err := EBasic(exec.Sequential(), q, maps, db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,12 +243,12 @@ func TestOSharingMatchesBasic(t *testing.T) {
 	}
 	for _, text := range queries {
 		q := mustParse(t, "q", text)
-		want, err := Basic(q, maps, db)
+		want, err := Basic(exec.Sequential(), q, maps, db)
 		if err != nil {
 			t.Fatalf("%s: basic: %v", text, err)
 		}
 		for _, strat := range []Strategy{StrategySEF, StrategySNF, StrategyRandom} {
-			got, err := OSharing(q, maps, db, OSharingOptions{Strategy: strat, RandomSeed: 7})
+			got, err := OSharing(exec.Sequential(), q, maps, db, OSharingOptions{Strategy: strat, RandomSeed: 7})
 			if err != nil {
 				t.Fatalf("%s (%v): %v", text, strat, err)
 			}
@@ -264,11 +265,11 @@ func TestOSharingSharesOperators(t *testing.T) {
 	db := paperInstance()
 	// phone is shared by m1, m2, m3, m5 (ophone); addr splits the mappings.
 	q := mustParse(t, "q", "SELECT pname FROM Person WHERE phone = '123' AND addr = 'hk'")
-	basicRes, err := Basic(q, maps, db)
+	basicRes, err := Basic(exec.Sequential(), q, maps, db)
 	if err != nil {
 		t.Fatal(err)
 	}
-	osRes, err := OSharing(q, maps, db, OSharingOptions{Strategy: StrategySEF})
+	osRes, err := OSharing(exec.Sequential(), q, maps, db, OSharingOptions{Strategy: StrategySEF})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +355,7 @@ func TestOSharingEmptyIntermediatePruning(t *testing.T) {
 	// No customer has oaddr or haddr equal to 'nowhere': every branch dies at
 	// the first selection.
 	q := mustParse(t, "q", "SELECT pname FROM Person WHERE addr = 'nowhere' AND phone = '123'")
-	res, err := OSharing(q, maps, db, OSharingOptions{Strategy: StrategySEF})
+	res, err := OSharing(exec.Sequential(), q, maps, db, OSharingOptions{Strategy: StrategySEF})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,7 +365,7 @@ func TestOSharingEmptyIntermediatePruning(t *testing.T) {
 	if !approxEqual(res.EmptyProb, 1) {
 		t.Errorf("empty prob = %g, want 1", res.EmptyProb)
 	}
-	basicRes, err := Basic(q, maps, db)
+	basicRes, err := Basic(exec.Sequential(), q, maps, db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,11 +375,11 @@ func TestOSharingEmptyIntermediatePruning(t *testing.T) {
 	}
 	// A COUNT query over an empty intermediate still returns 0 as an answer.
 	qc := mustParse(t, "qc", "SELECT COUNT(*) FROM Person WHERE addr = 'nowhere'")
-	resc, err := OSharing(qc, maps, db, OSharingOptions{})
+	resc, err := OSharing(exec.Sequential(), qc, maps, db, OSharingOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantc, err := Basic(qc, maps, db)
+	wantc, err := Basic(exec.Sequential(), qc, maps, db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -394,11 +395,11 @@ func TestNotCoveredMappings(t *testing.T) {
 	// gender is mapped by no mapping: no mapping can answer.
 	q := mustParse(t, "q", "SELECT gender FROM Person WHERE addr = 'aaa'")
 	for name, fn := range map[string]func() (*Result, error){
-		"basic":     func() (*Result, error) { return Basic(q, maps, db) },
-		"e-basic":   func() (*Result, error) { return EBasic(q, maps, db) },
-		"e-MQO":     func() (*Result, error) { return EMQO(q, maps, db) },
-		"q-sharing": func() (*Result, error) { return QSharing(q, maps, db) },
-		"o-sharing": func() (*Result, error) { return OSharing(q, maps, db, OSharingOptions{}) },
+		"basic":     func() (*Result, error) { return Basic(exec.Sequential(), q, maps, db) },
+		"e-basic":   func() (*Result, error) { return EBasic(exec.Sequential(), q, maps, db) },
+		"e-MQO":     func() (*Result, error) { return EMQO(exec.Sequential(), q, maps, db) },
+		"q-sharing": func() (*Result, error) { return QSharing(exec.Sequential(), q, maps, db) },
+		"o-sharing": func() (*Result, error) { return OSharing(exec.Sequential(), q, maps, db, OSharingOptions{}) },
 	} {
 		res, err := fn()
 		if err != nil {
@@ -413,11 +414,11 @@ func TestNotCoveredMappings(t *testing.T) {
 	}
 	// pname is not covered only by m5 (probability 0.1).
 	q2 := mustParse(t, "q2", "SELECT pname FROM Person WHERE addr = 'aaa'")
-	res, err := OSharing(q2, maps, db, OSharingOptions{})
+	res, err := OSharing(exec.Sequential(), q2, maps, db, OSharingOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	basicRes, err := Basic(q2, maps, db)
+	basicRes, err := Basic(exec.Sequential(), q2, maps, db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -430,7 +431,7 @@ func TestEvaluatorDispatch(t *testing.T) {
 	db := paperInstance()
 	ev := NewEvaluator(db, maps)
 	q := mustParse(t, "q", "SELECT phone FROM Person WHERE addr = 'aaa'")
-	want, err := Basic(q, maps, db)
+	want, err := Basic(exec.Sequential(), q, maps, db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -486,11 +487,11 @@ func TestTopKPaperExample(t *testing.T) {
 	db := paperInstance()
 	q := mustParse(t, "q", "SELECT phone FROM Person WHERE addr = 'aaa'")
 
-	full, err := OSharing(q, maps, db, OSharingOptions{})
+	full, err := OSharing(exec.Sequential(), q, maps, db, OSharingOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	top1, err := TopK(q, maps, db, 1, OSharingOptions{})
+	top1, err := TopK(exec.Sequential(), q, maps, db, 1, OSharingOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -524,12 +525,12 @@ func TestTopKMatchesOSharingOrdering(t *testing.T) {
 	}
 	for _, text := range queries {
 		q := mustParse(t, "q", text)
-		full, err := OSharing(q, maps, db, OSharingOptions{})
+		full, err := OSharing(exec.Sequential(), q, maps, db, OSharingOptions{})
 		if err != nil {
 			t.Fatalf("%s: %v", text, err)
 		}
 		for k := 1; k <= len(full.Answers)+1; k++ {
-			topk, err := TopK(q, maps, db, k, OSharingOptions{})
+			topk, err := TopK(exec.Sequential(), q, maps, db, k, OSharingOptions{})
 			if err != nil {
 				t.Fatalf("%s k=%d: %v", text, k, err)
 			}
@@ -568,11 +569,11 @@ func TestTopKEarlyTermination(t *testing.T) {
 	maps := paperMappings()
 	db := paperInstance()
 	q := mustParse(t, "q", "SELECT addr FROM Person WHERE phone = '123'")
-	full, err := OSharing(q, maps, db, OSharingOptions{})
+	full, err := OSharing(exec.Sequential(), q, maps, db, OSharingOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	top1, err := TopK(q, maps, db, 1, OSharingOptions{})
+	top1, err := TopK(exec.Sequential(), q, maps, db, 1, OSharingOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -580,7 +581,7 @@ func TestTopKEarlyTermination(t *testing.T) {
 		t.Errorf("top-1 executed %d operators, full o-sharing %d",
 			top1.Stats.TotalOperators(), full.Stats.TotalOperators())
 	}
-	if _, err := TopK(q, maps, db, 0, OSharingOptions{}); err == nil {
+	if _, err := TopK(exec.Sequential(), q, maps, db, 0, OSharingOptions{}); err == nil {
 		t.Error("k=0 should error")
 	}
 }
@@ -656,11 +657,11 @@ func TestOSharingUnsupportedShape(t *testing.T) {
 	if err := q.Validate(); err != nil {
 		t.Fatalf("fixture query invalid: %v", err)
 	}
-	if _, err := OSharing(q, paperMappings(), paperInstance(), OSharingOptions{}); err == nil {
+	if _, err := OSharing(exec.Sequential(), q, paperMappings(), paperInstance(), OSharingOptions{}); err == nil {
 		t.Error("nested projection should be rejected by o-sharing")
 	}
 	// The basic method still evaluates it.
-	if _, err := Basic(q, paperMappings(), paperInstance()); err != nil {
+	if _, err := Basic(exec.Sequential(), q, paperMappings(), paperInstance()); err != nil {
 		t.Errorf("basic should handle nested projection: %v", err)
 	}
 }

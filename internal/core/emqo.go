@@ -1,11 +1,11 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
 	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/exec"
 	"github.com/probdb/urm/internal/mqo"
 	"github.com/probdb/urm/internal/query"
 	"github.com/probdb/urm/internal/schema"
@@ -21,44 +21,27 @@ import (
 // constructing the global plan is expensive and grows super-linearly with the
 // number of distinct source queries — the behaviour the paper reports in
 // Figure 10(c), where e-MQO eventually becomes slower than basic.
-func EMQO(q *query.Query, maps schema.MappingSet, db *engine.Instance) (*Result, error) {
+//
+// The rewrite phase and the execution of the global plan's independent
+// subtrees run on the runtime's worker pool; the shared-subexpression cache is
+// concurrency-safe with singleflight semantics, so each common subexpression
+// is still executed exactly once.
+func EMQO(ec *exec.Context, q *query.Query, maps schema.MappingSet, db *engine.Instance) (*Result, error) {
 	if err := validateInputs(q, maps, db); err != nil {
 		return nil, err
 	}
 	start := time.Now()
 	res := &Result{Query: q, Method: MethodEMQO, Columns: OutputColumns(q), Stats: engine.NewStats()}
-	ref := query.NewReformulator(q)
 	agg := newAggregator()
 
 	// Phase 1 (same as e-basic): rewrite every mapping, cluster identical
 	// source queries.
 	rewriteStart := time.Now()
-	type cluster struct {
-		plan engine.Plan
-		prob float64
+	rawPlans, err := rewriteAll(ec, q, maps, "e-MQO")
+	if err != nil {
+		return nil, err
 	}
-	clusters := make(map[string]*cluster)
-	var order []string
-	for _, m := range maps {
-		plan, err := ref.Reformulate(m)
-		if err != nil {
-			if errors.Is(err, query.ErrNotCovered) {
-				agg.addEmpty(m.Prob)
-				continue
-			}
-			return nil, fmt.Errorf("e-MQO: reformulating through %s: %w", m.ID, err)
-		}
-		plan = engine.Optimize(plan)
-		res.RewrittenQueries++
-		sig := plan.Signature()
-		c, ok := clusters[sig]
-		if !ok {
-			c = &cluster{plan: plan}
-			clusters[sig] = c
-			order = append(order, sig)
-		}
-		c.prob += m.Prob
-	}
+	clusters, order := clusterPlans(rawPlans, maps, agg, res)
 	res.Partitions = len(order)
 
 	// Phase 2: multiple-query optimisation over the distinct plans.  The
@@ -70,8 +53,7 @@ func EMQO(q *query.Query, maps schema.MappingSet, db *engine.Instance) (*Result,
 		probs[sig] = clusters[sig].prob
 	}
 	if len(plans) == 0 {
-		res.Answers = agg.answers()
-		res.EmptyProb = agg.emptyProb
+		agg.finalize(res)
 		res.RewriteTime = time.Since(rewriteStart)
 		res.TotalTime = time.Since(start)
 		return res, nil
@@ -82,9 +64,10 @@ func EMQO(q *query.Query, maps schema.MappingSet, db *engine.Instance) (*Result,
 	}
 	res.RewriteTime = time.Since(rewriteStart)
 
-	// Phase 3: execute the global plan with a shared-subexpression cache.
+	// Phase 3: execute the global plan on the worker pool with the shared
+	// subexpression cache.
 	execStart := time.Now()
-	rels, err := global.Execute(db, res.Stats)
+	rels, err := global.ExecuteParallel(ec, db, res.Stats)
 	if err != nil {
 		return nil, fmt.Errorf("e-MQO: %w", err)
 	}
@@ -95,9 +78,8 @@ func EMQO(q *query.Query, maps schema.MappingSet, db *engine.Instance) (*Result,
 	for i, rel := range rels {
 		agg.addRelation(rel, probs[global.Queries[i].Signature()])
 	}
-	res.Answers = agg.answers()
-	res.EmptyProb = agg.emptyProb
 	res.AggregateTime = time.Since(aggStart)
+	agg.finalize(res)
 	res.TotalTime = time.Since(start)
 	return res, nil
 }

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/exec"
 	"github.com/probdb/urm/internal/query"
 	"github.com/probdb/urm/internal/schema"
 )
@@ -123,6 +125,12 @@ type Options struct {
 	Strategy Strategy
 	// RandomSeed seeds StrategyRandom so runs are reproducible.
 	RandomSeed int64
+	// Parallelism bounds the number of worker goroutines the evaluation
+	// runtime may use.  0 (the default) selects runtime.GOMAXPROCS(0); 1
+	// forces sequential execution.  Answers are identical — same tuples, same
+	// probabilities, same order — at every setting; parallelism is purely a
+	// performance knob.
+	Parallelism int
 }
 
 // Evaluator evaluates probabilistic target queries over a set of possible
@@ -140,20 +148,33 @@ func NewEvaluator(db *engine.Instance, maps schema.MappingSet) *Evaluator {
 // Evaluate runs the target query with the selected method and returns its
 // probabilistic answers.
 func (e *Evaluator) Evaluate(q *query.Query, opts Options) (*Result, error) {
+	return e.EvaluateContext(context.Background(), q, opts)
+}
+
+// EvaluateContext runs the target query with the selected method under the
+// given context.  The evaluation runtime checks the context between and inside
+// operators, so cancelling it (or letting its deadline pass) aborts the
+// evaluation promptly with the context's error.  Work fans out over
+// opts.Parallelism worker goroutines; answers do not depend on the setting.
+func (e *Evaluator) EvaluateContext(ctx context.Context, q *query.Query, opts Options) (*Result, error) {
 	if err := validateInputs(q, e.Maps, e.DB); err != nil {
+		return nil, err
+	}
+	ec := exec.NewContext(ctx, opts.Parallelism)
+	if err := ec.Err(); err != nil {
 		return nil, err
 	}
 	switch opts.Method {
 	case MethodBasic:
-		return Basic(q, e.Maps, e.DB)
+		return Basic(ec, q, e.Maps, e.DB)
 	case MethodEBasic:
-		return EBasic(q, e.Maps, e.DB)
+		return EBasic(ec, q, e.Maps, e.DB)
 	case MethodEMQO:
-		return EMQO(q, e.Maps, e.DB)
+		return EMQO(ec, q, e.Maps, e.DB)
 	case MethodQSharing:
-		return QSharing(q, e.Maps, e.DB)
+		return QSharing(ec, q, e.Maps, e.DB)
 	case MethodOSharing:
-		return OSharing(q, e.Maps, e.DB, OSharingOptions{Strategy: opts.Strategy, RandomSeed: opts.RandomSeed})
+		return OSharing(ec, q, e.Maps, e.DB, OSharingOptions{Strategy: opts.Strategy, RandomSeed: opts.RandomSeed})
 	default:
 		return nil, fmt.Errorf("evaluate: unknown method %v", opts.Method)
 	}
@@ -162,8 +183,20 @@ func (e *Evaluator) Evaluate(q *query.Query, opts Options) (*Result, error) {
 // EvaluateTopK runs the probabilistic top-k algorithm of Section VII and
 // returns the k answers with the highest probabilities.
 func (e *Evaluator) EvaluateTopK(q *query.Query, k int, opts Options) (*Result, error) {
+	return e.EvaluateTopKContext(context.Background(), q, k, opts)
+}
+
+// EvaluateTopKContext is EvaluateTopK under a context.  The top-k traversal is
+// inherently sequential — its early-termination bounds depend on the visit
+// order of the u-trace — so opts.Parallelism is ignored, but cancellation and
+// deadlines are honoured.
+func (e *Evaluator) EvaluateTopKContext(ctx context.Context, q *query.Query, k int, opts Options) (*Result, error) {
 	if err := validateInputs(q, e.Maps, e.DB); err != nil {
 		return nil, err
 	}
-	return TopK(q, e.Maps, e.DB, k, OSharingOptions{Strategy: opts.Strategy, RandomSeed: opts.RandomSeed})
+	ec := exec.NewContext(ctx, 1)
+	if err := ec.Err(); err != nil {
+		return nil, err
+	}
+	return TopK(ec, q, e.Maps, e.DB, k, OSharingOptions{Strategy: opts.Strategy, RandomSeed: opts.RandomSeed})
 }

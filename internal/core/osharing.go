@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/exec"
 	"github.com/probdb/urm/internal/query"
 	"github.com/probdb/urm/internal/schema"
 )
@@ -26,7 +28,15 @@ type OSharingOptions struct {
 // of e-units, so that the result of executing one source operator is shared by
 // every mapping that translates the corresponding target operator identically,
 // even when the mappings differ elsewhere.
-func OSharing(q *query.Query, maps schema.MappingSet, db *engine.Instance, opts OSharingOptions) (*Result, error) {
+//
+// The subtrees below the first branching node of the u-trace are independent,
+// so they run on the runtime's worker pool; each branch buffers its leaf
+// results, which are then replayed into the aggregator in branch order,
+// reproducing the sequential depth-first visit exactly.  Operator selection
+// (SEF/SNF/Random) stays deterministic at any parallelism: every u-trace node
+// derives its Random seed from its position in the trace rather than from a
+// shared generator.
+func OSharing(ec *exec.Context, q *query.Query, maps schema.MappingSet, db *engine.Instance, opts OSharingOptions) (*Result, error) {
 	if err := validateInputs(q, maps, db); err != nil {
 		return nil, err
 	}
@@ -35,7 +45,7 @@ func OSharing(q *query.Query, maps schema.MappingSet, db *engine.Instance, opts 
 
 	agg := newAggregator()
 	sink := &collectSink{agg: agg}
-	if err := runOSharing(q, maps, db, opts, res, sink); err != nil {
+	if err := runOSharing(ec, q, maps, db, opts, res, sink); err != nil {
 		return nil, err
 	}
 	aggStart := time.Now()
@@ -76,8 +86,9 @@ func (s *collectSink) onEmpty(prob float64) bool {
 
 // runOSharing drives Algorithm 2 for either o-sharing or top-k (which differ
 // only in the sink).  It fills the rewrite/exec timing and partition fields of
-// res.
-func runOSharing(q *query.Query, maps schema.MappingSet, db *engine.Instance, opts OSharingOptions, res *Result, sink resultSink) error {
+// res.  Top-k callers pass a sequential context: early termination depends on
+// the visit order, so only the plain collecting sink may run parallel.
+func runOSharing(ec *exec.Context, q *query.Query, maps schema.MappingSet, db *engine.Instance, opts OSharingOptions, res *Result, sink resultSink) error {
 	nq, err := normalizeQuery(q)
 	if err != nil {
 		return fmt.Errorf("o-sharing: %w", err)
@@ -108,9 +119,9 @@ func runOSharing(q *query.Query, maps schema.MappingSet, db *engine.Instance, op
 	osh := &osharer{
 		nq:       nq,
 		db:       db,
+		ec:       ec,
 		stats:    res.Stats,
 		strategy: opts.Strategy,
-		rng:      rand.New(rand.NewSource(seed)),
 		sink:     sink,
 	}
 
@@ -118,12 +129,27 @@ func runOSharing(q *query.Query, maps schema.MappingSet, db *engine.Instance, op
 	execStart := time.Now()
 	u1 := newEUnit(nq, reps)
 	// Step 4: recursively expand the u-trace.
-	_, err = osh.runQT(u1)
+	_, err = osh.runQT(u1, seed)
 	res.ExecTime = time.Since(execStart)
 	if err != nil {
 		return fmt.Errorf("o-sharing: %w", err)
 	}
 	return nil
+}
+
+// splitSeed derives a deterministic child seed for the idx-th branch below a
+// u-trace node (SplitMix64 finalizer).  Deriving per-branch seeds from the
+// trace position instead of consuming a shared generator is what keeps
+// StrategyRandom reproducible no matter how branches are scheduled across
+// workers.
+func splitSeed(seed int64, idx int) int64 {
+	x := uint64(seed) + 0x9e3779b97f4a7c15*uint64(idx+1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
 }
 
 // opKind enumerates the target-operator classes handled by o-sharing.
@@ -394,15 +420,42 @@ func (u *eUnit) replaceFragments(remove []*fragment, add *fragment) {
 type osharer struct {
 	nq       *normalizedQuery
 	db       *engine.Instance
+	ec       *exec.Context
 	stats    *engine.Stats
 	strategy Strategy
-	rng      *rand.Rand
 	sink     resultSink
 }
 
+// sinkEvent is one buffered leaf result of a u-trace branch: an answer
+// relation with its probability mass, or (rel == nil) empty-answer mass.
+type sinkEvent struct {
+	rel  *engine.Relation
+	prob float64
+}
+
+// bufferSink records leaf results instead of aggregating them, so a branch
+// explored on a worker can replay them into the real sink in branch order.
+type bufferSink struct {
+	events []sinkEvent
+}
+
+func (s *bufferSink) onAnswers(rel *engine.Relation, prob float64) bool {
+	s.events = append(s.events, sinkEvent{rel: rel, prob: prob})
+	return false
+}
+
+func (s *bufferSink) onEmpty(prob float64) bool {
+	s.events = append(s.events, sinkEvent{prob: prob})
+	return false
+}
+
 // runQT is the recursive run_qt function of Algorithm 2.  It returns true when
-// the sink asked to stop the traversal (top-k early termination).
-func (os *osharer) runQT(u *eUnit) (bool, error) {
+// the sink asked to stop the traversal (top-k early termination).  seed is the
+// node's deterministic position-derived seed for StrategyRandom.
+func (os *osharer) runQT(u *eUnit, seed int64) (bool, error) {
+	if err := os.ec.Err(); err != nil {
+		return false, err
+	}
 	// Case 2: an empty intermediate relation makes the remaining result empty
 	// (or a trivially computable aggregate over an empty input).
 	if u.hasEmptyFragment() && !u.allDone() {
@@ -423,7 +476,7 @@ func (os *osharer) runQT(u *eUnit) (bool, error) {
 
 	// Case 3: choose the next operator, execute it once per mapping partition,
 	// and recurse into the child e-units.
-	op, parts, err := os.chooseNext(u)
+	op, parts, err := os.chooseNext(u, seed)
 	if err != nil {
 		return false, err
 	}
@@ -431,7 +484,14 @@ func (os *osharer) runQT(u *eUnit) (bool, error) {
 	// the top-k bounds as early as possible.
 	sort.SliceStable(parts, func(i, j int) bool { return parts[i].Prob > parts[j].Prob })
 
-	for _, p := range parts {
+	// The partitions' subtrees are independent: fan them out over the worker
+	// pool at the first branching node.  Below it, branches run sequentially
+	// (their contexts carry parallelism 1).
+	if os.ec.Parallelism() > 1 && len(parts) > 1 {
+		return os.runBranchesParallel(u, op, parts, seed)
+	}
+
+	for idx, p := range parts {
 		child, execErr := os.executeOp(u, op, p)
 		if execErr != nil {
 			if errors.Is(execErr, query.ErrNotCovered) {
@@ -443,7 +503,7 @@ func (os *osharer) runQT(u *eUnit) (bool, error) {
 			}
 			return false, execErr
 		}
-		stop, err := os.runQT(child)
+		stop, err := os.runQT(child, splitSeed(seed, idx))
 		if err != nil {
 			return false, err
 		}
@@ -452,6 +512,65 @@ func (os *osharer) runQT(u *eUnit) (bool, error) {
 		}
 	}
 	return false, nil
+}
+
+// runBranchesParallel explores the partitions' subtrees on the worker pool.
+// Each branch runs a private sequential osharer that buffers its leaf results
+// and records into private statistics; results are replayed into the real sink
+// and the statistics merged in branch order, so the observable behaviour is
+// exactly the sequential depth-first traversal.
+func (os *osharer) runBranchesParallel(u *eUnit, op *targetOp, parts []*Partition, seed int64) (bool, error) {
+	type branchOut struct {
+		events []sinkEvent
+		stats  *engine.Stats
+	}
+	stopped := false
+	err := exec.Map(os.ec, len(parts),
+		func(ctx context.Context, i int) (*branchOut, error) {
+			buf := &bufferSink{}
+			sub := &osharer{
+				nq:       os.nq,
+				db:       os.db,
+				ec:       exec.NewContext(ctx, 1),
+				stats:    engine.NewStats(),
+				strategy: os.strategy,
+				sink:     buf,
+			}
+			child, execErr := sub.executeOp(u, op, parts[i])
+			if execErr != nil {
+				if errors.Is(execErr, query.ErrNotCovered) {
+					buf.onEmpty(parts[i].Prob)
+					return &branchOut{events: buf.events, stats: sub.stats}, nil
+				}
+				return nil, execErr
+			}
+			if _, err := sub.runQT(child, splitSeed(seed, i)); err != nil {
+				return nil, err
+			}
+			return &branchOut{events: buf.events, stats: sub.stats}, nil
+		},
+		func(i int, b *branchOut) error {
+			os.stats.Add(b.stats)
+			if stopped {
+				return nil
+			}
+			for _, ev := range b.events {
+				if ev.rel == nil {
+					if os.sink.onEmpty(ev.prob) {
+						stopped = true
+						break
+					}
+				} else if os.sink.onAnswers(ev.rel, ev.prob) {
+					stopped = true
+					break
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return false, err
+	}
+	return stopped, nil
 }
 
 // finishEmpty handles Case 2: the e-unit contains an empty intermediate
@@ -466,7 +585,7 @@ func (os *osharer) finishEmpty(u *eUnit) (bool, error) {
 		if agg.Func != engine.AggCount {
 			col = "v"
 		}
-		rel, err := engine.Aggregate(emptyIn, agg.Func, col, os.stats)
+		rel, err := engine.Aggregate(os.ec.Ctx(), emptyIn, agg.Func, col, os.stats)
 		if err != nil {
 			return false, err
 		}
@@ -561,8 +680,9 @@ func (os *osharer) partitionAttrs(u *eUnit, op *targetOp) ([]schema.Attribute, e
 // chooseNext implements the next() function of Algorithm 2 with the strategy
 // of Section VI-A: among executable operators, pick by Random, SNF (fewest
 // partitions) or SEF (lowest entropy), and return the chosen operator together
-// with the partitioning of the e-unit's mappings with respect to it.
-func (os *osharer) chooseNext(u *eUnit) (*targetOp, []*Partition, error) {
+// with the partitioning of the e-unit's mappings with respect to it.  seed
+// drives StrategyRandom for this node only.
+func (os *osharer) chooseNext(u *eUnit, seed int64) (*targetOp, []*Partition, error) {
 	type candidate struct {
 		op    *targetOp
 		parts []*Partition
@@ -584,7 +704,7 @@ func (os *osharer) chooseNext(u *eUnit) (*targetOp, []*Partition, error) {
 	best := 0
 	switch os.strategy {
 	case StrategyRandom:
-		best = os.rng.Intn(len(cands))
+		best = rand.New(rand.NewSource(seed)).Intn(len(cands))
 	case StrategySNF:
 		for i := 1; i < len(cands); i++ {
 			if len(cands[i].parts) < len(cands[best].parts) {
@@ -617,12 +737,12 @@ func (os *osharer) ensureIncluded(frag *fragment, alias, srcRel string) error {
 	if base == nil {
 		return fmt.Errorf("o-sharing: unknown source relation %q", srcRel)
 	}
-	os.stats.Operators["scan"]++
+	os.stats.RecordOp("scan")
 	scanned := base.QualifyColumns(alias + "." + srcRel)
 	if frag.rel == nil {
 		frag.rel = scanned
 	} else {
-		prod, err := engine.Product(frag.rel, scanned, os.stats)
+		prod, err := engine.Product(os.ec.Ctx(), frag.rel, scanned, os.stats)
 		if err != nil {
 			return err
 		}
@@ -707,7 +827,7 @@ func (os *osharer) mergeFragments(u *eUnit, frags []*fragment, m *schema.Mapping
 		if merged.rel == nil {
 			merged.rel = f.rel
 		} else {
-			prod, err := engine.Product(merged.rel, f.rel, os.stats)
+			prod, err := engine.Product(os.ec.Ctx(), merged.rel, f.rel, os.stats)
 			if err != nil {
 				return nil, err
 			}
@@ -745,7 +865,7 @@ func (os *osharer) executeOp(u *eUnit, op *targetOp, p *Partition) (*eUnit, erro
 		if err != nil {
 			return nil, err
 		}
-		out, err := engine.Select(frag.rel, &engine.ConstPredicate{Column: col, Op: op.sel.Op, Value: op.sel.Value}, os.stats)
+		out, err := engine.Select(os.ec.Ctx(), frag.rel, &engine.ConstPredicate{Column: col, Op: op.sel.Op, Value: op.sel.Value}, os.stats)
 		if err != nil {
 			return nil, err
 		}
@@ -776,11 +896,11 @@ func (os *osharer) executeOp(u *eUnit, op *targetOp, p *Partition) (*eUnit, erro
 			}
 			var joined *engine.Relation
 			if op.jsel.Op == engine.OpEq {
-				joined, err = engine.HashJoin(leftFrag.rel, rightFrag.rel, leftCol, rightCol, os.stats)
+				joined, err = engine.HashJoin(os.ec.Ctx(), leftFrag.rel, rightFrag.rel, leftCol, rightCol, os.stats)
 			} else {
-				joined, err = engine.Product(leftFrag.rel, rightFrag.rel, os.stats)
+				joined, err = engine.Product(os.ec.Ctx(), leftFrag.rel, rightFrag.rel, os.stats)
 				if err == nil {
-					joined, err = engine.Select(joined, &engine.ColPredicate{Left: leftCol, Op: op.jsel.Op, Right: rightCol}, os.stats)
+					joined, err = engine.Select(os.ec.Ctx(), joined, &engine.ColPredicate{Left: leftCol, Op: op.jsel.Op, Right: rightCol}, os.stats)
 				}
 			}
 			if err != nil {
@@ -790,7 +910,7 @@ func (os *osharer) executeOp(u *eUnit, op *targetOp, p *Partition) (*eUnit, erro
 			child.replaceFragments([]*fragment{leftFrag, rightFrag}, merged)
 			return child, nil
 		}
-		out, err := engine.Select(leftFrag.rel, &engine.ColPredicate{Left: leftCol, Op: op.jsel.Op, Right: rightCol}, os.stats)
+		out, err := engine.Select(os.ec.Ctx(), leftFrag.rel, &engine.ColPredicate{Left: leftCol, Op: op.jsel.Op, Right: rightCol}, os.stats)
 		if err != nil {
 			return nil, err
 		}
@@ -834,7 +954,7 @@ func (os *osharer) executeOp(u *eUnit, op *targetOp, p *Partition) (*eUnit, erro
 				}
 				cols[i] = col
 			}
-			out, err := engine.Project(merged.rel, cols, os.stats)
+			out, err := engine.Project(os.ec.Ctx(), merged.rel, cols, os.stats)
 			if err != nil {
 				return nil, err
 			}
@@ -849,7 +969,7 @@ func (os *osharer) executeOp(u *eUnit, op *targetOp, p *Partition) (*eUnit, erro
 				}
 				col = c
 			}
-			out, err := engine.Aggregate(merged.rel, final.Func, col, os.stats)
+			out, err := engine.Aggregate(os.ec.Ctx(), merged.rel, final.Func, col, os.stats)
 			if err != nil {
 				return nil, err
 			}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/exec"
 	"github.com/probdb/urm/internal/query"
 	"github.com/probdb/urm/internal/schema"
 )
@@ -18,12 +19,17 @@ import (
 // Compared with e-basic, q-sharing avoids rewriting one source query per
 // mapping: the partition tree works directly on the mappings' correspondences
 // for the query's target attributes.
-func QSharing(q *query.Query, maps schema.MappingSet, db *engine.Instance) (*Result, error) {
+//
+// The per-partition evaluations are independent and run on the runtime's
+// worker pool; answers are aggregated in partition order, so the result is
+// identical at any parallelism.
+func QSharing(ec *exec.Context, q *query.Query, maps schema.MappingSet, db *engine.Instance) (*Result, error) {
 	if err := validateInputs(q, maps, db); err != nil {
 		return nil, err
 	}
 	start := time.Now()
 	res := &Result{Query: q, Method: MethodQSharing, Columns: OutputColumns(q), Stats: engine.NewStats()}
+	agg := newAggregator()
 
 	// Step 1: partition the mappings with the partition tree.
 	rewriteStart := time.Now()
@@ -36,10 +42,12 @@ func QSharing(q *query.Query, maps schema.MappingSet, db *engine.Instance) (*Res
 	res.Partitions = len(parts)
 	res.RewriteTime = time.Since(rewriteStart)
 
-	// Step 3: run basic over the representatives.
-	if err := basicOver(q, reps, db, res); err != nil {
+	// Step 3: run basic over the representatives (one evaluation per partition
+	// leaf, fanned out over the pool).
+	if err := basicOver(ec, q, reps, db, res, agg); err != nil {
 		return nil, fmt.Errorf("q-sharing: %w", err)
 	}
+	agg.finalize(res)
 	res.TotalTime = time.Since(start)
 	return res, nil
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/exec"
 	"github.com/probdb/urm/internal/query"
 	"github.com/probdb/urm/internal/schema"
 )
@@ -21,7 +22,12 @@ const MethodTopK Method = 100
 // highest probabilities are determined.  The reported probabilities are the
 // lower bounds accumulated so far — the algorithm deliberately avoids
 // computing exact probabilities.
-func TopK(q *query.Query, maps schema.MappingSet, db *engine.Instance, k int, opts OSharingOptions) (*Result, error) {
+//
+// The traversal runs sequentially regardless of the runtime's parallelism:
+// the early-termination bounds depend on the order e-units are visited, so a
+// concurrent exploration would change which leaves are executed.  The
+// context's cancellation and deadline are still honoured.
+func TopK(ec *exec.Context, q *query.Query, maps schema.MappingSet, db *engine.Instance, k int, opts OSharingOptions) (*Result, error) {
 	if err := validateInputs(q, maps, db); err != nil {
 		return nil, err
 	}
@@ -32,7 +38,7 @@ func TopK(q *query.Query, maps schema.MappingSet, db *engine.Instance, k int, op
 	res := &Result{Query: q, Method: MethodTopK, Columns: OutputColumns(q), Stats: engine.NewStats()}
 
 	sink := newTopkSink(k)
-	if err := runOSharing(q, maps, db, opts, res, sink); err != nil {
+	if err := runOSharing(ec.WithParallelism(1), q, maps, db, opts, res, sink); err != nil {
 		return nil, err
 	}
 	aggStart := time.Now()

@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// PlanCache memoizes materialized plan results by canonical signature.  It is
+// the shared-subexpression store of the MQO substrate and is safe for
+// concurrent use: when several executors request the same signature at once,
+// exactly one computes it and the others block until the result is ready
+// (singleflight), so every distinct subexpression is executed exactly once no
+// matter how the queries sharing it are scheduled across workers.
+type PlanCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	rel  *Relation
+	err  error
+}
+
+// NewPlanCache returns an empty cache.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{entries: make(map[string]*cacheEntry)}
+}
+
+// GetOrCompute returns the cached result for the signature, computing it with
+// compute on first request.  A compute error is cached too, so a failing
+// subexpression fails every query sharing it without being retried — except
+// context cancellation/deadline errors, whose entry is evicted so a later run
+// with a live context can recompute the subexpression.
+func (c *PlanCache) GetOrCompute(sig string, compute func() (*Relation, error)) (*Relation, error) {
+	c.mu.Lock()
+	e, ok := c.entries[sig]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[sig] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.rel, e.err = compute()
+		if errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded) {
+			c.mu.Lock()
+			if c.entries[sig] == e {
+				delete(c.entries, sig)
+			}
+			c.mu.Unlock()
+		}
+	})
+	return e.rel, e.err
+}
+
+// Len returns the number of cached signatures.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,10 +1,14 @@
 package engine
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"testing/quick"
 )
+
+// bgCtx is the no-cancellation context shared by operator-level tests.
+var bgCtx = context.Background()
 
 // customerRelation builds the Customer relation of Figure 2 in the paper.
 func customerRelation() *Relation {
@@ -117,7 +121,7 @@ func TestRelationColumnResolution(t *testing.T) {
 		t.Errorf("missing column = %d, want -1", idx)
 	}
 	// Ambiguity: product of Customer with itself has two cid columns.
-	p, err := Product(customerRelation().QualifyColumns("A"), customerRelation().QualifyColumns("B"), NewStats())
+	p, err := Product(bgCtx, customerRelation().QualifyColumns("A"), customerRelation().QualifyColumns("B"), NewStats())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +165,7 @@ func TestRelationAppendAndClone(t *testing.T) {
 func TestSelectOperator(t *testing.T) {
 	stats := NewStats()
 	rel := customerRelation()
-	out, err := Select(rel, Eq("oaddr", S("aaa")), stats)
+	out, err := Select(bgCtx, rel, Eq("oaddr", S("aaa")), stats)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,15 +175,15 @@ func TestSelectOperator(t *testing.T) {
 	if stats.Operators["select"] != 1 {
 		t.Errorf("select operator count = %d", stats.Operators["select"])
 	}
-	if _, err := Select(rel, Eq("missing", S("x")), stats); err == nil {
+	if _, err := Select(bgCtx, rel, Eq("missing", S("x")), stats); err == nil {
 		t.Error("select on missing column should error")
 	}
 	// Comparison operators.
-	gt, err := Select(orderRelation(), &ConstPredicate{Column: "amount", Op: OpGt, Value: F(50)}, stats)
+	gt, err := Select(bgCtx, orderRelation(), &ConstPredicate{Column: "amount", Op: OpGt, Value: F(50)}, stats)
 	if err != nil || gt.NumRows() != 1 {
 		t.Errorf("amount > 50: rows=%v err=%v", gt.NumRows(), err)
 	}
-	ne, err := Select(rel, &ConstPredicate{Column: "cname", Op: OpNe, Value: S("Alice")}, stats)
+	ne, err := Select(bgCtx, rel, &ConstPredicate{Column: "cname", Op: OpNe, Value: S("Alice")}, stats)
 	if err != nil || ne.NumRows() != 2 {
 		t.Errorf("cname != Alice: rows=%v err=%v", ne.NumRows(), err)
 	}
@@ -187,7 +191,7 @@ func TestSelectOperator(t *testing.T) {
 
 func TestProjectOperator(t *testing.T) {
 	stats := NewStats()
-	out, err := Project(customerRelation(), []string{"cname", "oaddr"}, stats)
+	out, err := Project(bgCtx, customerRelation(), []string{"cname", "oaddr"}, stats)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +201,7 @@ func TestProjectOperator(t *testing.T) {
 	if out.Rows[0][0].Str != "Alice" || out.Rows[0][1].Str != "aaa" {
 		t.Errorf("project row = %v", out.Rows[0])
 	}
-	if _, err := Project(customerRelation(), []string{"nosuch"}, stats); err == nil {
+	if _, err := Project(bgCtx, customerRelation(), []string{"nosuch"}, stats); err == nil {
 		t.Error("project on missing column should error")
 	}
 }
@@ -206,28 +210,28 @@ func TestProductAndJoin(t *testing.T) {
 	stats := NewStats()
 	c := customerRelation().QualifyColumns("Customer")
 	o := orderRelation().QualifyColumns("C_Order")
-	p, err := Product(c, o, stats)
+	p, err := Product(bgCtx, c, o, stats)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p.NumRows() != 9 || p.NumColumns() != 9 {
 		t.Errorf("product shape = %dx%d, want 9x9", p.NumRows(), p.NumColumns())
 	}
-	j, err := HashJoin(c, o, "Customer.cid", "C_Order.cid", stats)
+	j, err := HashJoin(bgCtx, c, o, "Customer.cid", "C_Order.cid", stats)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if j.NumRows() != 3 {
 		t.Errorf("join rows = %d, want 3", j.NumRows())
 	}
-	if _, err := HashJoin(c, o, "bad", "C_Order.cid", stats); err == nil {
+	if _, err := HashJoin(bgCtx, c, o, "bad", "C_Order.cid", stats); err == nil {
 		t.Error("join with bad left column should error")
 	}
-	if _, err := HashJoin(c, o, "Customer.cid", "bad", stats); err == nil {
+	if _, err := HashJoin(bgCtx, c, o, "Customer.cid", "bad", stats); err == nil {
 		t.Error("join with bad right column should error")
 	}
 	// Join must equal product followed by an equality selection.
-	sel, err := Select(p, ColEq("Customer.cid", "C_Order.cid"), stats)
+	sel, err := Select(bgCtx, p, ColEq("Customer.cid", "C_Order.cid"), stats)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +246,7 @@ func TestDistinct(t *testing.T) {
 	r.MustAppend(Tuple{S("x")})
 	r.MustAppend(Tuple{S("x")})
 	r.MustAppend(Tuple{S("y")})
-	d, err := Distinct(r, stats)
+	d, err := Distinct(bgCtx, r, stats)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +270,7 @@ func TestAggregates(t *testing.T) {
 		{AggMax, "amount", F(100.5)},
 	}
 	for _, c := range cases {
-		out, err := Aggregate(o, c.fn, c.col, stats)
+		out, err := Aggregate(bgCtx, o, c.fn, c.col, stats)
 		if err != nil {
 			t.Fatalf("%s: %v", c.fn, err)
 		}
@@ -274,22 +278,22 @@ func TestAggregates(t *testing.T) {
 			t.Errorf("%s = %v, want %v", c.fn, out.Rows[0][0], c.want)
 		}
 	}
-	if _, err := Aggregate(o, AggSum, "missing", stats); err == nil {
+	if _, err := Aggregate(bgCtx, o, AggSum, "missing", stats); err == nil {
 		t.Error("SUM on missing column should error")
 	}
-	if _, err := Aggregate(o, AggSum, "oid", stats); err != nil {
+	if _, err := Aggregate(bgCtx, o, AggSum, "oid", stats); err != nil {
 		t.Errorf("SUM on int column should work: %v", err)
 	}
 	empty := NewRelation("E", []string{"x"})
-	avg, err := Aggregate(empty, AggAvg, "x", stats)
+	avg, err := Aggregate(bgCtx, empty, AggAvg, "x", stats)
 	if err != nil || !avg.Rows[0][0].IsNull() {
 		t.Errorf("AVG of empty = %v, %v; want NULL", avg.Rows[0][0], err)
 	}
-	mn, err := Aggregate(empty, AggMin, "x", stats)
+	mn, err := Aggregate(bgCtx, empty, AggMin, "x", stats)
 	if err != nil || !mn.Rows[0][0].IsNull() {
 		t.Errorf("MIN of empty = %v, %v; want NULL", mn.Rows[0][0], err)
 	}
-	cnt, err := Aggregate(empty, AggCount, "", stats)
+	cnt, err := Aggregate(bgCtx, empty, AggCount, "", stats)
 	if err != nil || cnt.Rows[0][0].Int != 0 {
 		t.Errorf("COUNT of empty = %v, %v; want 0", cnt.Rows[0][0], err)
 	}
@@ -520,7 +524,7 @@ func TestSelectProperty(t *testing.T) {
 			rel.MustAppend(Tuple{I(int64(v))})
 		}
 		pred := &ConstPredicate{Column: "v", Op: OpGe, Value: I(int64(threshold))}
-		out, err := Select(rel, pred, NewStats())
+		out, err := Select(bgCtx, rel, pred, NewStats())
 		if err != nil {
 			return false
 		}
@@ -551,15 +555,15 @@ func TestAlgebraProperties(t *testing.T) {
 			rb.MustAppend(Tuple{I(int64(v % 4))})
 		}
 		st := NewStats()
-		p, err := Product(ra, rb, st)
+		p, err := Product(bgCtx, ra, rb, st)
 		if err != nil || p.NumRows() != ra.NumRows()*rb.NumRows() {
 			return false
 		}
-		d1, err := Distinct(ra, st)
+		d1, err := Distinct(bgCtx, ra, st)
 		if err != nil {
 			return false
 		}
-		d2, err := Distinct(d1, st)
+		d2, err := Distinct(bgCtx, d1, st)
 		if err != nil {
 			return false
 		}

@@ -1,14 +1,24 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"sync"
 )
 
 // Stats records the work done by the engine while evaluating plans.  The
 // evaluation algorithms in internal/core share one Stats per query run so that
 // the number of executed source operators (Table IV), rows scanned and
 // intermediate tuples produced can be reported.
+//
+// Recording is safe for concurrent use: the evaluation runtime gives each
+// worker its own Stats and merges them with Add when the worker's results are
+// consumed, but operators recording into a shared collector from several
+// goroutines is also correct.  The exported fields may be read directly once
+// evaluation has finished.
 type Stats struct {
+	mu sync.Mutex
+
 	// Operators counts executed physical operators by kind name
 	// ("select", "project", "product", "join", "aggregate", "distinct", "scan").
 	Operators map[string]int
@@ -25,6 +35,8 @@ func (s *Stats) record(op string, in, out int) {
 	if s == nil {
 		return
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.Operators == nil {
 		s.Operators = make(map[string]int)
 	}
@@ -33,11 +45,18 @@ func (s *Stats) record(op string, in, out int) {
 	s.RowsProduced += out
 }
 
+// RecordOp counts one executed operator of the given kind without row
+// accounting (o-sharing uses it for scans whose rows are consumed lazily by
+// the operators reading the fragment).
+func (s *Stats) RecordOp(op string) { s.record(op, 0, 0) }
+
 // TotalOperators returns the total number of executed physical operators.
 func (s *Stats) TotalOperators() int {
 	if s == nil {
 		return 0
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n := 0
 	for _, c := range s.Operators {
 		n += c
@@ -47,17 +66,27 @@ func (s *Stats) TotalOperators() int {
 
 // Add accumulates another collector into s.
 func (s *Stats) Add(o *Stats) {
-	if s == nil || o == nil {
+	if s == nil || o == nil || s == o {
 		return
 	}
+	o.mu.Lock()
+	ops := make(map[string]int, len(o.Operators))
+	for k, v := range o.Operators {
+		ops[k] = v
+	}
+	read, produced := o.RowsRead, o.RowsProduced
+	o.mu.Unlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.Operators == nil {
 		s.Operators = make(map[string]int)
 	}
-	for k, v := range o.Operators {
+	for k, v := range ops {
 		s.Operators[k] += v
 	}
-	s.RowsRead += o.RowsRead
-	s.RowsProduced += o.RowsProduced
+	s.RowsRead += read
+	s.RowsProduced += produced
 }
 
 // Reset clears the collector.
@@ -65,15 +94,44 @@ func (s *Stats) Reset() {
 	if s == nil {
 		return
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.Operators = make(map[string]int)
 	s.RowsRead = 0
 	s.RowsProduced = 0
 }
 
+// checkInterval is the number of rows an operator processes between
+// cancellation checks: small enough that cancelling a long-running operator
+// takes effect promptly, large enough that the check cost is negligible.
+const checkInterval = 4096
+
+// canceled returns the context's error if it is done, and nil otherwise
+// (including for a nil context).
+func canceled(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
 // Select returns the rows of rel satisfying the predicate.
-func Select(rel *Relation, pred Predicate, stats *Stats) (*Relation, error) {
+func Select(ctx context.Context, rel *Relation, pred Predicate, stats *Stats) (*Relation, error) {
+	if err := canceled(ctx); err != nil {
+		return nil, err
+	}
 	out := NewRelation(rel.Name, rel.Columns)
-	for _, row := range rel.Rows {
+	for i, row := range rel.Rows {
+		if i%checkInterval == checkInterval-1 {
+			if err := canceled(ctx); err != nil {
+				return nil, err
+			}
+		}
 		ok, err := pred.Eval(rel, row)
 		if err != nil {
 			return nil, err
@@ -88,7 +146,10 @@ func Select(rel *Relation, pred Predicate, stats *Stats) (*Relation, error) {
 
 // Project returns rel restricted to the given columns, in the given order.
 // Duplicate rows are preserved (bag semantics); use Distinct to remove them.
-func Project(rel *Relation, columns []string, stats *Stats) (*Relation, error) {
+func Project(ctx context.Context, rel *Relation, columns []string, stats *Stats) (*Relation, error) {
+	if err := canceled(ctx); err != nil {
+		return nil, err
+	}
 	idx := make([]int, len(columns))
 	outCols := make([]string, len(columns))
 	for i, c := range columns {
@@ -101,7 +162,12 @@ func Project(rel *Relation, columns []string, stats *Stats) (*Relation, error) {
 	}
 	out := NewRelation(rel.Name, outCols)
 	out.Rows = make([]Tuple, 0, len(rel.Rows))
-	for _, row := range rel.Rows {
+	for i, row := range rel.Rows {
+		if i%checkInterval == checkInterval-1 {
+			if err := canceled(ctx); err != nil {
+				return nil, err
+			}
+		}
 		t := make(Tuple, len(idx))
 		for i, j := range idx {
 			t[i] = row[j]
@@ -114,14 +180,24 @@ func Project(rel *Relation, columns []string, stats *Stats) (*Relation, error) {
 
 // Product returns the Cartesian product of two relations.  Column names are
 // kept as-is, so callers should qualify them beforehand when they may collide.
-func Product(left, right *Relation, stats *Stats) (*Relation, error) {
+func Product(ctx context.Context, left, right *Relation, stats *Stats) (*Relation, error) {
+	if err := canceled(ctx); err != nil {
+		return nil, err
+	}
 	cols := make([]string, 0, len(left.Columns)+len(right.Columns))
 	cols = append(cols, left.Columns...)
 	cols = append(cols, right.Columns...)
 	out := NewRelation(left.Name+"x"+right.Name, cols)
 	out.Rows = make([]Tuple, 0, len(left.Rows)*len(right.Rows))
+	produced := 0
 	for _, lr := range left.Rows {
 		for _, rr := range right.Rows {
+			produced++
+			if produced%checkInterval == 0 {
+				if err := canceled(ctx); err != nil {
+					return nil, err
+				}
+			}
 			t := make(Tuple, 0, len(lr)+len(rr))
 			t = append(t, lr...)
 			t = append(t, rr...)
@@ -134,7 +210,10 @@ func Product(left, right *Relation, stats *Stats) (*Relation, error) {
 
 // HashJoin returns the equi-join of left and right on leftCol = rightCol.
 // It builds a hash table on the smaller input.
-func HashJoin(left, right *Relation, leftCol, rightCol string, stats *Stats) (*Relation, error) {
+func HashJoin(ctx context.Context, left, right *Relation, leftCol, rightCol string, stats *Stats) (*Relation, error) {
+	if err := canceled(ctx); err != nil {
+		return nil, err
+	}
 	li := left.ColumnIndex(leftCol)
 	if li < 0 {
 		return nil, fmt.Errorf("join: column %q not found in %v", leftCol, left.Columns)
@@ -150,13 +229,25 @@ func HashJoin(left, right *Relation, leftCol, rightCol string, stats *Stats) (*R
 
 	// Build on the right side.
 	build := make(map[string][]Tuple, len(right.Rows))
-	for _, rr := range right.Rows {
+	for i, rr := range right.Rows {
+		if i%checkInterval == checkInterval-1 {
+			if err := canceled(ctx); err != nil {
+				return nil, err
+			}
+		}
 		k := Tuple{rr[ri]}.Key()
 		build[k] = append(build[k], rr)
 	}
+	probed := 0
 	for _, lr := range left.Rows {
 		k := Tuple{lr[li]}.Key()
 		for _, rr := range build[k] {
+			probed++
+			if probed%checkInterval == 0 {
+				if err := canceled(ctx); err != nil {
+					return nil, err
+				}
+			}
 			t := make(Tuple, 0, len(lr)+len(rr))
 			t = append(t, lr...)
 			t = append(t, rr...)
@@ -168,10 +259,18 @@ func HashJoin(left, right *Relation, leftCol, rightCol string, stats *Stats) (*R
 }
 
 // Distinct removes duplicate rows, preserving first-seen order.
-func Distinct(rel *Relation, stats *Stats) (*Relation, error) {
+func Distinct(ctx context.Context, rel *Relation, stats *Stats) (*Relation, error) {
+	if err := canceled(ctx); err != nil {
+		return nil, err
+	}
 	out := NewRelation(rel.Name, rel.Columns)
 	seen := make(map[string]bool, len(rel.Rows))
-	for _, row := range rel.Rows {
+	for i, row := range rel.Rows {
+		if i%checkInterval == checkInterval-1 {
+			if err := canceled(ctx); err != nil {
+				return nil, err
+			}
+		}
 		k := row.Key()
 		if seen[k] {
 			continue
@@ -218,7 +317,10 @@ func (f AggFunc) String() string {
 // the column (counting rows); the other functions require a numeric column
 // except MIN/MAX which also order strings.  The result relation has a single
 // column named after the aggregate.
-func Aggregate(rel *Relation, fn AggFunc, column string, stats *Stats) (*Relation, error) {
+func Aggregate(ctx context.Context, rel *Relation, fn AggFunc, column string, stats *Stats) (*Relation, error) {
+	if err := canceled(ctx); err != nil {
+		return nil, err
+	}
 	outCol := fn.String()
 	if column != "" {
 		outCol = fn.String() + "(" + column + ")"
@@ -235,7 +337,12 @@ func Aggregate(rel *Relation, fn AggFunc, column string, stats *Stats) (*Relatio
 		}
 		sum := 0.0
 		n := 0
-		for _, row := range rel.Rows {
+		for i, row := range rel.Rows {
+			if i%checkInterval == checkInterval-1 {
+				if err := canceled(ctx); err != nil {
+					return nil, err
+				}
+			}
 			f, ok := row[idx].AsFloat()
 			if !ok {
 				return nil, fmt.Errorf("aggregate %s: non-numeric value %v in column %q", fn, row[idx], column)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -162,8 +163,10 @@ type Executor struct {
 	Stats *Stats
 	// Cache maps plan signatures to materialized results.  When non-nil,
 	// Execute reuses results for identical sub-plans instead of recomputing
-	// them; cache hits do not count as executed operators.
-	Cache map[string]*Relation
+	// them; cache hits do not count as executed operators.  A PlanCache may be
+	// shared by several executors running concurrently — each shared
+	// subexpression is still computed exactly once.
+	Cache *PlanCache
 }
 
 // NewExecutor returns an executor over the instance with a fresh Stats.
@@ -172,31 +175,29 @@ func NewExecutor(db *Instance) *Executor {
 }
 
 // EnableCache turns on common-subexpression result caching.
-func (e *Executor) EnableCache() { e.Cache = make(map[string]*Relation) }
+func (e *Executor) EnableCache() { e.Cache = NewPlanCache() }
 
 // Execute evaluates the plan and returns its materialized result.
 func (e *Executor) Execute(p Plan) (*Relation, error) {
+	return e.ExecuteContext(context.Background(), p)
+}
+
+// ExecuteContext evaluates the plan under the context: operators check it
+// periodically and the execution stops promptly with the context's error once
+// it is cancelled or its deadline passes.
+func (e *Executor) ExecuteContext(ctx context.Context, p Plan) (*Relation, error) {
 	if p == nil {
 		return nil, fmt.Errorf("execute: nil plan")
 	}
-	var sig string
 	if e.Cache != nil {
-		sig = p.Signature()
-		if rel, ok := e.Cache[sig]; ok {
-			return rel, nil
-		}
+		return e.Cache.GetOrCompute(p.Signature(), func() (*Relation, error) {
+			return e.executeNode(ctx, p)
+		})
 	}
-	rel, err := e.executeNode(p)
-	if err != nil {
-		return nil, err
-	}
-	if e.Cache != nil {
-		e.Cache[sig] = rel
-	}
-	return rel, nil
+	return e.executeNode(ctx, p)
 }
 
-func (e *Executor) executeNode(p Plan) (*Relation, error) {
+func (e *Executor) executeNode(ctx context.Context, p Plan) (*Relation, error) {
 	switch n := p.(type) {
 	case *ScanPlan:
 		base := e.DB.Relation(n.Relation)
@@ -215,49 +216,49 @@ func (e *Executor) executeNode(p Plan) (*Relation, error) {
 		}
 		return n.Rel, nil
 	case *SelectPlan:
-		child, err := e.Execute(n.Child)
+		child, err := e.ExecuteContext(ctx, n.Child)
 		if err != nil {
 			return nil, err
 		}
-		return Select(child, n.Pred, e.Stats)
+		return Select(ctx, child, n.Pred, e.Stats)
 	case *ProjectPlan:
-		child, err := e.Execute(n.Child)
+		child, err := e.ExecuteContext(ctx, n.Child)
 		if err != nil {
 			return nil, err
 		}
-		return Project(child, n.Columns, e.Stats)
+		return Project(ctx, child, n.Columns, e.Stats)
 	case *ProductPlan:
-		left, err := e.Execute(n.Left)
+		left, err := e.ExecuteContext(ctx, n.Left)
 		if err != nil {
 			return nil, err
 		}
-		right, err := e.Execute(n.Right)
+		right, err := e.ExecuteContext(ctx, n.Right)
 		if err != nil {
 			return nil, err
 		}
-		return Product(left, right, e.Stats)
+		return Product(ctx, left, right, e.Stats)
 	case *JoinPlan:
-		left, err := e.Execute(n.Left)
+		left, err := e.ExecuteContext(ctx, n.Left)
 		if err != nil {
 			return nil, err
 		}
-		right, err := e.Execute(n.Right)
+		right, err := e.ExecuteContext(ctx, n.Right)
 		if err != nil {
 			return nil, err
 		}
-		return HashJoin(left, right, n.LeftCol, n.RightCol, e.Stats)
+		return HashJoin(ctx, left, right, n.LeftCol, n.RightCol, e.Stats)
 	case *AggregatePlan:
-		child, err := e.Execute(n.Child)
+		child, err := e.ExecuteContext(ctx, n.Child)
 		if err != nil {
 			return nil, err
 		}
-		return Aggregate(child, n.Func, n.Column, e.Stats)
+		return Aggregate(ctx, child, n.Func, n.Column, e.Stats)
 	case *DistinctPlan:
-		child, err := e.Execute(n.Child)
+		child, err := e.ExecuteContext(ctx, n.Child)
 		if err != nil {
 			return nil, err
 		}
-		return Distinct(child, e.Stats)
+		return Distinct(ctx, child, e.Stats)
 	default:
 		return nil, fmt.Errorf("execute: unsupported plan node %T", p)
 	}

@@ -12,10 +12,12 @@
 package mqo
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/exec"
 )
 
 // Plan is the optimised global plan: the original query plans annotated with
@@ -157,15 +159,33 @@ func Optimize(plans []engine.Plan) (*Plan, error) {
 // cache so that each common subexpression is computed once.  It returns one
 // result relation per query, in the same order as plan.Queries.
 func (p *Plan) Execute(db *engine.Instance, stats *engine.Stats) ([]*engine.Relation, error) {
-	ex := &engine.Executor{DB: db, Stats: stats}
-	ex.EnableCache()
-	out := make([]*engine.Relation, 0, len(p.Queries))
-	for _, q := range p.Queries {
-		rel, err := ex.Execute(q)
-		if err != nil {
-			return nil, fmt.Errorf("mqo execute: %w", err)
-		}
-		out = append(out, rel)
+	return p.ExecuteParallel(exec.Sequential(), db, stats)
+}
+
+// ExecuteParallel runs the optimised plan's queries on the runtime's worker
+// pool.  The queries share one concurrency-safe plan cache, so every common
+// subexpression is still executed exactly once — the first query to request a
+// shared signature computes it and the others reuse the materialized result.
+// Per-query statistics are merged into stats in query order, keeping the
+// reported operator counts identical to a sequential run.
+func (p *Plan) ExecuteParallel(ec *exec.Context, db *engine.Instance, stats *engine.Stats) ([]*engine.Relation, error) {
+	cache := engine.NewPlanCache()
+	out := make([]*engine.Relation, len(p.Queries))
+	type queryRun struct {
+		rel   *engine.Relation
+		stats *engine.Stats
+	}
+	err := exec.Map(ec, len(p.Queries), func(ctx context.Context, i int) (queryRun, error) {
+		ex := &engine.Executor{DB: db, Stats: engine.NewStats(), Cache: cache}
+		rel, err := ex.ExecuteContext(ctx, p.Queries[i])
+		return queryRun{rel: rel, stats: ex.Stats}, err
+	}, func(i int, r queryRun) error {
+		out[i] = r.rel
+		stats.Add(r.stats)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mqo execute: %w", err)
 	}
 	return out, nil
 }

@@ -41,12 +41,25 @@
 //	    fmt.Println(a.Tuple, a.Prob)
 //	}
 //
-// See the examples directory for complete programs and DESIGN.md /
-// EXPERIMENTS.md for the mapping between the paper's evaluation and the
-// benchmark harness.
+// # Concurrency
+//
+// Evaluation runs on a bounded worker pool.  Options.Parallelism sets the
+// worker count (0 = GOMAXPROCS, 1 = sequential); results are identical at any
+// setting.  EvaluateContext accepts a context.Context whose cancellation or
+// deadline aborts the evaluation promptly:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+//	defer cancel()
+//	res, err := urm.EvaluateContext(ctx, q, matching.Mappings, db,
+//	    urm.Options{Method: urm.QSharing, Parallelism: 8})
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// layer map (schema → match → query → engine → core) and where the evaluation
+// runtime sits.
 package urm
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/probdb/urm/internal/core"
@@ -214,9 +227,24 @@ func Evaluate(q *Query, maps MappingSet, db *Instance, opts Options) (*Result, e
 	return core.NewEvaluator(db, maps).Evaluate(q, opts)
 }
 
+// EvaluateContext is Evaluate under a context: cancelling the context (or
+// letting its deadline pass) aborts the evaluation promptly with the context's
+// error.  Work fans out over opts.Parallelism worker goroutines; the answers
+// do not depend on the setting.
+func EvaluateContext(ctx context.Context, q *Query, maps MappingSet, db *Instance, opts Options) (*Result, error) {
+	return core.NewEvaluator(db, maps).EvaluateContext(ctx, q, opts)
+}
+
 // EvaluateTopK runs the probabilistic top-k algorithm of Section VII.
 func EvaluateTopK(q *Query, maps MappingSet, db *Instance, k int, opts Options) (*Result, error) {
 	return core.NewEvaluator(db, maps).EvaluateTopK(q, k, opts)
+}
+
+// EvaluateTopKContext is EvaluateTopK under a context.  The top-k traversal is
+// inherently sequential, so opts.Parallelism is ignored, but cancellation and
+// deadlines are honoured.
+func EvaluateTopKContext(ctx context.Context, q *Query, maps MappingSet, db *Instance, k int, opts Options) (*Result, error) {
+	return core.NewEvaluator(db, maps).EvaluateTopKContext(ctx, q, k, opts)
 }
 
 // ParseMethod converts a method name ("basic", "e-basic", "e-mqo",

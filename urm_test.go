@@ -1,6 +1,8 @@
 package urm
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 )
@@ -80,6 +82,50 @@ func TestFacadeEndToEnd(t *testing.T) {
 			t.Errorf("top-1 tuple %v differs from the most probable answer %v",
 				top.Answers[0].Tuple, full.Answers[0].Tuple)
 		}
+	}
+}
+
+// TestFacadeEvaluateContext exercises the context-aware entry points through
+// the public API: parallel evaluation matches sequential exactly, and a
+// cancelled context aborts with context.Canceled.
+func TestFacadeEvaluateContext(t *testing.T) {
+	source, target := buildPeopleSchemas()
+	matching, err := Match(source, target, MatchOptions{Mappings: 6, Threshold: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := buildPeopleInstance()
+	q, err := ParseQuery("q0", target, "SELECT addr FROM Person WHERE phone = '123'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []Method{Basic, EBasic, EMQO, QSharing, OSharing} {
+		seq, err := Evaluate(q, matching.Mappings, db, Options{Method: method, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%v sequential: %v", method, err)
+		}
+		par, err := EvaluateContext(context.Background(), q, matching.Mappings, db,
+			Options{Method: method, Parallelism: 4})
+		if err != nil {
+			t.Fatalf("%v parallel: %v", method, err)
+		}
+		if len(seq.Answers) != len(par.Answers) {
+			t.Fatalf("%v: %d parallel answers, want %d", method, len(par.Answers), len(seq.Answers))
+		}
+		for i := range seq.Answers {
+			if seq.Answers[i].Tuple.Key() != par.Answers[i].Tuple.Key() || seq.Answers[i].Prob != par.Answers[i].Prob {
+				t.Errorf("%v: answer[%d] = %v, want %v", method, i, par.Answers[i], seq.Answers[i])
+			}
+		}
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EvaluateContext(cancelled, q, matching.Mappings, db, Options{Method: QSharing}); !errors.Is(err, context.Canceled) {
+		t.Errorf("EvaluateContext with cancelled context: err = %v, want context.Canceled", err)
+	}
+	if _, err := EvaluateTopKContext(cancelled, q, matching.Mappings, db, 1, Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("EvaluateTopKContext with cancelled context: err = %v, want context.Canceled", err)
 	}
 }
 
