@@ -18,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -46,9 +47,13 @@ func run(args []string, out *os.File) error {
 		csv      = fs.Bool("csv", false, "also emit CSV for each table")
 		outDir   = fs.String("out", "", "directory to write <ID>.csv files into")
 		list     = fs.Bool("list", false, "list experiment IDs and exit")
+		jsonSnap = fs.Bool("json", false, "measure the engine perf snapshot and write BENCH_engine.json instead of running experiments")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonSnap {
+		return writeSnapshot(*outDir, out)
 	}
 	if *list {
 		for _, e := range bench.Experiments() {
@@ -120,6 +125,43 @@ func run(args []string, out *os.File) error {
 			}
 		}
 	}
+	return nil
+}
+
+// writeSnapshot measures the engine perf snapshot (operator throughput versus
+// the retained naive reference, plus per-method end-to-end timings) and writes
+// it as machine-readable JSON to <dir>/BENCH_engine.json.
+func writeSnapshot(dir string, out *os.File) error {
+	fmt.Fprintln(out, "urm-bench: measuring engine perf snapshot (takes ~10s)...")
+	snap, err := bench.Snapshot()
+	if err != nil {
+		return err
+	}
+	data, err := snap.JSON()
+	if err != nil {
+		return err
+	}
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_engine.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(snap.Operators))
+	for name := range snap.Operators {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ob := snap.Operators[name]
+		fmt.Fprintf(out, "  %-9s naive %8.3fms  engine %8.3fms  speedup %.2fx\n",
+			name, float64(ob.NaiveNsOp)/1e6, float64(ob.EngineNsOp)/1e6, ob.Speedup)
+	}
+	fmt.Fprintf(out, "wrote %s\n", path)
 	return nil
 }
 

@@ -117,7 +117,7 @@ func printResult(res *urm.Result, limit int, verbose bool) {
 	if verbose {
 		fmt.Printf("\nrewritten queries: %d   executed queries: %d   partitions: %d\n",
 			res.RewrittenQueries, res.ExecutedQueries, res.Partitions)
-		fmt.Printf("operators: %v\n", res.Stats.Operators)
+		fmt.Printf("operators: %v\n", res.Stats.Operators())
 		fmt.Printf("phases: rewrite %.3fs, execute %.3fs, aggregate %.3fs\n",
 			res.RewriteTime.Seconds(), res.ExecTime.Seconds(), res.AggregateTime.Seconds())
 	}

@@ -33,7 +33,7 @@ func main() {
 	fmt.Printf("mappings: %d (o-ratio %.2f)\n\n", len(scenario.Mappings()), urm.ORatio(scenario.Mappings()))
 
 	operatorCount := func(r *urm.Result) int {
-		return r.Stats.TotalOperators() - r.Stats.Operators["scan"]
+		return r.Stats.TotalOperators() - r.Stats.Operators()["scan"]
 	}
 
 	fmt.Printf("%-10s %12s %20s %10s\n", "strategy", "answers", "source operators", "time")

@@ -7,6 +7,7 @@ import (
 
 	"github.com/probdb/urm/internal/core"
 	"github.com/probdb/urm/internal/datagen"
+	"github.com/probdb/urm/internal/engine"
 )
 
 // quickConfig keeps unit tests fast: a small instance and few mappings.
@@ -210,7 +211,7 @@ func TestSharingShapeOnOperatorCounts(t *testing.T) {
 		t.Fatal(err)
 	}
 	opCount := func(res *core.Result) int {
-		return res.Stats.TotalOperators() - res.Stats.Operators["scan"]
+		return res.Stats.TotalOperators() - res.Stats.Count(engine.OpKindScan)
 	}
 	if opCount(osharing) > opCount(ebasic) {
 		t.Errorf("o-sharing executed %d operators, e-basic %d", opCount(osharing), opCount(ebasic))

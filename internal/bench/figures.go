@@ -6,6 +6,7 @@ import (
 
 	"github.com/probdb/urm/internal/core"
 	"github.com/probdb/urm/internal/datagen"
+	"github.com/probdb/urm/internal/engine"
 	"github.com/probdb/urm/internal/query"
 )
 
@@ -350,7 +351,7 @@ func (r *Runner) TableIV() (*Table, error) {
 	}
 	operatorCount := func(res *core.Result) int {
 		total := res.Stats.TotalOperators()
-		return total - res.Stats.Operators["scan"]
+		return total - res.Stats.Count(engine.OpKindScan)
 	}
 	for _, s := range strategies {
 		res, err := core.OSharing(r.execContext(), q, maps, ds.DB, core.OSharingOptions{Strategy: s, RandomSeed: int64(r.cfg.Seed)})

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/probdb/urm/internal/core"
+)
+
+// BenchmarkMethods is the end-to-end counterpart of the engine
+// microbenchmarks: one full evaluation per method over the default benchmark
+// query, so regressions anywhere on the per-core hot path (reformulation,
+// streaming execution, answer aggregation) show up as wall-clock.
+//
+//	go test ./internal/bench -bench Methods
+func BenchmarkMethods(b *testing.B) {
+	r := NewRunner(Config{
+		Mappings: 24,
+		SizeMB:   8,
+		Seed:     42,
+	})
+	methods := []core.Method{
+		core.MethodBasic, core.MethodEBasic, core.MethodEMQO,
+		core.MethodQSharing, core.MethodOSharing,
+	}
+	// Generate the dataset once, outside the timed sections.
+	if _, err := r.evaluate(4, core.MethodBasic, 24, 8); err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range methods {
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := r.evaluate(4, m, 24, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

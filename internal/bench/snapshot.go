@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"github.com/probdb/urm/internal/core"
+	"github.com/probdb/urm/internal/engine"
+)
+
+// OperatorBench compares the live implementation of one engine operator
+// against the retained naive reference (the pre-streaming engine) on the same
+// input: the "before/after" record of the streaming-pipeline rewrite.
+type OperatorBench struct {
+	Rows       int     `json:"rows"`
+	NaiveNsOp  int64   `json:"naive_ns_per_op"`
+	EngineNsOp int64   `json:"engine_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// MethodBench is one full evaluation of the default benchmark query.
+type MethodBench struct {
+	TotalMs   float64 `json:"total_ms"`
+	Operators int     `json:"operators"`
+	Answers   int     `json:"answers"`
+}
+
+// EngineSnapshot is the machine-readable perf snapshot urm-bench -json emits
+// (BENCH_engine.json): per-operator naive-vs-engine throughput plus
+// end-to-end per-method timings.
+type EngineSnapshot struct {
+	GoVersion  string                   `json:"go_version"`
+	GOMAXPROCS int                      `json:"gomaxprocs"`
+	BenchRows  int                      `json:"bench_rows"`
+	Operators  map[string]OperatorBench `json:"operators"`
+	Methods    map[string]MethodBench   `json:"methods"`
+}
+
+// snapshotRows is the input size for the operator measurements.
+const snapshotRows = 20000
+
+func snapshotRelation(name string, n int) *engine.Relation {
+	r := engine.NewRelation(name, []string{name + ".id", name + ".tag", name + ".score"})
+	for i := 0; i < n; i++ {
+		r.Rows = append(r.Rows, engine.Tuple{
+			engine.I(int64(i % (n/100 + 1))),
+			engine.S(fmt.Sprintf("tag-%d", i%97)),
+			engine.F(float64(i%1000) / 3),
+		})
+	}
+	return r
+}
+
+func snapshotKeyedRelation(name string, n, stride int) *engine.Relation {
+	r := engine.NewRelation(name, []string{name + ".id", name + ".tag"})
+	for i := 0; i < n; i++ {
+		r.Rows = append(r.Rows, engine.Tuple{
+			engine.I(int64((i*stride + 1) % snapshotRows)),
+			engine.S(fmt.Sprintf("tag-%d", i%97)),
+		})
+	}
+	return r
+}
+
+// measurePair benchmarks the naive and live implementations of one operator.
+func measurePair(rows int, naive, live func() error) (OperatorBench, error) {
+	var firstErr error
+	run := func(fn func() error) int64 {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := fn(); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					b.Fatal(err)
+				}
+			}
+		})
+		return res.NsPerOp()
+	}
+	nb := run(naive)
+	eb := run(live)
+	if firstErr != nil {
+		return OperatorBench{}, firstErr
+	}
+	out := OperatorBench{Rows: rows, NaiveNsOp: nb, EngineNsOp: eb}
+	if eb > 0 {
+		out.Speedup = float64(nb) / float64(eb)
+	}
+	return out, nil
+}
+
+// Snapshot measures the engine's operator throughput against the naive
+// reference and times every evaluation method end to end.  It takes on the
+// order of ten seconds: each operator pair runs under the standard Go
+// benchmark harness until timings stabilise.
+func Snapshot() (*EngineSnapshot, error) {
+	ctx := context.Background()
+	snap := &EngineSnapshot{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		BenchRows:  snapshotRows,
+		Operators:  make(map[string]OperatorBench),
+		Methods:    make(map[string]MethodBench),
+	}
+
+	rel := snapshotRelation("L", snapshotRows)
+	joinLeft := snapshotKeyedRelation("L", snapshotRows, 1)
+	joinRight := snapshotKeyedRelation("R", snapshotRows/4, 4)
+	pred := engine.And(
+		&engine.ConstPredicate{Column: "L.score", Op: engine.OpGt, Value: engine.F(50)},
+		&engine.ConstPredicate{Column: "L.tag", Op: engine.OpNe, Value: engine.S("tag-13")},
+	)
+	pipelineDB := engine.NewInstance("D")
+	pipelineBase := snapshotRelation("T", snapshotRows)
+	pipelineDB.AddRelation(pipelineBase)
+	pipelinePlan := &engine.ProjectPlan{
+		Columns: []string{"T.id"},
+		Child: &engine.SelectPlan{
+			Pred: &engine.ConstPredicate{Column: "T.score", Op: engine.OpGt, Value: engine.F(50)},
+			Child: &engine.SelectPlan{
+				Pred:  &engine.ConstPredicate{Column: "T.tag", Op: engine.OpNe, Value: engine.S("tag-13")},
+				Child: &engine.ScanPlan{Relation: "T"},
+			},
+		},
+	}
+
+	type opCase struct {
+		name  string
+		rows  int
+		naive func() error
+		live  func() error
+	}
+	cases := []opCase{
+		{"select", snapshotRows,
+			func() error { _, err := engine.NaiveSelect(ctx, rel, pred, nil); return err },
+			func() error { _, err := engine.Select(ctx, rel, pred, nil); return err }},
+		{"project", snapshotRows,
+			func() error { _, err := engine.NaiveProject(ctx, rel, []string{"L.score", "L.id"}, nil); return err },
+			func() error { _, err := engine.Project(ctx, rel, []string{"L.score", "L.id"}, nil); return err }},
+		{"hashjoin", snapshotRows + snapshotRows/4,
+			func() error {
+				_, err := engine.NaiveHashJoin(ctx, joinLeft, joinRight, "L.id", "R.id", nil)
+				return err
+			},
+			func() error {
+				_, err := engine.HashJoin(ctx, joinLeft, joinRight, "L.id", "R.id", nil)
+				return err
+			}},
+		{"distinct", snapshotRows,
+			func() error { _, err := engine.NaiveDistinct(ctx, rel, nil); return err },
+			func() error { _, err := engine.Distinct(ctx, rel, nil); return err }},
+		{"aggregate", snapshotRows,
+			func() error { _, err := engine.NaiveAggregate(ctx, rel, engine.AggSum, "L.score", nil); return err },
+			func() error { _, err := engine.Aggregate(ctx, rel, engine.AggSum, "L.score", nil); return err }},
+		{"pipeline", snapshotRows,
+			func() error {
+				_, err := engine.NaiveExecute(ctx, pipelineDB, pipelinePlan, engine.NewStats())
+				return err
+			},
+			func() error {
+				ex := &engine.Executor{DB: pipelineDB, Stats: engine.NewStats()}
+				_, err := ex.ExecuteContext(ctx, pipelinePlan)
+				return err
+			}},
+	}
+	for _, c := range cases {
+		ob, err := measurePair(c.rows, c.naive, c.live)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot %s: %w", c.name, err)
+		}
+		snap.Operators[c.name] = ob
+	}
+
+	// End-to-end per-method timings on the default benchmark query.
+	r := NewRunner(Config{Mappings: 24, SizeMB: 8, Seed: 42})
+	for _, m := range []core.Method{
+		core.MethodBasic, core.MethodEBasic, core.MethodEMQO,
+		core.MethodQSharing, core.MethodOSharing,
+	} {
+		res, err := r.evaluate(4, m, 24, 8)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot %s: %w", m, err)
+		}
+		snap.Methods[m.String()] = MethodBench{
+			TotalMs:   float64(res.TotalTime.Microseconds()) / 1000,
+			Operators: res.Stats.TotalOperators(),
+			Answers:   len(res.Answers),
+		}
+	}
+	return snap, nil
+}
+
+// JSON renders the snapshot with stable indentation.
+func (s *EngineSnapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

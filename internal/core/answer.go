@@ -114,40 +114,56 @@ func (r *Result) String() string {
 }
 
 // aggregator accumulates probabilistic answers, merging duplicates by tuple
-// value as the paper's result-aggregation phase does.
+// value as the paper's result-aggregation phase does.  Duplicate detection is
+// hash-based (Hash64 buckets resolved with EqualKey), so aggregation never
+// formats canonical key strings; keys are built once per distinct answer only
+// for the final deterministic sort.
 type aggregator struct {
-	probs     map[string]float64
-	tuples    map[string]engine.Tuple
-	order     []string
+	buckets   map[uint64][]*aggEntry
+	order     []*aggEntry
 	emptyProb float64
 }
 
+// aggEntry is one distinct answer tuple with its accumulated probability.
+type aggEntry struct {
+	tuple engine.Tuple
+	prob  float64
+}
+
 func newAggregator() *aggregator {
-	return &aggregator{probs: make(map[string]float64), tuples: make(map[string]engine.Tuple)}
+	return &aggregator{buckets: make(map[uint64][]*aggEntry)}
 }
 
 // add records one tuple observed under the given probability mass.
 func (g *aggregator) add(t engine.Tuple, prob float64) {
-	key := t.Key()
-	if _, ok := g.probs[key]; !ok {
-		g.order = append(g.order, key)
-		g.tuples[key] = t.Clone()
+	g.addHashed(t.Hash64(), t, prob)
+}
+
+// addHashed is add with the tuple's Hash64 already computed.
+func (g *aggregator) addHashed(h uint64, t engine.Tuple, prob float64) {
+	for _, e := range g.buckets[h] {
+		if e.tuple.EqualKey(t) {
+			e.prob += prob
+			return
+		}
 	}
-	g.probs[key] += prob
+	e := &aggEntry{tuple: t.Clone(), prob: prob}
+	g.buckets[h] = append(g.buckets[h], e)
+	g.order = append(g.order, e)
 }
 
 // addRelation records every tuple of the relation under the probability mass;
 // duplicate rows within the relation are first collapsed so the mass is not
-// double-counted (the paper aggregates distinct answers per mapping).
+// double-counted (the paper aggregates distinct answers per mapping).  Each
+// row is hashed once, shared by the per-relation dedup and the merge.
 func (g *aggregator) addRelation(rel *engine.Relation, prob float64) {
-	seen := make(map[string]bool, len(rel.Rows))
+	seen := engine.NewTupleSet(len(rel.Rows))
 	for _, row := range rel.Rows {
-		k := row.Key()
-		if seen[k] {
+		h := row.Hash64()
+		if !seen.AddHashed(h, row) {
 			continue
 		}
-		seen[k] = true
-		g.add(row, prob)
+		g.addHashed(h, row, prob)
 	}
 	if len(rel.Rows) == 0 {
 		g.addEmpty(prob)
@@ -167,18 +183,36 @@ func (g *aggregator) finalize(res *Result) {
 }
 
 // answers returns the aggregated answers sorted by descending probability.
+// The canonical-key tie-break keeps the order deterministic; keys are
+// computed once per answer here rather than inside the comparator.
 func (g *aggregator) answers() []Answer {
-	out := make([]Answer, 0, len(g.order))
-	for _, k := range g.order {
-		out = append(out, Answer{Tuple: g.tuples[k], Prob: g.probs[k]})
+	out := make([]Answer, len(g.order))
+	keys := make([]string, len(g.order))
+	for i, e := range g.order {
+		out[i] = Answer{Tuple: e.tuple, Prob: e.prob}
+		keys[i] = e.tuple.Key()
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Prob != out[j].Prob {
-			return out[i].Prob > out[j].Prob
-		}
-		return out[i].Tuple.Key() < out[j].Tuple.Key()
-	})
+	sort.Sort(&answersByProb{answers: out, keys: keys})
 	return out
+}
+
+// answersByProb sorts answers by descending probability, ties broken by the
+// cached canonical tuple key.
+type answersByProb struct {
+	answers []Answer
+	keys    []string
+}
+
+func (s *answersByProb) Len() int { return len(s.answers) }
+func (s *answersByProb) Less(i, j int) bool {
+	if s.answers[i].Prob != s.answers[j].Prob {
+		return s.answers[i].Prob > s.answers[j].Prob
+	}
+	return s.keys[i] < s.keys[j]
+}
+func (s *answersByProb) Swap(i, j int) {
+	s.answers[i], s.answers[j] = s.answers[j], s.answers[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 
 // OutputColumns derives display labels for the query's answers: projection

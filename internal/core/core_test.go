@@ -273,9 +273,9 @@ func TestOSharingSharesOperators(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if osRes.Stats.Operators["select"] >= basicRes.Stats.Operators["select"] {
+	if osRes.Stats.Count(engine.OpKindSelect) >= basicRes.Stats.Count(engine.OpKindSelect) {
 		t.Errorf("o-sharing ran %d selects, basic ran %d; expected sharing",
-			osRes.Stats.Operators["select"], basicRes.Stats.Operators["select"])
+			osRes.Stats.Count(engine.OpKindSelect), basicRes.Stats.Count(engine.OpKindSelect))
 	}
 	sameAnswers(t, basicRes, osRes, "o-sharing sharing check")
 }

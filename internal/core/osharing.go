@@ -737,7 +737,7 @@ func (os *osharer) ensureIncluded(frag *fragment, alias, srcRel string) error {
 	if base == nil {
 		return fmt.Errorf("o-sharing: unknown source relation %q", srcRel)
 	}
-	os.stats.RecordOp("scan")
+	os.stats.RecordOp(engine.OpKindScan)
 	scanned := base.QualifyColumns(alias + "." + srcRel)
 	if frag.rel == nil {
 		frag.rel = scanned

@@ -57,10 +57,12 @@ type tkEntry struct {
 }
 
 // topkSink implements the decide_result bookkeeping of Algorithm 4.
+// Candidates are looked up by 64-bit tuple hash with EqualKey bucket
+// resolution, so the per-leaf bookkeeping never formats key strings.
 type topkSink struct {
 	k       int
-	entries map[string]*tkEntry
-	order   []string
+	buckets map[uint64][]*tkEntry
+	order   []*tkEntry
 	// ub is the global UB: the probability mass of e-units not yet visited, an
 	// upper bound on the probability of any tuple not seen so far.
 	ub float64
@@ -69,15 +71,23 @@ type topkSink struct {
 }
 
 func newTopkSink(k int) *topkSink {
-	return &topkSink{k: k, entries: make(map[string]*tkEntry), ub: 1}
+	return &topkSink{k: k, buckets: make(map[uint64][]*tkEntry), ub: 1}
+}
+
+// lookup returns the candidate entry for the tuple, or nil.
+func (s *topkSink) lookup(h uint64, t engine.Tuple) *tkEntry {
+	for _, e := range s.buckets[h] {
+		if e.tuple.EqualKey(t) {
+			return e
+		}
+	}
+	return nil
 }
 
 // sorted returns the current candidates ordered by descending lower bound.
 func (s *topkSink) sorted() []*tkEntry {
-	out := make([]*tkEntry, 0, len(s.order))
-	for _, key := range s.order {
-		out = append(out, s.entries[key])
-	}
+	out := make([]*tkEntry, len(s.order))
+	copy(out, s.order)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].lb > out[j].lb })
 	return out
 }
@@ -112,20 +122,20 @@ func (s *topkSink) decide() bool {
 // onAnswers implements resultSink.
 func (s *topkSink) onAnswers(rel *engine.Relation, prob float64) bool {
 	lb := s.lowerBound()
-	seen := make(map[string]bool, len(rel.Rows))
+	seen := engine.NewTupleSet(len(rel.Rows))
 	for _, row := range rel.Rows {
-		key := row.Key()
-		if seen[key] {
+		h := row.Hash64()
+		if !seen.AddHashed(h, row) {
 			continue
 		}
-		seen[key] = true
-		if e, ok := s.entries[key]; ok {
+		if e := s.lookup(h, row); e != nil {
 			e.lb += prob
 			continue
 		}
-		if s.ub > lb || len(s.entries) < s.k {
-			s.entries[key] = &tkEntry{tuple: row.Clone(), lb: prob, ub: s.ub}
-			s.order = append(s.order, key)
+		if s.ub > lb || len(s.order) < s.k {
+			e := &tkEntry{tuple: row.Clone(), lb: prob, ub: s.ub}
+			s.buckets[h] = append(s.buckets[h], e)
+			s.order = append(s.order, e)
 		}
 	}
 	s.ub -= prob

@@ -172,8 +172,8 @@ func TestSelectOperator(t *testing.T) {
 	if out.NumRows() != 2 {
 		t.Errorf("select returned %d rows, want 2", out.NumRows())
 	}
-	if stats.Operators["select"] != 1 {
-		t.Errorf("select operator count = %d", stats.Operators["select"])
+	if stats.Count(OpKindSelect) != 1 {
+		t.Errorf("select operator count = %d", stats.Count(OpKindSelect))
 	}
 	if _, err := Select(bgCtx, rel, Eq("missing", S("x")), stats); err == nil {
 		t.Error("select on missing column should error")
@@ -372,8 +372,8 @@ func TestExecutorPlans(t *testing.T) {
 	if got := CountOperators(plan); got != 2 {
 		t.Errorf("CountOperators = %d, want 2", got)
 	}
-	if ex.Stats.Operators["scan"] != 1 || ex.Stats.Operators["select"] != 1 || ex.Stats.Operators["project"] != 1 {
-		t.Errorf("stats = %v", ex.Stats.Operators)
+	if ex.Stats.Count(OpKindScan) != 1 || ex.Stats.Count(OpKindSelect) != 1 || ex.Stats.Count(OpKindProject) != 1 {
+		t.Errorf("stats = %v", ex.Stats.Operators())
 	}
 	// Aggregate over a join.
 	agg := &AggregatePlan{
@@ -422,7 +422,7 @@ func TestExecutorCacheSharesSubexpressions(t *testing.T) {
 		t.Fatal(err)
 	}
 	// With the cache the shared select+scan executes once.
-	if got := ex.Stats.Operators["select"]; got != 1 {
+	if got := ex.Stats.Count(OpKindSelect); got != 1 {
 		t.Errorf("cached executor ran select %d times, want 1", got)
 	}
 	exNo := NewExecutor(db)
@@ -432,7 +432,7 @@ func TestExecutorCacheSharesSubexpressions(t *testing.T) {
 	if _, err := exNo.Execute(p2); err != nil {
 		t.Fatal(err)
 	}
-	if got := exNo.Stats.Operators["select"]; got != 2 {
+	if got := exNo.Stats.Count(OpKindSelect); got != 2 {
 		t.Errorf("uncached executor ran select %d times, want 2", got)
 	}
 }
@@ -469,16 +469,16 @@ func TestPlanSignatures(t *testing.T) {
 
 func TestStats(t *testing.T) {
 	s := NewStats()
-	s.record("select", 10, 5)
-	s.record("select", 2, 1)
+	s.record(OpKindSelect, 10, 5)
+	s.record(OpKindSelect, 2, 1)
 	o := NewStats()
-	o.record("project", 5, 5)
+	o.record(OpKindProject, 5, 5)
 	s.Add(o)
 	if s.TotalOperators() != 3 {
 		t.Errorf("TotalOperators = %d, want 3", s.TotalOperators())
 	}
-	if s.RowsRead != 17 || s.RowsProduced != 11 {
-		t.Errorf("rows read/produced = %d/%d", s.RowsRead, s.RowsProduced)
+	if s.RowsRead() != 17 || s.RowsProduced() != 11 {
+		t.Errorf("rows read/produced = %d/%d", s.RowsRead(), s.RowsProduced())
 	}
 	s.Reset()
 	if s.TotalOperators() != 0 {
@@ -486,7 +486,7 @@ func TestStats(t *testing.T) {
 	}
 	// nil receivers are safe no-ops.
 	var nilStats *Stats
-	nilStats.record("select", 1, 1)
+	nilStats.record(OpKindSelect, 1, 1)
 	nilStats.Add(o)
 	nilStats.Reset()
 	if nilStats.TotalOperators() != 0 {

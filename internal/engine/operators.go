@@ -3,103 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
-	"sync"
 )
-
-// Stats records the work done by the engine while evaluating plans.  The
-// evaluation algorithms in internal/core share one Stats per query run so that
-// the number of executed source operators (Table IV), rows scanned and
-// intermediate tuples produced can be reported.
-//
-// Recording is safe for concurrent use: the evaluation runtime gives each
-// worker its own Stats and merges them with Add when the worker's results are
-// consumed, but operators recording into a shared collector from several
-// goroutines is also correct.  The exported fields may be read directly once
-// evaluation has finished.
-type Stats struct {
-	mu sync.Mutex
-
-	// Operators counts executed physical operators by kind name
-	// ("select", "project", "product", "join", "aggregate", "distinct", "scan").
-	Operators map[string]int
-	// RowsRead is the total number of input rows consumed by operators.
-	RowsRead int
-	// RowsProduced is the total number of output rows produced by operators.
-	RowsProduced int
-}
-
-// NewStats returns an empty statistics collector.
-func NewStats() *Stats { return &Stats{Operators: make(map[string]int)} }
-
-func (s *Stats) record(op string, in, out int) {
-	if s == nil {
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.Operators == nil {
-		s.Operators = make(map[string]int)
-	}
-	s.Operators[op]++
-	s.RowsRead += in
-	s.RowsProduced += out
-}
-
-// RecordOp counts one executed operator of the given kind without row
-// accounting (o-sharing uses it for scans whose rows are consumed lazily by
-// the operators reading the fragment).
-func (s *Stats) RecordOp(op string) { s.record(op, 0, 0) }
-
-// TotalOperators returns the total number of executed physical operators.
-func (s *Stats) TotalOperators() int {
-	if s == nil {
-		return 0
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := 0
-	for _, c := range s.Operators {
-		n += c
-	}
-	return n
-}
-
-// Add accumulates another collector into s.
-func (s *Stats) Add(o *Stats) {
-	if s == nil || o == nil || s == o {
-		return
-	}
-	o.mu.Lock()
-	ops := make(map[string]int, len(o.Operators))
-	for k, v := range o.Operators {
-		ops[k] = v
-	}
-	read, produced := o.RowsRead, o.RowsProduced
-	o.mu.Unlock()
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.Operators == nil {
-		s.Operators = make(map[string]int)
-	}
-	for k, v := range ops {
-		s.Operators[k] += v
-	}
-	s.RowsRead += read
-	s.RowsProduced += produced
-}
-
-// Reset clears the collector.
-func (s *Stats) Reset() {
-	if s == nil {
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.Operators = make(map[string]int)
-	s.RowsRead = 0
-	s.RowsProduced = 0
-}
 
 // checkInterval is the number of rows an operator processes between
 // cancellation checks: small enough that cancelling a long-running operator
@@ -120,9 +24,24 @@ func canceled(ctx context.Context) error {
 	}
 }
 
-// Select returns the rows of rel satisfying the predicate.
+// The functions below are the materialized operator API: each consumes
+// materialized relations and produces a materialized relation, recording one
+// operator execution.  The o-sharing evaluator uses them directly — its
+// fragments must stay materialized so partially executed state can be shared
+// across e-units — while the plan executor streams through the RowSource
+// pipeline in source.go instead.  Both paths share the same hashing, predicate
+// binding and tuple-arena machinery, and produce identical results and
+// statistics.
+
+// Select returns the rows of rel satisfying the predicate.  The predicate is
+// bound once — column references resolve to positions before the scan — so
+// per-row evaluation does no name lookups.
 func Select(ctx context.Context, rel *Relation, pred Predicate, stats *Stats) (*Relation, error) {
 	if err := canceled(ctx); err != nil {
+		return nil, err
+	}
+	bp, err := bindRelPredicate(pred, rel)
+	if err != nil {
 		return nil, err
 	}
 	out := NewRelation(rel.Name, rel.Columns)
@@ -132,7 +51,7 @@ func Select(ctx context.Context, rel *Relation, pred Predicate, stats *Stats) (*
 				return nil, err
 			}
 		}
-		ok, err := pred.Eval(rel, row)
+		ok, err := bp.eval(row)
 		if err != nil {
 			return nil, err
 		}
@@ -140,12 +59,13 @@ func Select(ctx context.Context, rel *Relation, pred Predicate, stats *Stats) (*
 			out.Rows = append(out.Rows, row)
 		}
 	}
-	stats.record("select", len(rel.Rows), len(out.Rows))
+	stats.record(OpKindSelect, len(rel.Rows), len(out.Rows))
 	return out, nil
 }
 
 // Project returns rel restricted to the given columns, in the given order.
 // Duplicate rows are preserved (bag semantics); use Distinct to remove them.
+// Output tuples are carved from a flat arena rather than allocated per row.
 func Project(ctx context.Context, rel *Relation, columns []string, stats *Stats) (*Relation, error) {
 	if err := canceled(ctx); err != nil {
 		return nil, err
@@ -162,24 +82,27 @@ func Project(ctx context.Context, rel *Relation, columns []string, stats *Stats)
 	}
 	out := NewRelation(rel.Name, outCols)
 	out.Rows = make([]Tuple, 0, len(rel.Rows))
+	var arena valueArena
 	for i, row := range rel.Rows {
 		if i%checkInterval == checkInterval-1 {
 			if err := canceled(ctx); err != nil {
 				return nil, err
 			}
 		}
-		t := make(Tuple, len(idx))
+		t := arena.tuple(len(idx))
 		for i, j := range idx {
 			t[i] = row[j]
 		}
 		out.Rows = append(out.Rows, t)
 	}
-	stats.record("project", len(rel.Rows), len(out.Rows))
+	stats.record(OpKindProject, len(rel.Rows), len(out.Rows))
 	return out, nil
 }
 
 // Product returns the Cartesian product of two relations.  Column names are
 // kept as-is, so callers should qualify them beforehand when they may collide.
+// The output grows geometrically: pre-sizing it to rows(left)·rows(right)
+// could overflow int or demand absurd memory before the first row exists.
 func Product(ctx context.Context, left, right *Relation, stats *Stats) (*Relation, error) {
 	if err := canceled(ctx); err != nil {
 		return nil, err
@@ -188,7 +111,7 @@ func Product(ctx context.Context, left, right *Relation, stats *Stats) (*Relatio
 	cols = append(cols, left.Columns...)
 	cols = append(cols, right.Columns...)
 	out := NewRelation(left.Name+"x"+right.Name, cols)
-	out.Rows = make([]Tuple, 0, len(left.Rows)*len(right.Rows))
+	var arena valueArena
 	produced := 0
 	for _, lr := range left.Rows {
 		for _, rr := range right.Rows {
@@ -198,18 +121,17 @@ func Product(ctx context.Context, left, right *Relation, stats *Stats) (*Relatio
 					return nil, err
 				}
 			}
-			t := make(Tuple, 0, len(lr)+len(rr))
-			t = append(t, lr...)
-			t = append(t, rr...)
-			out.Rows = append(out.Rows, t)
+			out.Rows = append(out.Rows, arena.concat(lr, rr))
 		}
 	}
-	stats.record("product", len(left.Rows)+len(right.Rows), len(out.Rows))
+	stats.record(OpKindProduct, len(left.Rows)+len(right.Rows), len(out.Rows))
 	return out, nil
 }
 
 // HashJoin returns the equi-join of left and right on leftCol = rightCol.
-// It builds a hash table on the smaller input.
+// It builds a hash table on the right input, keyed by the 64-bit value hash;
+// probes compare candidate rows with EqualKey, so no key strings are ever
+// formatted.
 func HashJoin(ctx context.Context, left, right *Relation, leftCol, rightCol string, stats *Stats) (*Relation, error) {
 	if err := canceled(ctx); err != nil {
 		return nil, err
@@ -228,57 +150,51 @@ func HashJoin(ctx context.Context, left, right *Relation, leftCol, rightCol stri
 	out := NewRelation(left.Name+"⋈"+right.Name, cols)
 
 	// Build on the right side.
-	build := make(map[string][]Tuple, len(right.Rows))
-	for i, rr := range right.Rows {
-		if i%checkInterval == checkInterval-1 {
-			if err := canceled(ctx); err != nil {
-				return nil, err
-			}
-		}
-		k := Tuple{rr[ri]}.Key()
-		build[k] = append(build[k], rr)
+	build, err := buildJoinIndex(ctx, right.Rows, ri)
+	if err != nil {
+		return nil, err
 	}
+	var arena valueArena
 	probed := 0
 	for _, lr := range left.Rows {
-		k := Tuple{lr[li]}.Key()
-		for _, rr := range build[k] {
+		v := lr[li]
+		for j := build.heads[v.Hash64()]; j != 0; j = build.next[j-1] {
 			probed++
 			if probed%checkInterval == 0 {
 				if err := canceled(ctx); err != nil {
 					return nil, err
 				}
 			}
-			t := make(Tuple, 0, len(lr)+len(rr))
-			t = append(t, lr...)
-			t = append(t, rr...)
-			out.Rows = append(out.Rows, t)
+			rr := right.Rows[j-1]
+			if !rr[ri].EqualKey(v) {
+				continue // hash collision, not an actual match
+			}
+			out.Rows = append(out.Rows, arena.concat(lr, rr))
 		}
 	}
-	stats.record("join", len(left.Rows)+len(right.Rows), len(out.Rows))
+	stats.record(OpKindJoin, len(left.Rows)+len(right.Rows), len(out.Rows))
 	return out, nil
 }
 
-// Distinct removes duplicate rows, preserving first-seen order.
+// Distinct removes duplicate rows, preserving first-seen order.  Duplicate
+// detection is hash-based (Hash64/EqualKey) instead of canonical-key strings.
 func Distinct(ctx context.Context, rel *Relation, stats *Stats) (*Relation, error) {
 	if err := canceled(ctx); err != nil {
 		return nil, err
 	}
 	out := NewRelation(rel.Name, rel.Columns)
-	seen := make(map[string]bool, len(rel.Rows))
+	seen := NewTupleSet(len(rel.Rows))
 	for i, row := range rel.Rows {
 		if i%checkInterval == checkInterval-1 {
 			if err := canceled(ctx); err != nil {
 				return nil, err
 			}
 		}
-		k := row.Key()
-		if seen[k] {
-			continue
+		if seen.Add(row) {
+			out.Rows = append(out.Rows, row)
 		}
-		seen[k] = true
-		out.Rows = append(out.Rows, row)
 	}
-	stats.record("distinct", len(rel.Rows), len(out.Rows))
+	stats.record(OpKindDistinct, len(rel.Rows), len(out.Rows))
 	return out, nil
 }
 
@@ -321,64 +237,22 @@ func Aggregate(ctx context.Context, rel *Relation, fn AggFunc, column string, st
 	if err := canceled(ctx); err != nil {
 		return nil, err
 	}
-	outCol := fn.String()
-	if column != "" {
-		outCol = fn.String() + "(" + column + ")"
+	if err := validAggFunc(fn); err != nil {
+		return nil, err
 	}
-	out := NewRelation(rel.Name, []string{outCol})
-
-	switch fn {
-	case AggCount:
-		out.Rows = append(out.Rows, Tuple{I(int64(len(rel.Rows)))})
-	case AggSum, AggAvg:
-		idx := rel.ColumnIndex(column)
+	idx := -1
+	if fn != AggCount {
+		idx = rel.ColumnIndex(column)
 		if idx < 0 {
 			return nil, fmt.Errorf("aggregate %s: column %q not found in %v", fn, column, rel.Columns)
 		}
-		sum := 0.0
-		n := 0
-		for i, row := range rel.Rows {
-			if i%checkInterval == checkInterval-1 {
-				if err := canceled(ctx); err != nil {
-					return nil, err
-				}
-			}
-			f, ok := row[idx].AsFloat()
-			if !ok {
-				return nil, fmt.Errorf("aggregate %s: non-numeric value %v in column %q", fn, row[idx], column)
-			}
-			sum += f
-			n++
-		}
-		if fn == AggSum {
-			out.Rows = append(out.Rows, Tuple{F(sum)})
-		} else {
-			if n == 0 {
-				out.Rows = append(out.Rows, Tuple{Null()})
-			} else {
-				out.Rows = append(out.Rows, Tuple{F(sum / float64(n))})
-			}
-		}
-	case AggMin, AggMax:
-		idx := rel.ColumnIndex(column)
-		if idx < 0 {
-			return nil, fmt.Errorf("aggregate %s: column %q not found in %v", fn, column, rel.Columns)
-		}
-		if len(rel.Rows) == 0 {
-			out.Rows = append(out.Rows, Tuple{Null()})
-			break
-		}
-		best := rel.Rows[0][idx]
-		for _, row := range rel.Rows[1:] {
-			cmp := row[idx].Compare(best)
-			if (fn == AggMin && cmp < 0) || (fn == AggMax && cmp > 0) {
-				best = row[idx]
-			}
-		}
-		out.Rows = append(out.Rows, Tuple{best})
-	default:
-		return nil, fmt.Errorf("aggregate: unsupported function %v", fn)
 	}
-	stats.record("aggregate", len(rel.Rows), len(out.Rows))
+	acc := aggAccumulator{fn: fn, idx: idx, column: column}
+	if err := acc.addAll(ctx, rel.Rows); err != nil {
+		return nil, err
+	}
+	out := NewRelation(rel.Name, []string{aggOutputColumn(fn, column)})
+	out.Rows = append(out.Rows, acc.result())
+	stats.record(OpKindAggregate, len(rel.Rows), 1)
 	return out, nil
 }

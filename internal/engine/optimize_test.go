@@ -48,9 +48,9 @@ func TestOptimizeConvertsProductToJoin(t *testing.T) {
 		t.Errorf("optimized plan returned %d rows, raw %d", relOpt.NumRows(), relRaw.NumRows())
 	}
 	// The join avoids the 3x4 product.
-	if exOpt.Stats.RowsProduced >= exRaw.Stats.RowsProduced {
+	if exOpt.Stats.RowsProduced() >= exRaw.Stats.RowsProduced() {
 		t.Errorf("optimizer should reduce intermediate rows: %d vs %d",
-			exOpt.Stats.RowsProduced, exRaw.Stats.RowsProduced)
+			exOpt.Stats.RowsProduced(), exRaw.Stats.RowsProduced())
 	}
 	// Reversed column order also converts.
 	rev := &SelectPlan{

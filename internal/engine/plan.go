@@ -185,19 +185,39 @@ func (e *Executor) Execute(p Plan) (*Relation, error) {
 // ExecuteContext evaluates the plan under the context: operators check it
 // periodically and the execution stops promptly with the context's error once
 // it is cancelled or its deadline passes.
+//
+// Without a cache the plan is compiled into a streaming RowSource pipeline:
+// scan→select→project chains are fused and produce no intermediate Relations;
+// only pipeline breakers (join build side, product inner side, distinct,
+// aggregate) buffer rows, and the root materializes the result.  With a cache
+// every node still materializes — the MQO substrate shares results per
+// sub-plan signature, which requires each signature's Relation to exist.
 func (e *Executor) ExecuteContext(ctx context.Context, p Plan) (*Relation, error) {
 	if p == nil {
 		return nil, fmt.Errorf("execute: nil plan")
 	}
 	if e.Cache != nil {
 		return e.Cache.GetOrCompute(p.Signature(), func() (*Relation, error) {
-			return e.executeNode(ctx, p)
+			return e.executeMaterialized(ctx, p)
 		})
 	}
-	return e.executeNode(ctx, p)
+	if n, ok := p.(*MaterialPlan); ok {
+		// Identity at the root: hand back the producer's relation unchanged.
+		if n.Rel == nil {
+			return nil, fmt.Errorf("materialized plan %q has nil relation", n.Label)
+		}
+		return n.Rel, nil
+	}
+	src, err := e.compile(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return Materialize(src)
 }
 
-func (e *Executor) executeNode(ctx context.Context, p Plan) (*Relation, error) {
+// compile lowers a plan node into a streaming row source.  Column references
+// are resolved once here, so the per-row path does no name lookups.
+func (e *Executor) compile(ctx context.Context, p Plan) (RowSource, error) {
 	switch n := p.(type) {
 	case *ScanPlan:
 		base := e.DB.Relation(n.Relation)
@@ -208,7 +228,100 @@ func (e *Executor) executeNode(ctx context.Context, p Plan) (*Relation, error) {
 		if alias == "" {
 			alias = n.Relation
 		}
-		e.Stats.record("scan", 0, len(base.Rows))
+		return newScanSource(ctx, base, alias, e.Stats), nil
+	case *MaterialPlan:
+		if n.Rel == nil {
+			return nil, fmt.Errorf("materialized plan %q has nil relation", n.Label)
+		}
+		return newMatSource(ctx, n.Rel.Name, n.Rel.Columns, n.Rel.Rows), nil
+	case *SelectPlan:
+		child, err := e.compile(ctx, n.Child)
+		if err != nil {
+			return nil, err
+		}
+		cols := child.Columns()
+		bp, err := bindPredicate(n.Pred, func(name string) int { return lookupColumn(cols, name) }, cols)
+		if err != nil {
+			return nil, err
+		}
+		return &filterSource{ctx: ctx, src: child, pred: bp, stats: e.Stats}, nil
+	case *ProjectPlan:
+		child, err := e.compile(ctx, n.Child)
+		if err != nil {
+			return nil, err
+		}
+		cols := child.Columns()
+		idx := make([]int, len(n.Columns))
+		outCols := make([]string, len(n.Columns))
+		for i, c := range n.Columns {
+			j := lookupColumn(cols, c)
+			if j < 0 {
+				return nil, fmt.Errorf("project: column %q not found in %v", c, cols)
+			}
+			idx[i] = j
+			outCols[i] = cols[j]
+		}
+		return &projectSource{ctx: ctx, src: child, name: child.Name(), cols: outCols, idx: idx, stats: e.Stats}, nil
+	case *ProductPlan:
+		left, err := e.compile(ctx, n.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.compile(ctx, n.Right)
+		if err != nil {
+			return nil, err
+		}
+		return newProductSource(ctx, left, right, e.Stats), nil
+	case *JoinPlan:
+		left, err := e.compile(ctx, n.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.compile(ctx, n.Right)
+		if err != nil {
+			return nil, err
+		}
+		li := lookupColumn(left.Columns(), n.LeftCol)
+		if li < 0 {
+			return nil, fmt.Errorf("join: column %q not found in %v", n.LeftCol, left.Columns())
+		}
+		ri := lookupColumn(right.Columns(), n.RightCol)
+		if ri < 0 {
+			return nil, fmt.Errorf("join: column %q not found in %v", n.RightCol, right.Columns())
+		}
+		return newJoinSource(ctx, left, right, li, ri, e.Stats), nil
+	case *AggregatePlan:
+		child, err := e.compile(ctx, n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return newAggSource(ctx, child, n.Func, n.Column, e.Stats)
+	case *DistinctPlan:
+		child, err := e.compile(ctx, n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return newDistinctSource(ctx, child, e.Stats), nil
+	default:
+		return nil, fmt.Errorf("execute: unsupported plan node %T", p)
+	}
+}
+
+// executeMaterialized evaluates the plan node by node, materializing every
+// intermediate result.  It is the execution mode of cached (MQO) executors,
+// where each sub-plan signature's result must exist to be shared.
+func (e *Executor) executeMaterialized(ctx context.Context, p Plan) (*Relation, error) {
+	switch n := p.(type) {
+	case *ScanPlan:
+		base := e.DB.Relation(n.Relation)
+		if base == nil {
+			return nil, fmt.Errorf("scan: unknown relation %q", n.Relation)
+		}
+		alias := n.Alias
+		if alias == "" {
+			alias = n.Relation
+		}
+		e.Stats.record(OpKindScan, 0, len(base.Rows))
 		return base.QualifyColumns(alias), nil
 	case *MaterialPlan:
 		if n.Rel == nil {

@@ -4,15 +4,25 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Relation is a materialized table: an ordered list of column names and a list
 // of rows.  Column names are usually qualified ("Relation.attr") so that the
 // columns of a Cartesian product remain unambiguous.
+//
+// Columns must not be mutated after the first ColumnIndex call: lookups are
+// served from a lazily built index map that is not invalidated.  (No code in
+// this module mutates Columns after construction.)
 type Relation struct {
 	Name    string
 	Columns []string
 	Rows    []Tuple
+
+	// colIndex caches name → position resolution.  It is built lazily on the
+	// first lookup and published atomically, so concurrent readers — o-sharing
+	// branches share fragment relations across workers — are race-free.
+	colIndex atomic.Pointer[map[string]int]
 }
 
 // NewRelation creates an empty relation with the given name and columns.
@@ -25,20 +35,75 @@ func NewRelation(name string, columns []string) *Relation {
 // ColumnIndex returns the position of the named column.  The lookup first
 // tries an exact match, then an unqualified suffix match ("attr" matching
 // "Rel.attr") when that suffix is unambiguous.  It returns -1 if not found or
-// ambiguous.
+// ambiguous.  Lookups after the first are O(1): the resolution table is built
+// once per relation.
 func (r *Relation) ColumnIndex(name string) int {
-	for i, c := range r.Columns {
+	m := r.colIndex.Load()
+	if m == nil {
+		built := buildColumnIndex(r.Columns)
+		r.colIndex.Store(&built)
+		m = &built
+	}
+	idx, ok := (*m)[name]
+	if !ok {
+		return -1
+	}
+	return idx
+}
+
+// buildColumnIndex precomputes every resolvable name for the column list with
+// the same semantics as lookupColumn: exact names win (first occurrence), and
+// an unqualified suffix resolves only when unambiguous (ambiguous suffixes are
+// stored as -1 so the miss is remembered too).
+func buildColumnIndex(cols []string) map[string]int {
+	m := make(map[string]int, 2*len(cols))
+	for i, c := range cols {
+		if _, ok := m[c]; !ok {
+			m[c] = i
+		}
+	}
+	type suffix struct {
+		idx   int
+		count int
+	}
+	suffixes := make(map[string]suffix, len(cols))
+	for i, c := range cols {
+		uq := unqualified(c)
+		s := suffixes[uq]
+		if s.count == 0 {
+			s.idx = i
+		}
+		s.count++
+		suffixes[uq] = s
+	}
+	for uq, s := range suffixes {
+		if _, exact := m[uq]; exact {
+			continue // an exact column name shadows the suffix rule
+		}
+		if s.count == 1 {
+			m[uq] = s.idx
+		} else {
+			m[uq] = -1 // remembered as ambiguous
+		}
+	}
+	return m
+}
+
+// lookupColumn resolves a column name against a plain column list with the
+// relation resolution rules (exact match first, then unambiguous unqualified
+// suffix).  The streaming compiler uses it when no Relation exists yet; it is
+// the linear reference implementation of buildColumnIndex.
+func lookupColumn(cols []string, name string) int {
+	for i, c := range cols {
 		if c == name {
 			return i
 		}
 	}
-	// Fall back to suffix matching on the unqualified attribute name, but only
-	// when the requested name is itself unqualified.
 	if strings.Contains(name, ".") {
 		return -1
 	}
 	idx := -1
-	for i, c := range r.Columns {
+	for i, c := range cols {
 		if unqualified(c) == name {
 			if idx >= 0 {
 				return -1 // ambiguous
@@ -108,9 +173,28 @@ func (r *Relation) Column(name string) ([]Value, error) {
 }
 
 // SortRows orders the rows by the canonical tuple key; useful for
-// deterministic comparison in tests.
+// deterministic comparison in tests.  Keys are computed once per row rather
+// than inside the comparator, so sorting costs n key builds instead of
+// O(n log n).
 func (r *Relation) SortRows() {
-	sort.Slice(r.Rows, func(i, j int) bool { return r.Rows[i].Key() < r.Rows[j].Key() })
+	keys := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		keys[i] = row.Key()
+	}
+	sort.Sort(&rowsByKey{rows: r.Rows, keys: keys})
+}
+
+// rowsByKey sorts rows and their cached keys together.
+type rowsByKey struct {
+	rows []Tuple
+	keys []string
+}
+
+func (s *rowsByKey) Len() int           { return len(s.rows) }
+func (s *rowsByKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *rowsByKey) Swap(i, j int) {
+	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 
 // String renders a compact textual table (header plus up to 20 rows).

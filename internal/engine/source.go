@@ -1,0 +1,643 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+)
+
+// RowSource is the engine's streaming iterator: a pull-based stream of tuples
+// with a fixed column layout.  The executor compiles a Plan into a chain of
+// row sources so that selections and projections are fused with the scan that
+// feeds them — no intermediate Relation is materialized between them.  Only
+// pipeline breakers buffer rows: the build side of a hash join, the inner side
+// of a Cartesian product, duplicate elimination's seen-set, aggregation, and
+// the final materialization of the pipeline's result.
+//
+// Next returns (row, true, nil) for each row, (nil, false, nil) once the
+// stream is exhausted, and (nil, false, err) on failure (including context
+// cancellation).  Rows may share backing storage with the source's input —
+// consumers must not mutate them.
+type RowSource interface {
+	// Name is the relation name a materialization of this source carries.
+	Name() string
+	// Columns is the output column layout.  It is fixed for the stream's life.
+	Columns() []string
+	// Next pulls the next row.
+	Next() (Tuple, bool, error)
+}
+
+// Materialize drains the source into a Relation.
+func Materialize(src RowSource) (*Relation, error) {
+	out := &Relation{Name: src.Name(), Columns: src.Columns()}
+	for {
+		row, ok, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out.Rows = append(out.Rows, row)
+	}
+}
+
+// arenaChunkValues is the flat allocation unit for output tuples: operators
+// that build new tuples (project, product, join) carve them out of []Value
+// chunks of this size instead of calling make once per row.
+const arenaChunkValues = 8192
+
+// valueArena bulk-allocates tuples from flat []Value chunks.
+type valueArena struct {
+	buf []Value
+}
+
+// tuple returns a zero-length-capped slice of n fresh values.
+func (a *valueArena) tuple(n int) Tuple {
+	if n == 0 {
+		return Tuple{}
+	}
+	if len(a.buf) < n {
+		c := arenaChunkValues
+		if c < n {
+			c = n
+		}
+		a.buf = make([]Value, c)
+	}
+	t := Tuple(a.buf[:n:n])
+	a.buf = a.buf[n:]
+	return t
+}
+
+// concat appends lr and rr into one arena-backed tuple.
+func (a *valueArena) concat(lr, rr Tuple) Tuple {
+	t := a.tuple(len(lr) + len(rr))
+	copy(t, lr)
+	copy(t[len(lr):], rr)
+	return t
+}
+
+// canceledEvery reports the context error on the first call and then once per
+// checkInterval calls, keeping cancellation prompt at negligible per-row cost.
+func canceledEvery(ctx context.Context, n int) error {
+	if n%checkInterval == 0 {
+		return canceled(ctx)
+	}
+	return nil
+}
+
+// matSource streams an already-materialized row list (a MaterialPlan input or
+// an operator wrapper's argument).  It records nothing.
+type matSource struct {
+	ctx  context.Context
+	name string
+	cols []string
+	rows []Tuple
+	i    int
+}
+
+func newMatSource(ctx context.Context, name string, cols []string, rows []Tuple) *matSource {
+	return &matSource{ctx: ctx, name: name, cols: cols, rows: rows}
+}
+
+func (s *matSource) Name() string      { return s.name }
+func (s *matSource) Columns() []string { return s.cols }
+
+func (s *matSource) Next() (Tuple, bool, error) {
+	if err := canceledEvery(s.ctx, s.i); err != nil {
+		return nil, false, err
+	}
+	if s.i >= len(s.rows) {
+		return nil, false, nil
+	}
+	row := s.rows[s.i]
+	s.i++
+	return row, true, nil
+}
+
+// scanSource streams a base relation under an alias, sharing the base rows
+// (zero copy) and recording one "scan" when exhausted.
+type scanSource struct {
+	matSource
+	stats *Stats
+	done  bool
+}
+
+func newScanSource(ctx context.Context, base *Relation, alias string, stats *Stats) *scanSource {
+	cols := make([]string, len(base.Columns))
+	for i, c := range base.Columns {
+		cols[i] = alias + "." + unqualified(c)
+	}
+	return &scanSource{
+		matSource: matSource{ctx: ctx, name: alias, cols: cols, rows: base.Rows},
+		stats:     stats,
+	}
+}
+
+func (s *scanSource) Next() (Tuple, bool, error) {
+	row, ok, err := s.matSource.Next()
+	if !ok && err == nil && !s.done {
+		s.done = true
+		s.stats.record(OpKindScan, 0, len(s.rows))
+	}
+	return row, ok, err
+}
+
+// filterSource fuses a selection over its input: rows flow through without
+// being buffered or copied.
+type filterSource struct {
+	ctx      context.Context
+	src      RowSource
+	pred     boundPredicate
+	stats    *Stats
+	in, out  int
+	recorded bool
+}
+
+func (s *filterSource) Name() string      { return s.src.Name() }
+func (s *filterSource) Columns() []string { return s.src.Columns() }
+
+func (s *filterSource) Next() (Tuple, bool, error) {
+	for {
+		row, ok, err := s.src.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			if !s.recorded {
+				s.recorded = true
+				s.stats.record(OpKindSelect, s.in, s.out)
+			}
+			return nil, false, nil
+		}
+		if err := canceledEvery(s.ctx, s.in); err != nil {
+			return nil, false, err
+		}
+		s.in++
+		keep, err := s.pred.eval(row)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			s.out++
+			return row, true, nil
+		}
+	}
+}
+
+// projectSource fuses a projection over its input, building output tuples
+// from the arena.
+type projectSource struct {
+	ctx      context.Context
+	src      RowSource
+	name     string
+	cols     []string
+	idx      []int
+	stats    *Stats
+	arena    valueArena
+	n        int
+	recorded bool
+}
+
+func (s *projectSource) Name() string      { return s.name }
+func (s *projectSource) Columns() []string { return s.cols }
+
+func (s *projectSource) Next() (Tuple, bool, error) {
+	row, ok, err := s.src.Next()
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		if !s.recorded {
+			s.recorded = true
+			s.stats.record(OpKindProject, s.n, s.n)
+		}
+		return nil, false, nil
+	}
+	if err := canceledEvery(s.ctx, s.n); err != nil {
+		return nil, false, err
+	}
+	s.n++
+	t := s.arena.tuple(len(s.idx))
+	for i, j := range s.idx {
+		t[i] = row[j]
+	}
+	return t, true, nil
+}
+
+// productSource is the Cartesian product: the right input is buffered (the
+// product's pipeline-breaking side), the left input streams.
+type productSource struct {
+	ctx         context.Context
+	left, right RowSource
+	name        string
+	cols        []string
+	stats       *Stats
+	arena       valueArena
+
+	started bool
+	rrows   []Tuple
+	cur     Tuple // current left row, nil when a new one is needed
+	ri      int   // next right index for cur
+	leftIn  int
+	out     int
+	done    bool
+}
+
+func newProductSource(ctx context.Context, left, right RowSource, stats *Stats) *productSource {
+	cols := make([]string, 0, len(left.Columns())+len(right.Columns()))
+	cols = append(cols, left.Columns()...)
+	cols = append(cols, right.Columns()...)
+	return &productSource{
+		ctx: ctx, left: left, right: right,
+		name: left.Name() + "x" + right.Name(), cols: cols, stats: stats,
+	}
+}
+
+func (s *productSource) Name() string      { return s.name }
+func (s *productSource) Columns() []string { return s.cols }
+
+func (s *productSource) finish() (Tuple, bool, error) {
+	if !s.done {
+		s.done = true
+		s.stats.record(OpKindProduct, s.leftIn+len(s.rrows), s.out)
+	}
+	return nil, false, nil
+}
+
+func (s *productSource) Next() (Tuple, bool, error) {
+	if !s.started {
+		s.started = true
+		for {
+			row, ok, err := s.right.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			s.rrows = append(s.rrows, row)
+		}
+	}
+	for {
+		if s.cur == nil {
+			row, ok, err := s.left.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				return s.finish()
+			}
+			s.leftIn++
+			if len(s.rrows) == 0 {
+				continue
+			}
+			s.cur, s.ri = row, 0
+		}
+		if err := canceledEvery(s.ctx, s.out); err != nil {
+			return nil, false, err
+		}
+		t := s.arena.concat(s.cur, s.rrows[s.ri])
+		s.ri++
+		if s.ri >= len(s.rrows) {
+			s.cur = nil
+		}
+		s.out++
+		return t, true, nil
+	}
+}
+
+// joinIndex is the equi-join build table: rows bucketed by the 64-bit hash of
+// their key column.  Buckets are chains of row indices (1-based, threaded
+// through next), so building allocates one map and one flat slice instead of
+// a []Tuple per distinct key.  Chains preserve row order: rows are inserted
+// back to front, each prepended to its chain.  Rows whose key values hash
+// equally but differ are skipped at probe time with EqualKey.  Like TupleSet,
+// chain indices are int32 — an in-memory build side cannot reach 2^31 rows.
+type joinIndex struct {
+	heads map[uint64]int32
+	next  []int32
+	rows  []Tuple
+	col   int
+}
+
+func buildJoinIndex(ctx context.Context, rows []Tuple, col int) (*joinIndex, error) {
+	idx := &joinIndex{
+		heads: make(map[uint64]int32, len(rows)),
+		next:  make([]int32, len(rows)),
+		rows:  rows,
+		col:   col,
+	}
+	for i := len(rows) - 1; i >= 0; i-- {
+		if err := canceledEvery(ctx, len(rows)-1-i); err != nil {
+			return nil, err
+		}
+		h := rows[i][col].Hash64()
+		idx.next[i] = idx.heads[h]
+		idx.heads[h] = int32(i + 1)
+	}
+	return idx, nil
+}
+
+// joinSource is the equi-join: the right input is drained into a hash index
+// (build side), then left rows stream through as probes.  Matching is by
+// EqualKey — identical to the canonical-key equality the join historically
+// used, but without formatting a key string per row.
+type joinSource struct {
+	ctx         context.Context
+	left, right RowSource
+	li, ri      int
+	name        string
+	cols        []string
+	stats       *Stats
+	arena       valueArena
+
+	started bool
+	build   *joinIndex
+	cur     Tuple // current probe row
+	chain   int32 // next build-chain position (1-based) for cur; 0 = exhausted
+	leftIn  int
+	out     int
+	done    bool
+}
+
+func newJoinSource(ctx context.Context, left, right RowSource, li, ri int, stats *Stats) *joinSource {
+	cols := make([]string, 0, len(left.Columns())+len(right.Columns()))
+	cols = append(cols, left.Columns()...)
+	cols = append(cols, right.Columns()...)
+	return &joinSource{
+		ctx: ctx, left: left, right: right, li: li, ri: ri,
+		name: left.Name() + "⋈" + right.Name(), cols: cols, stats: stats,
+	}
+}
+
+func (s *joinSource) Name() string      { return s.name }
+func (s *joinSource) Columns() []string { return s.cols }
+
+func (s *joinSource) Next() (Tuple, bool, error) {
+	if !s.started {
+		s.started = true
+		var rrows []Tuple
+		for {
+			row, ok, err := s.right.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			rrows = append(rrows, row)
+		}
+		build, err := buildJoinIndex(s.ctx, rrows, s.ri)
+		if err != nil {
+			return nil, false, err
+		}
+		s.build = build
+	}
+	for {
+		for s.chain != 0 {
+			rr := s.build.rows[s.chain-1]
+			s.chain = s.build.next[s.chain-1]
+			if !rr[s.ri].EqualKey(s.cur[s.li]) {
+				continue // hash collision: not an actual match
+			}
+			if err := canceledEvery(s.ctx, s.out); err != nil {
+				return nil, false, err
+			}
+			s.out++
+			return s.arena.concat(s.cur, rr), true, nil
+		}
+		row, ok, err := s.left.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			if !s.done {
+				s.done = true
+				s.stats.record(OpKindJoin, s.leftIn+len(s.build.rows), s.out)
+			}
+			return nil, false, nil
+		}
+		if err := canceledEvery(s.ctx, s.leftIn); err != nil {
+			return nil, false, err
+		}
+		s.leftIn++
+		s.cur = row
+		s.chain = s.build.heads[row[s.li].Hash64()]
+	}
+}
+
+// distinctSource streams first-seen rows, holding only the seen-set.
+type distinctSource struct {
+	ctx      context.Context
+	src      RowSource
+	seen     *TupleSet
+	stats    *Stats
+	in, out  int
+	recorded bool
+}
+
+func newDistinctSource(ctx context.Context, src RowSource, stats *Stats) *distinctSource {
+	return &distinctSource{ctx: ctx, src: src, seen: NewTupleSet(64), stats: stats}
+}
+
+func (s *distinctSource) Name() string      { return s.src.Name() }
+func (s *distinctSource) Columns() []string { return s.src.Columns() }
+
+func (s *distinctSource) Next() (Tuple, bool, error) {
+	for {
+		row, ok, err := s.src.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			if !s.recorded {
+				s.recorded = true
+				s.stats.record(OpKindDistinct, s.in, s.out)
+			}
+			return nil, false, nil
+		}
+		if err := canceledEvery(s.ctx, s.in); err != nil {
+			return nil, false, err
+		}
+		s.in++
+		if s.seen.Add(row) {
+			s.out++
+			return row, true, nil
+		}
+	}
+}
+
+// validAggFunc rejects aggregate functions outside the supported set.
+func validAggFunc(fn AggFunc) error {
+	switch fn {
+	case AggCount, AggSum, AggAvg, AggMin, AggMax:
+		return nil
+	default:
+		return fmt.Errorf("aggregate: unsupported function %v", fn)
+	}
+}
+
+// aggOutputColumn names the single result column of an aggregate.
+func aggOutputColumn(fn AggFunc, column string) string {
+	if column != "" {
+		return fn.String() + "(" + column + ")"
+	}
+	return fn.String()
+}
+
+// aggAccumulator folds rows into a single aggregate value.  Both the
+// materialized Aggregate and the streaming aggSource drive it, so the
+// COUNT/SUM/AVG/MIN/MAX semantics — accumulation order, error strings, the
+// NULL-on-empty rules — exist exactly once.
+type aggAccumulator struct {
+	fn     AggFunc
+	idx    int    // value column position; -1 for COUNT
+	column string // display name, for error messages
+	n      int
+	sum    float64
+	numIn  int
+	best   Value
+}
+
+func (a *aggAccumulator) add(row Tuple) error {
+	a.n++
+	switch a.fn {
+	case AggCount:
+		// counting only
+	case AggSum, AggAvg:
+		f, ok := row[a.idx].AsFloat()
+		if !ok {
+			return fmt.Errorf("aggregate %s: non-numeric value %v in column %q", a.fn, row[a.idx], a.column)
+		}
+		a.sum += f
+		a.numIn++
+	case AggMin, AggMax:
+		v := row[a.idx]
+		if a.n == 1 {
+			a.best = v
+		} else if cmp := v.Compare(a.best); (a.fn == AggMin && cmp < 0) || (a.fn == AggMax && cmp > 0) {
+			a.best = v
+		}
+	}
+	return nil
+}
+
+// addAll folds a materialized row slice with per-function loops — same
+// semantics as add row by row (same accumulation order, same errors), without
+// paying a per-row dispatch.  The materialized Aggregate drives it.
+func (a *aggAccumulator) addAll(ctx context.Context, rows []Tuple) error {
+	switch a.fn {
+	case AggCount:
+		a.n += len(rows)
+	case AggSum, AggAvg:
+		for i, row := range rows {
+			if i%checkInterval == checkInterval-1 {
+				if err := canceled(ctx); err != nil {
+					return err
+				}
+			}
+			f, ok := row[a.idx].AsFloat()
+			if !ok {
+				a.n += i + 1
+				return fmt.Errorf("aggregate %s: non-numeric value %v in column %q", a.fn, row[a.idx], a.column)
+			}
+			a.sum += f
+		}
+		a.n += len(rows)
+		a.numIn += len(rows)
+	case AggMin, AggMax:
+		for i, row := range rows {
+			if i%checkInterval == checkInterval-1 {
+				if err := canceled(ctx); err != nil {
+					return err
+				}
+			}
+			v := row[a.idx]
+			if a.n == 0 && i == 0 {
+				a.best = v
+			} else if cmp := v.Compare(a.best); (a.fn == AggMin && cmp < 0) || (a.fn == AggMax && cmp > 0) {
+				a.best = v
+			}
+		}
+		a.n += len(rows)
+	}
+	return nil
+}
+
+func (a *aggAccumulator) result() Tuple {
+	switch a.fn {
+	case AggCount:
+		return Tuple{I(int64(a.n))}
+	case AggSum:
+		return Tuple{F(a.sum)}
+	case AggAvg:
+		if a.numIn == 0 {
+			return Tuple{Null()}
+		}
+		return Tuple{F(a.sum / float64(a.numIn))}
+	default: // AggMin, AggMax
+		if a.n == 0 {
+			return Tuple{Null()}
+		}
+		return Tuple{a.best}
+	}
+}
+
+// aggSource drains its input through the aggregate accumulator and emits the
+// single result row.  The accumulation order is the input order, so float
+// summation is bit-identical to the materialized implementation.
+type aggSource struct {
+	ctx   context.Context
+	src   RowSource
+	acc   aggAccumulator
+	stats *Stats
+
+	emitted bool
+}
+
+func newAggSource(ctx context.Context, src RowSource, fn AggFunc, column string, stats *Stats) (*aggSource, error) {
+	if err := validAggFunc(fn); err != nil {
+		return nil, err
+	}
+	idx := -1
+	if fn != AggCount {
+		idx = lookupColumn(src.Columns(), column)
+		if idx < 0 {
+			return nil, fmt.Errorf("aggregate %s: column %q not found in %v", fn, column, src.Columns())
+		}
+	}
+	return &aggSource{
+		ctx: ctx, src: src, stats: stats,
+		acc: aggAccumulator{fn: fn, idx: idx, column: column},
+	}, nil
+}
+
+func (s *aggSource) Name() string { return s.src.Name() }
+
+func (s *aggSource) Columns() []string {
+	return []string{aggOutputColumn(s.acc.fn, s.acc.column)}
+}
+
+func (s *aggSource) Next() (Tuple, bool, error) {
+	if s.emitted {
+		return nil, false, nil
+	}
+	for {
+		row, ok, err := s.src.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			break
+		}
+		if err := canceledEvery(s.ctx, s.acc.n); err != nil {
+			return nil, false, err
+		}
+		if err := s.acc.add(row); err != nil {
+			return nil, false, err
+		}
+	}
+	s.emitted = true
+	s.stats.record(OpKindAggregate, s.acc.n, 1)
+	return s.acc.result(), true, nil
+}

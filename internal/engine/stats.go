@@ -1,0 +1,149 @@
+package engine
+
+import "sync/atomic"
+
+// OpKind enumerates the physical operator kinds the engine records.
+type OpKind int
+
+// Operator kinds, in the order their counters are stored.
+const (
+	OpKindScan OpKind = iota
+	OpKindSelect
+	OpKindProject
+	OpKindProduct
+	OpKindJoin
+	OpKindDistinct
+	OpKindAggregate
+	numOpKinds
+)
+
+// opKindNames maps OpKind to the names reported in Stats.Operators().
+var opKindNames = [numOpKinds]string{
+	"scan", "select", "project", "product", "join", "distinct", "aggregate",
+}
+
+// String returns the operator kind name ("select", "join", ...).
+func (k OpKind) String() string {
+	if k < 0 || k >= numOpKinds {
+		return "unknown"
+	}
+	return opKindNames[k]
+}
+
+// Stats records the work done by the engine while evaluating plans.  The
+// evaluation algorithms in internal/core share one Stats per query run so that
+// the number of executed source operators (Table IV), rows scanned and
+// intermediate tuples produced can be reported.
+//
+// Recording is lock-free: counters are a fixed array of atomics indexed by
+// OpKind, so operators on concurrent workers never contend on a mutex.  The
+// evaluation runtime still gives each worker its own Stats and merges them
+// with Add when the worker's results are consumed, but recording into a
+// shared collector from several goroutines is also correct.
+type Stats struct {
+	ops          [numOpKinds]atomic.Int64
+	rowsRead     atomic.Int64
+	rowsProduced atomic.Int64
+}
+
+// NewStats returns an empty statistics collector.
+func NewStats() *Stats { return &Stats{} }
+
+// record counts one executed operator with its input/output row counts.
+func (s *Stats) record(op OpKind, in, out int) {
+	if s == nil {
+		return
+	}
+	s.ops[op].Add(1)
+	s.rowsRead.Add(int64(in))
+	s.rowsProduced.Add(int64(out))
+}
+
+// RecordOp counts one executed operator of the given kind without row
+// accounting (o-sharing uses it for scans whose rows are consumed lazily by
+// the operators reading the fragment).
+func (s *Stats) RecordOp(op OpKind) {
+	if s == nil {
+		return
+	}
+	s.ops[op].Add(1)
+}
+
+// Count returns the number of executed operators of the given kind.
+func (s *Stats) Count(op OpKind) int {
+	if s == nil || op < 0 || op >= numOpKinds {
+		return 0
+	}
+	return int(s.ops[op].Load())
+}
+
+// Operators returns a snapshot of executed physical operators by kind name
+// ("select", "project", "product", "join", "aggregate", "distinct", "scan").
+// Kinds that never executed are omitted, matching the sparse map the
+// collector historically exposed.
+func (s *Stats) Operators() map[string]int {
+	out := make(map[string]int, int(numOpKinds))
+	if s == nil {
+		return out
+	}
+	for k := OpKind(0); k < numOpKinds; k++ {
+		if n := s.ops[k].Load(); n != 0 {
+			out[opKindNames[k]] = int(n)
+		}
+	}
+	return out
+}
+
+// RowsRead returns the total number of input rows consumed by operators.
+func (s *Stats) RowsRead() int {
+	if s == nil {
+		return 0
+	}
+	return int(s.rowsRead.Load())
+}
+
+// RowsProduced returns the total number of output rows produced by operators.
+func (s *Stats) RowsProduced() int {
+	if s == nil {
+		return 0
+	}
+	return int(s.rowsProduced.Load())
+}
+
+// TotalOperators returns the total number of executed physical operators.
+func (s *Stats) TotalOperators() int {
+	if s == nil {
+		return 0
+	}
+	n := int64(0)
+	for k := OpKind(0); k < numOpKinds; k++ {
+		n += s.ops[k].Load()
+	}
+	return int(n)
+}
+
+// Add accumulates another collector into s.
+func (s *Stats) Add(o *Stats) {
+	if s == nil || o == nil || s == o {
+		return
+	}
+	for k := OpKind(0); k < numOpKinds; k++ {
+		if n := o.ops[k].Load(); n != 0 {
+			s.ops[k].Add(n)
+		}
+	}
+	s.rowsRead.Add(o.rowsRead.Load())
+	s.rowsProduced.Add(o.rowsProduced.Load())
+}
+
+// Reset clears the collector.
+func (s *Stats) Reset() {
+	if s == nil {
+		return
+	}
+	for k := OpKind(0); k < numOpKinds; k++ {
+		s.ops[k].Store(0)
+	}
+	s.rowsRead.Store(0)
+	s.rowsProduced.Store(0)
+}

@@ -1,0 +1,374 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// randValue draws from a pool that deliberately overlaps across kinds:
+// S("1"), I(1) and F(1) are distinct under Key equality but equal under the
+// loose Equal, so any divergence between the hash-based duplicate detection
+// and the canonical-key reference shows up here.
+func randValue(rng *rand.Rand) Value {
+	n := int64(rng.Intn(4))
+	switch rng.Intn(7) {
+	case 0:
+		return S(strconv.FormatInt(n, 10))
+	case 1:
+		return I(n)
+	case 2:
+		return F(float64(n))
+	case 3:
+		return F(float64(n) + 0.5)
+	case 4:
+		return S("s" + strconv.FormatInt(n, 10))
+	case 5:
+		return Null()
+	default:
+		return I(n + 100)
+	}
+}
+
+func randRelation(rng *rand.Rand, name string, cols []string, rows int) *Relation {
+	r := NewRelation(name, cols)
+	for i := 0; i < rows; i++ {
+		t := make(Tuple, len(cols))
+		for j := range t {
+			t[j] = randValue(rng)
+		}
+		r.MustAppend(t)
+	}
+	return r
+}
+
+// requireSameRelation asserts bit-identical materialized results: same name,
+// column layout, row count and canonical row keys in the same order.
+func requireSameRelation(t *testing.T, label string, want, got *Relation) {
+	t.Helper()
+	if want.Name != got.Name {
+		t.Fatalf("%s: name %q, want %q", label, got.Name, want.Name)
+	}
+	if len(want.Columns) != len(got.Columns) {
+		t.Fatalf("%s: %d columns, want %d", label, len(got.Columns), len(want.Columns))
+	}
+	for i := range want.Columns {
+		if want.Columns[i] != got.Columns[i] {
+			t.Fatalf("%s: column[%d] = %q, want %q", label, i, got.Columns[i], want.Columns[i])
+		}
+	}
+	if len(want.Rows) != len(got.Rows) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		if want.Rows[i].Key() != got.Rows[i].Key() {
+			t.Fatalf("%s: row[%d] = %v, want %v", label, i, got.Rows[i], want.Rows[i])
+		}
+	}
+}
+
+func requireSameStats(t *testing.T, label string, want, got *Stats) {
+	t.Helper()
+	for k := OpKind(0); k < numOpKinds; k++ {
+		if want.Count(k) != got.Count(k) {
+			t.Fatalf("%s: %s count = %d, want %d", label, k, got.Count(k), want.Count(k))
+		}
+	}
+	if want.RowsRead() != got.RowsRead() {
+		t.Fatalf("%s: rows read = %d, want %d", label, got.RowsRead(), want.RowsRead())
+	}
+	if want.RowsProduced() != got.RowsProduced() {
+		t.Fatalf("%s: rows produced = %d, want %d", label, got.RowsProduced(), want.RowsProduced())
+	}
+}
+
+// TestOperatorsMatchNaiveReference drives the live materialized operators and
+// the retained naive reference over randomized inputs and requires identical
+// relations (rows and order) and statistics.
+func TestOperatorsMatchNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		left := randRelation(rng, "L", []string{"L.a", "L.b", "L.c"}, rng.Intn(40))
+		right := randRelation(rng, "R", []string{"R.x", "R.y"}, rng.Intn(40))
+		preds := []Predicate{
+			Eq("L.a", randValue(rng)),
+			&ConstPredicate{Column: "L.b", Op: OpGt, Value: randValue(rng)},
+			&ColPredicate{Left: "L.a", Op: OpNe, Right: "L.c"},
+			And(Eq("L.a", randValue(rng)), &NotPredicate{Child: Eq("L.b", randValue(rng))}),
+			&OrPredicate{Children: []Predicate{Eq("L.a", randValue(rng)), Eq("L.c", randValue(rng))}},
+		}
+		pred := preds[rng.Intn(len(preds))]
+
+		label := fmt.Sprintf("trial %d", trial)
+		wantStats, gotStats := NewStats(), NewStats()
+
+		want, err1 := NaiveSelect(bgCtx, left, pred, wantStats)
+		got, err2 := Select(bgCtx, left, pred, gotStats)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s select: naive err=%v, streaming err=%v", label, err1, err2)
+		}
+		if err1 == nil {
+			requireSameRelation(t, label+" select", want, got)
+		}
+
+		want, err1 = NaiveProject(bgCtx, left, []string{"L.c", "L.a"}, wantStats)
+		got, err2 = Project(bgCtx, left, []string{"L.c", "L.a"}, gotStats)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s project: %v / %v", label, err1, err2)
+		}
+		requireSameRelation(t, label+" project", want, got)
+
+		want, err1 = NaiveProduct(bgCtx, left, right, wantStats)
+		got, err2 = Product(bgCtx, left, right, gotStats)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s product: %v / %v", label, err1, err2)
+		}
+		requireSameRelation(t, label+" product", want, got)
+
+		want, err1 = NaiveHashJoin(bgCtx, left, right, "L.a", "R.x", wantStats)
+		got, err2 = HashJoin(bgCtx, left, right, "L.a", "R.x", gotStats)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s join: %v / %v", label, err1, err2)
+		}
+		requireSameRelation(t, label+" join", want, got)
+
+		want, err1 = NaiveDistinct(bgCtx, left, wantStats)
+		got, err2 = Distinct(bgCtx, left, gotStats)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s distinct: %v / %v", label, err1, err2)
+		}
+		requireSameRelation(t, label+" distinct", want, got)
+
+		for _, fn := range []AggFunc{AggCount, AggMin, AggMax} {
+			col := "L.b"
+			if fn == AggCount {
+				col = ""
+			}
+			want, err1 = NaiveAggregate(bgCtx, left, fn, col, wantStats)
+			got, err2 = Aggregate(bgCtx, left, fn, col, gotStats)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s agg %s: %v / %v", label, fn, err1, err2)
+			}
+			requireSameRelation(t, label+" agg "+fn.String(), want, got)
+		}
+
+		requireSameStats(t, label, wantStats, gotStats)
+	}
+}
+
+// numericRelation builds rows whose values all convert to float, for SUM/AVG
+// equivalence (float accumulation order must match the reference exactly).
+func numericRelation(rng *rand.Rand, rows int) *Relation {
+	r := NewRelation("N", []string{"N.v"})
+	for i := 0; i < rows; i++ {
+		if rng.Intn(2) == 0 {
+			r.MustAppend(Tuple{I(int64(rng.Intn(1000) - 500))})
+		} else {
+			r.MustAppend(Tuple{F(rng.Float64()*100 - 50)})
+		}
+	}
+	return r
+}
+
+func TestSumAvgMatchNaiveBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		rel := numericRelation(rng, rng.Intn(200))
+		for _, fn := range []AggFunc{AggSum, AggAvg} {
+			want, err1 := NaiveAggregate(bgCtx, rel, fn, "N.v", NewStats())
+			got, err2 := Aggregate(bgCtx, rel, fn, "N.v", NewStats())
+			if err1 != nil || err2 != nil {
+				t.Fatalf("trial %d %s: %v / %v", trial, fn, err1, err2)
+			}
+			// Bit-identical float result, not epsilon-close: the streaming
+			// accumulator must add in the same order as the reference.
+			if len(got.Rows) != 1 || got.Rows[0][0] != want.Rows[0][0] {
+				t.Fatalf("trial %d %s = %#v, want %#v", trial, fn, got.Rows[0][0], want.Rows[0][0])
+			}
+		}
+	}
+}
+
+// randPlan builds a random plan over relations L (columns L.a,L.b,L.c) and
+// R (columns R.x,R.y), exercising every node type the compiler lowers.
+func randPlan(rng *rand.Rand) Plan {
+	scanL := &ScanPlan{Relation: "L"}
+	scanR := &ScanPlan{Relation: "R"}
+	sel := func(child Plan, col string) Plan {
+		return &SelectPlan{Pred: &ConstPredicate{Column: col, Op: CompareOp(rng.Intn(6)), Value: randValue(rng)}, Child: child}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return sel(scanL, "L.a")
+	case 1:
+		return &ProjectPlan{Columns: []string{"L.b", "L.a"}, Child: sel(scanL, "L.c")}
+	case 2:
+		return &JoinPlan{LeftCol: "L.a", RightCol: "R.x", Left: sel(scanL, "L.b"), Right: scanR}
+	case 3:
+		return &DistinctPlan{Child: &ProjectPlan{Columns: []string{"L.a"}, Child: scanL}}
+	case 4:
+		return &AggregatePlan{Func: AggCount, Child: sel(scanL, "L.a")}
+	case 5:
+		return &ProductPlan{Left: sel(scanL, "L.a"), Right: sel(scanR, "R.y")}
+	case 6:
+		return &SelectPlan{
+			Pred:  &ColPredicate{Left: "L.a", Op: OpEq, Right: "R.x"},
+			Child: &ProductPlan{Left: scanL, Right: scanR},
+		}
+	default:
+		return &DistinctPlan{Child: &ProjectPlan{Columns: []string{"L.a", "R.y"},
+			Child: &JoinPlan{LeftCol: "L.c", RightCol: "R.y", Left: scanL, Right: scanR}}}
+	}
+}
+
+// TestStreamingExecutorMatchesNaiveExecute compiles random plans through the
+// streaming pipeline and requires results and statistics identical to the
+// retained materialize-per-operator executor.
+func TestStreamingExecutorMatchesNaiveExecute(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 80; trial++ {
+		db := NewInstance("D")
+		db.AddRelation(randRelation(rng, "L", []string{"a", "b", "c"}, rng.Intn(30)))
+		db.AddRelation(randRelation(rng, "R", []string{"x", "y"}, rng.Intn(30)))
+		plan := randPlan(rng)
+
+		naiveStats := NewStats()
+		want, err1 := NaiveExecute(bgCtx, db, plan, naiveStats)
+
+		ex := &Executor{DB: db, Stats: NewStats()}
+		got, err2 := ex.ExecuteContext(bgCtx, plan)
+
+		label := fmt.Sprintf("trial %d plan %s", trial, plan.Signature())
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: naive err=%v, streaming err=%v", label, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		requireSameRelation(t, label, want, got)
+		requireSameStats(t, label, naiveStats, ex.Stats)
+	}
+}
+
+// TestPipelineCancellation covers cancellation mid-stream: an already-expired
+// context aborts before producing anything, and a deadline expiring inside a
+// huge fused product+select pipeline surfaces promptly even though no
+// intermediate relation is ever materialized.
+func TestPipelineCancellation(t *testing.T) {
+	db := NewInstance("big")
+	rel := NewRelation("Big", []string{"v"})
+	for i := 0; i < 5000; i++ {
+		rel.MustAppend(Tuple{I(int64(i))})
+	}
+	db.AddRelation(rel)
+	// σ[false](Big × Big): ~25M streamed rows, none kept — the pipeline does
+	// all its work inside fused operators.
+	plan := &SelectPlan{
+		Pred: Eq("A.v", I(-1)),
+		Child: &ProductPlan{
+			Left:  &ScanPlan{Relation: "Big", Alias: "A"},
+			Right: &ScanPlan{Relation: "Big", Alias: "B"},
+		},
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	ex := &Executor{DB: db, Stats: NewStats()}
+	if _, err := ex.ExecuteContext(cancelled, plan); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled execute err = %v, want context.Canceled", err)
+	}
+
+	ctx, cancelDeadline := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancelDeadline()
+	start := time.Now()
+	_, err := (&Executor{DB: db, Stats: NewStats()}).ExecuteContext(ctx, plan)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("mid-stream deadline err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v, want prompt abort", elapsed)
+	}
+}
+
+// TestHashKeyConsistency pins the contract between the hash scheme and the
+// canonical key encoding: tuples are EqualKey exactly when their Key strings
+// match, and EqualKey tuples always share a hash.
+func TestHashKeyConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tuples := make([]Tuple, 300)
+	for i := range tuples {
+		tpl := make(Tuple, 1+rng.Intn(3))
+		for j := range tpl {
+			tpl[j] = randValue(rng)
+		}
+		tuples[i] = tpl
+	}
+	// Every NaN payload renders as "NaN" in the canonical key, so
+	// distinct-bit NaNs must be EqualKey and share a hash.
+	tuples = append(tuples,
+		Tuple{F(math.NaN())},
+		Tuple{F(math.Float64frombits(math.Float64bits(math.NaN()) ^ 1))},
+		Tuple{F(math.Float64frombits(0xfff8000000000001))},
+	)
+	for _, a := range tuples {
+		for _, b := range tuples {
+			keyEq := a.Key() == b.Key()
+			if got := a.EqualKey(b); got != keyEq {
+				t.Fatalf("EqualKey(%v, %v) = %v, Key equality = %v", a, b, got, keyEq)
+			}
+			if keyEq && a.Hash64() != b.Hash64() {
+				t.Fatalf("key-equal tuples %v and %v hash differently", a, b)
+			}
+		}
+	}
+}
+
+// TestColumnIndexMatchesLinearLookup pins the cached resolution map to the
+// linear reference rules for qualified, unqualified, missing and ambiguous
+// names.
+func TestColumnIndexMatchesLinearLookup(t *testing.T) {
+	colSets := [][]string{
+		{"A.x", "A.y", "B.x", "B.z"},
+		{"x", "y", "z"},
+		{"A.x", "x"},
+		{"R.a", "R.a"},
+		{},
+		{"A.cid", "B.cid", "C.name"},
+	}
+	probes := []string{"A.x", "B.x", "x", "y", "z", "a", "cid", "name", "missing", "A.missing", "R.a"}
+	for _, cols := range colSets {
+		rel := &Relation{Name: "T", Columns: cols}
+		for _, p := range probes {
+			want := lookupColumn(cols, p)
+			if got := rel.ColumnIndex(p); got != want {
+				t.Errorf("cols %v: ColumnIndex(%q) = %d, linear reference = %d", cols, p, got, want)
+			}
+		}
+	}
+}
+
+// TestTupleSetSemantics checks first-seen semantics under cross-kind
+// collisions that the loose Equal would merge.
+func TestTupleSetSemantics(t *testing.T) {
+	s := NewTupleSet(4)
+	if !s.Add(Tuple{I(1)}) {
+		t.Fatal("first add should be new")
+	}
+	if s.Add(Tuple{I(1)}) {
+		t.Fatal("duplicate add should report existing")
+	}
+	if !s.Add(Tuple{S("1")}) {
+		t.Fatal("S(\"1\") is distinct from I(1) under key equality")
+	}
+	if !s.Add(Tuple{F(1)}) {
+		t.Fatal("F(1) is distinct from I(1) under key equality")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("set size = %d, want 3", s.Len())
+	}
+}

@@ -9,6 +9,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -95,6 +96,77 @@ func (v Value) String() string {
 	}
 }
 
+// FNV-1a parameters for the 64-bit value/tuple hashes.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// hash64 mixes the value into the running FNV-1a hash h.  The kind tag is
+// hashed first so that S("1"), I(1) and F(1) — distinct under Key equality —
+// land in different buckets.
+func (v Value) hash64(h uint64) uint64 {
+	h ^= uint64(v.Kind) + 1
+	h *= fnvPrime64
+	switch v.Kind {
+	case KindString:
+		for i := 0; i < len(v.Str); i++ {
+			h ^= uint64(v.Str[i])
+			h *= fnvPrime64
+		}
+	case KindInt:
+		x := uint64(v.Int)
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= fnvPrime64
+			x >>= 8
+		}
+	case KindFloat:
+		x := math.Float64bits(v.Float)
+		if v.Float != v.Float {
+			// Key() formats every NaN payload as "NaN", so all NaNs must
+			// share a hash to stay consistent with EqualKey.
+			x = math.Float64bits(math.NaN())
+		}
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= fnvPrime64
+			x >>= 8
+		}
+	}
+	return h
+}
+
+// Hash64 returns a 64-bit hash of the value, consistent with EqualKey:
+// values that are EqualKey always hash identically.
+func (v Value) Hash64() uint64 { return v.hash64(fnvOffset64) }
+
+// EqualKey reports equality under the canonical Key encoding: the kinds must
+// match and the active payload must render identically.  Floats compare by
+// bit pattern — strconv's 'g'/-1 rendering is injective per bit pattern
+// (−0 and +0 render differently) — except NaNs, which all render "NaN" and
+// so are all equal here regardless of payload bits.  This is the equality
+// the engine's duplicate detection and hash joins are defined by; it is
+// stricter than Equal, which compares numerics across kinds.
+func (v Value) EqualKey(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindString:
+		return v.Str == o.Str
+	case KindInt:
+		return v.Int == o.Int
+	case KindFloat:
+		if v.Float != v.Float {
+			return o.Float != o.Float // every NaN formats as "NaN"
+		}
+		return math.Float64bits(v.Float) == math.Float64bits(o.Float)
+	default:
+		return true
+	}
+}
+
 // Equal reports whether two values are equal.  Numeric values compare by
 // numeric value across int/float kinds; NULL equals only NULL.
 func (v Value) Equal(o Value) bool {
@@ -164,6 +236,32 @@ func (t Tuple) Key() string {
 	return b.String()
 }
 
+// Hash64 returns a 64-bit hash of the whole tuple, consistent with EqualKey.
+// It replaces Key() on the hot paths: hashing never formats values.
+func (t Tuple) Hash64() uint64 {
+	h := fnvOffset64
+	for _, v := range t {
+		h = v.hash64(h)
+	}
+	return h
+}
+
+// EqualKey reports element-wise EqualKey equality: exactly the tuples that
+// share a canonical Key() are EqualKey.  Unlike Equal it distinguishes
+// S("1") from I(1), which is what duplicate elimination and probabilistic
+// answer aggregation require.
+func (t Tuple) EqualKey(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].EqualKey(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Equal reports element-wise equality of two tuples.
 func (t Tuple) Equal(o Tuple) bool {
 	if len(t) != len(o) {
@@ -192,3 +290,41 @@ func (t Tuple) String() string {
 	}
 	return "(" + strings.Join(parts, ", ") + ")"
 }
+
+// TupleSet is a hash set of tuples under Key equality (Hash64/EqualKey).
+// Collisions are resolved by scanning a chain of row indices, so membership
+// never formats values and never allocates a slice per bucket: storage is one
+// map plus two flat slices that grow geometrically.  Chain indices are int32:
+// the set silently assumes fewer than 2^31 tuples, which in-memory relations
+// cannot approach (2 billion rows of ≥48 bytes each would need >100 GB).
+// The zero value is not usable; call NewTupleSet.
+type TupleSet struct {
+	heads map[uint64]int32 // hash → 1-based index of the chain head in rows
+	next  []int32          // next[i] is the 1-based index of the next tuple with the same hash
+	rows  []Tuple
+}
+
+// NewTupleSet returns an empty set sized for about n tuples.
+func NewTupleSet(n int) *TupleSet {
+	return &TupleSet{heads: make(map[uint64]int32, n)}
+}
+
+// Add inserts the tuple and reports whether it was not already present.
+func (s *TupleSet) Add(t Tuple) bool { return s.AddHashed(t.Hash64(), t) }
+
+// AddHashed is Add for callers that already computed the tuple's Hash64 —
+// the answer aggregators reuse one hash for dedup and bucket lookup.
+func (s *TupleSet) AddHashed(h uint64, t Tuple) bool {
+	for j := s.heads[h]; j != 0; j = s.next[j-1] {
+		if s.rows[j-1].EqualKey(t) {
+			return false
+		}
+	}
+	s.next = append(s.next, s.heads[h])
+	s.rows = append(s.rows, t)
+	s.heads[h] = int32(len(s.rows))
+	return true
+}
+
+// Len returns the number of distinct tuples in the set.
+func (s *TupleSet) Len() int { return len(s.rows) }

@@ -74,11 +74,11 @@ func TestExecuteSharesWork(t *testing.T) {
 		}
 	}
 	// The shared select executes once thanks to the cache.
-	if stats.Operators["select"] != 1 {
-		t.Errorf("select executed %d times, want 1", stats.Operators["select"])
+	if stats.Count(engine.OpKindSelect) != 1 {
+		t.Errorf("select executed %d times, want 1", stats.Count(engine.OpKindSelect))
 	}
-	if stats.Operators["project"] != 2 {
-		t.Errorf("project executed %d times, want 2", stats.Operators["project"])
+	if stats.Count(engine.OpKindProject) != 2 {
+		t.Errorf("project executed %d times, want 2", stats.Count(engine.OpKindProject))
 	}
 }
 
