@@ -48,12 +48,16 @@ func run(args []string, out *os.File) error {
 		outDir   = fs.String("out", "", "directory to write <ID>.csv files into")
 		list     = fs.Bool("list", false, "list experiment IDs and exit")
 		jsonSnap = fs.Bool("json", false, "measure the engine perf snapshot and write BENCH_engine.json instead of running experiments")
+		check    = fs.Bool("check", false, "validate BENCH_engine.json (every operator speedup >= 1.0) and exit — the CI bench-regression gate")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *jsonSnap {
 		return writeSnapshot(*outDir, out)
+	}
+	if *check {
+		return checkSnapshot(*outDir, out)
 	}
 	if *list {
 		for _, e := range bench.Experiments() {
@@ -162,6 +166,24 @@ func writeSnapshot(dir string, out *os.File) error {
 			name, float64(ob.NaiveNsOp)/1e6, float64(ob.EngineNsOp)/1e6, ob.Speedup)
 	}
 	fmt.Fprintf(out, "wrote %s\n", path)
+	return nil
+}
+
+// checkSnapshot loads <dir>/BENCH_engine.json and fails if any operator pair
+// regressed below its reference implementation.
+func checkSnapshot(dir string, out *os.File) error {
+	if dir == "" {
+		dir = "."
+	}
+	path := filepath.Join(dir, "BENCH_engine.json")
+	snap, err := bench.ReadSnapshot(path)
+	if err != nil {
+		return err
+	}
+	if err := bench.CheckRegression(snap); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Fprintf(out, "bench-regression: %s ok (%d operator pairs >= 1.0x)\n", path, len(snap.Operators))
 	return nil
 }
 

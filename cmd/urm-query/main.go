@@ -42,6 +42,7 @@ func run(args []string) error {
 		parallel = fs.Int("parallel", 0, "evaluation worker goroutines (0 = all cores, 1 = sequential)")
 		limit    = fs.Int("limit", 20, "maximum number of answers to print")
 		verbose  = fs.Bool("v", false, "print evaluation statistics")
+		noindex  = fs.Bool("noindex", false, "disable the shared base-relation index subsystem (A/B comparison; answers are identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +69,9 @@ func run(args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *noindex {
+		scenario.DB.SetIndexing(false)
 	}
 
 	var q *urm.Query
@@ -118,6 +122,7 @@ func printResult(res *urm.Result, limit int, verbose bool) {
 		fmt.Printf("\nrewritten queries: %d   executed queries: %d   partitions: %d\n",
 			res.RewrittenQueries, res.ExecutedQueries, res.Partitions)
 		fmt.Printf("operators: %v\n", res.Stats.Operators())
+		fmt.Printf("index: %d builds, %d lookups\n", res.Stats.IndexBuilds(), res.Stats.IndexLookups())
 		fmt.Printf("phases: rewrite %.3fs, execute %.3fs, aggregate %.3fs\n",
 			res.RewriteTime.Seconds(), res.ExecTime.Seconds(), res.AggregateTime.Seconds())
 	}

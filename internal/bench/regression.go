@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// ReadSnapshot loads a BENCH_engine.json previously written by
+// `urm-bench -json`.
+func ReadSnapshot(path string) (*EngineSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap EngineSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// CheckRegression validates an engine snapshot against the perf floor every
+// change must preserve: each operator pair's live implementation must be at
+// least as fast as its reference (speedup >= 1.0).  It returns an error
+// naming every operator below the floor, so the CI bench-regression gate can
+// fail with the full picture in one run.
+func CheckRegression(snap *EngineSnapshot) error {
+	if len(snap.Operators) == 0 {
+		return fmt.Errorf("snapshot contains no operator measurements")
+	}
+	names := make([]string, 0, len(snap.Operators))
+	for name := range snap.Operators {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var bad []string
+	for _, name := range names {
+		if ob := snap.Operators[name]; ob.Speedup < 1.0 {
+			bad = append(bad, fmt.Sprintf("%s %.3fx", name, ob.Speedup))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("operator speedup below 1.0: %s", strings.Join(bad, ", "))
+	}
+	return nil
+}

@@ -29,8 +29,11 @@ type MethodBench struct {
 }
 
 // EngineSnapshot is the machine-readable perf snapshot urm-bench -json emits
-// (BENCH_engine.json): per-operator naive-vs-engine throughput plus
-// end-to-end per-method timings.
+// (BENCH_engine.json): per-operator reference-vs-engine throughput plus
+// end-to-end per-method timings.  Most operator pairs compare against the
+// retained naive reference; the index pairs ("index-lookup",
+// "shared-join-build") compare the shared base-relation index subsystem
+// against the non-indexed streaming pipeline.
 type EngineSnapshot struct {
 	GoVersion  string                   `json:"go_version"`
 	GOMAXPROCS int                      `json:"gomaxprocs"`
@@ -41,6 +44,11 @@ type EngineSnapshot struct {
 
 // snapshotRows is the input size for the operator measurements.
 const snapshotRows = 20000
+
+// snapshotSharedH is the number of identical source queries the shared
+// join-build pair evaluates per measurement — the e-basic shape, one probe per
+// reformulated mapping.
+const snapshotSharedH = 8
 
 func snapshotRelation(name string, n int) *engine.Relation {
 	r := engine.NewRelation(name, []string{name + ".id", name + ".tag", name + ".score"})
@@ -128,6 +136,38 @@ func Snapshot() (*EngineSnapshot, error) {
 		},
 	}
 
+	// Index subsystem pairs: a selective (~0.5%) constant-equality selection
+	// served from the shared per-column index versus the full scan+filter
+	// pipeline, and h identical joins probing the shared build versus h
+	// independent builds.
+	idxDB := engine.NewInstance("DX")
+	idxDB.AddRelation(snapshotRelation("T", snapshotRows))
+	idxSelPlan := &engine.SelectPlan{
+		Pred:  &engine.ConstPredicate{Column: "T.id", Op: engine.OpEq, Value: engine.I(7)},
+		Child: &engine.ScanPlan{Relation: "T"},
+	}
+	joinDB := engine.NewInstance("DJ")
+	joinDB.AddRelation(snapshotKeyedRelation("L", snapshotRows, 1))
+	joinDB.AddRelation(snapshotKeyedRelation("R", snapshotRows/4, 4))
+	idxJoinPlan := &engine.JoinPlan{
+		LeftCol: "L.id", RightCol: "R.id",
+		Left:  &engine.ScanPlan{Relation: "L"},
+		Right: &engine.ScanPlan{Relation: "R"},
+	}
+	execPlan := func(db *engine.Instance, plan engine.Plan, indexes *engine.IndexCache) error {
+		ex := &engine.Executor{DB: db, Stats: engine.NewStats(), Indexes: indexes}
+		_, err := ex.ExecuteContext(ctx, plan)
+		return err
+	}
+	// Warm the shared indexes so the pairs measure steady-state lookups, not
+	// the one-time builds.
+	if err := execPlan(idxDB, idxSelPlan, idxDB.Indexes()); err != nil {
+		return nil, err
+	}
+	if err := execPlan(joinDB, idxJoinPlan, joinDB.Indexes()); err != nil {
+		return nil, err
+	}
+
 	type opCase struct {
 		name  string
 		rows  int
@@ -165,6 +205,26 @@ func Snapshot() (*EngineSnapshot, error) {
 				ex := &engine.Executor{DB: pipelineDB, Stats: engine.NewStats()}
 				_, err := ex.ExecuteContext(ctx, pipelinePlan)
 				return err
+			}},
+		{"index-lookup", snapshotRows,
+			func() error { return execPlan(idxDB, idxSelPlan, nil) },
+			func() error { return execPlan(idxDB, idxSelPlan, idxDB.Indexes()) }},
+		{"shared-join-build", snapshotRows + snapshotRows/4,
+			func() error {
+				for q := 0; q < snapshotSharedH; q++ {
+					if err := execPlan(joinDB, idxJoinPlan, nil); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			func() error {
+				for q := 0; q < snapshotSharedH; q++ {
+					if err := execPlan(joinDB, idxJoinPlan, joinDB.Indexes()); err != nil {
+						return err
+					}
+				}
+				return nil
 			}},
 	}
 	for _, c := range cases {

@@ -76,7 +76,7 @@ func runMapping(ctx context.Context, q *query.Query, m *schema.Mapping, db *engi
 	run.rewrite = time.Since(rewriteStart)
 
 	execStart := time.Now()
-	ex := &engine.Executor{DB: db, Stats: run.stats}
+	ex := &engine.Executor{DB: db, Stats: run.stats, Indexes: db.Indexes()}
 	rel, err := ex.ExecuteContext(ctx, plan)
 	run.exec = time.Since(execStart)
 	if err != nil {
@@ -203,7 +203,7 @@ func EBasic(ec *exec.Context, q *query.Query, maps schema.MappingSet, db *engine
 		func(ctx context.Context, i int) (*mappingRun, error) {
 			run := &mappingRun{stats: engine.NewStats()}
 			execStart := time.Now()
-			ex := &engine.Executor{DB: db, Stats: run.stats}
+			ex := &engine.Executor{DB: db, Stats: run.stats, Indexes: db.Indexes()}
 			rel, err := ex.ExecuteContext(ctx, clusters[order[i]].plan)
 			run.exec = time.Since(execStart)
 			if err != nil {

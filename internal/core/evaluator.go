@@ -135,6 +135,13 @@ type Options struct {
 
 // Evaluator evaluates probabilistic target queries over a set of possible
 // mappings and a source instance.
+//
+// All evaluation methods (and top-k) share the instance's base-relation index
+// cache (engine.Instance.Indexes): constant-equality selections and equi-join
+// builds over base relations are served from per-column hash indexes that are
+// built once per instance — under concurrency, exactly once — instead of once
+// per reformulated source query.  Answers are bit-identical with the cache
+// enabled or disabled (engine.Instance.SetIndexing).
 type Evaluator struct {
 	DB   *engine.Instance
 	Maps schema.MappingSet

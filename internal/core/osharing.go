@@ -123,6 +123,7 @@ func runOSharing(ec *exec.Context, q *query.Query, maps schema.MappingSet, db *e
 		stats:    res.Stats,
 		strategy: opts.Strategy,
 		sink:     sink,
+		indexes:  db.Indexes(),
 	}
 
 	// Step 3: initial e-unit covering the whole query and all representatives.
@@ -424,6 +425,11 @@ type osharer struct {
 	stats    *engine.Stats
 	strategy Strategy
 	sink     resultSink
+	// indexes is the instance's shared base-relation index cache (nil when
+	// disabled): selections and join builds over untouched fragments — a
+	// fragment fresh from a scan still shares the base relation's rows — are
+	// served from it.
+	indexes *engine.IndexCache
 }
 
 // sinkEvent is one buffered leaf result of a u-trace branch: an answer
@@ -535,6 +541,7 @@ func (os *osharer) runBranchesParallel(u *eUnit, op *targetOp, parts []*Partitio
 				stats:    engine.NewStats(),
 				strategy: os.strategy,
 				sink:     buf,
+				indexes:  os.indexes,
 			}
 			child, execErr := sub.executeOp(u, op, parts[i])
 			if execErr != nil {
@@ -865,7 +872,7 @@ func (os *osharer) executeOp(u *eUnit, op *targetOp, p *Partition) (*eUnit, erro
 		if err != nil {
 			return nil, err
 		}
-		out, err := engine.Select(os.ec.Ctx(), frag.rel, &engine.ConstPredicate{Column: col, Op: op.sel.Op, Value: op.sel.Value}, os.stats)
+		out, err := engine.IndexedSelect(os.ec.Ctx(), frag.rel, &engine.ConstPredicate{Column: col, Op: op.sel.Op, Value: op.sel.Value}, os.stats, os.indexes)
 		if err != nil {
 			return nil, err
 		}
@@ -896,7 +903,7 @@ func (os *osharer) executeOp(u *eUnit, op *targetOp, p *Partition) (*eUnit, erro
 			}
 			var joined *engine.Relation
 			if op.jsel.Op == engine.OpEq {
-				joined, err = engine.HashJoin(os.ec.Ctx(), leftFrag.rel, rightFrag.rel, leftCol, rightCol, os.stats)
+				joined, err = engine.IndexedHashJoin(os.ec.Ctx(), leftFrag.rel, rightFrag.rel, leftCol, rightCol, os.stats, os.indexes)
 			} else {
 				joined, err = engine.Product(os.ec.Ctx(), leftFrag.rel, rightFrag.rel, os.stats)
 				if err == nil {

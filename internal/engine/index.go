@@ -1,0 +1,440 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// This file is the engine's shared base-relation index subsystem.  The
+// workload shape the paper studies — many reformulated source queries over the
+// same instance — means every mapping's query scans the same base relations,
+// applies constant-equality selections to the same columns and rebuilds the
+// same equi-join hash tables.  The IndexCache makes that per-query cost a
+// per-instance cost: one lazily built hash index per (relation, column),
+// constructed exactly once no matter how many concurrent workers ask for it,
+// and shared by every plan shape that can prove it needs exactly that index.
+
+// hashIndex is the engine's one bucket-chain hash structure: rows bucketed by
+// a 64-bit key hash, with buckets stored as chains of 1-based row indices
+// threaded through a flat []int32 (0 terminates a chain).  Join build tables,
+// the per-column base-relation indexes of the IndexCache and TupleSet's
+// seen-set all share it, so the chain layout, its int32 row-count assumption
+// (an in-memory build side cannot reach 2^31 rows) and the collision rules
+// exist exactly once.
+//
+// Column indexes built by buildColumnHashIndex key each row by
+// rows[i][col].Hash64() and preserve row order inside every chain: rows are
+// inserted back to front, each prepended to its chain, so traversing a chain
+// yields rows in ascending row order.  Rows whose keys hash equally but are
+// not EqualKey must be skipped by the prober.
+type hashIndex struct {
+	heads map[uint64]int32
+	next  []int32
+	rows  []Tuple
+
+	// col is the keyed column position for column indexes; -1 when the index
+	// keys whole tuples (TupleSet).
+	col int
+	// kinds and hasNaN describe the keyed column's content.  probeValuesForEq
+	// consults them to decide whether a constant-equality predicate is
+	// answerable from the index: Compare-equality is wider than the hash's
+	// EqualKey classes for mixed-kind columns and NaNs.
+	kinds  kindMask
+	hasNaN bool
+}
+
+// add appends t under hash h, prepending it to h's chain (the TupleSet path;
+// chain order does not matter for set membership).
+func (x *hashIndex) add(h uint64, t Tuple) {
+	x.next = append(x.next, x.heads[h])
+	x.rows = append(x.rows, t)
+	x.heads[h] = int32(len(x.rows))
+}
+
+// buildColumnHashIndex builds a hash index over the rows keyed by the given
+// column, recording the column's kind mask as it hashes.  The rows slice is
+// shared, not copied.
+func buildColumnHashIndex(ctx context.Context, rows []Tuple, col int) (*hashIndex, error) {
+	x := &hashIndex{
+		heads: make(map[uint64]int32, len(rows)),
+		next:  make([]int32, len(rows)),
+		rows:  rows,
+		col:   col,
+	}
+	for i := len(rows) - 1; i >= 0; i-- {
+		if err := canceledEvery(ctx, len(rows)-1-i); err != nil {
+			return nil, err
+		}
+		v := rows[i][col]
+		x.kinds |= 1 << uint(v.Kind)
+		if v.Kind == KindFloat && v.Float != v.Float {
+			x.hasNaN = true
+		}
+		h := v.Hash64()
+		x.next[i] = x.heads[h]
+		x.heads[h] = int32(i + 1)
+	}
+	return x, nil
+}
+
+// probeMatches collects the 0-based indices of rows whose keyed column is
+// EqualKey to one of the probe values, in ascending row order.  visited counts
+// the chain entries examined (including hash collisions).
+func (x *hashIndex) probeMatches(ctx context.Context, probes []Value) (matches []int32, visited int, err error) {
+	for _, pv := range probes {
+		h := pv.Hash64()
+		for j := x.heads[h]; j != 0; j = x.next[j-1] {
+			if err := canceledEvery(ctx, visited); err != nil {
+				return nil, 0, err
+			}
+			visited++
+			if x.rows[j-1][x.col].EqualKey(pv) {
+				matches = append(matches, j-1)
+			}
+		}
+	}
+	if len(probes) > 1 {
+		sort.Slice(matches, func(i, j int) bool { return matches[i] < matches[j] })
+	}
+	return matches, visited, nil
+}
+
+// kindMask is a bitmask of the Kinds present in an indexed column.
+type kindMask uint8
+
+func (m kindMask) has(k Kind) bool { return m&(1<<uint(k)) != 0 }
+
+// maxExactInt bounds the integers that float64 represents exactly (2^53).
+// Value.Compare compares integers through float64, so above this bound several
+// distinct int64 values Compare-equal each other and a probe set cannot
+// enumerate them.
+const maxExactInt = int64(1) << 53
+
+// probeValuesForEq returns EqualKey probe values whose classes together
+// contain exactly the rows satisfying `column = v` under Compare semantics,
+// or ok=false when no such finite probe set exists for a column with the
+// given content.
+//
+// The subtlety is that the selection predicate's OpEq uses Value.Compare,
+// which equates values across kinds — I(1), F(1) and S("1") all compare
+// equal — while the index hashes by EqualKey, which keeps kinds apart.  The
+// probe set bridges the two when the column's kind mask allows it:
+//
+//   - a NULL constant matches only NULLs;
+//   - a string that does not parse as a float matches only that exact string,
+//     whatever the column holds (numeric renderings always parse);
+//   - a numeric-parsing string is answerable only from a purely
+//     string/NULL-valued column (otherwise it also matches numbers that
+//     cannot be enumerated: "1", "1.0" and "1e0" all equal I(1));
+//   - an int or float constant is answerable when the column holds no strings
+//     and no NaNs (a stored NaN Compare-equals every number), probing both
+//     the int and the float spelling of the value, plus the other-signed zero
+//     (−0 and +0 are distinct EqualKey classes but compare equal);
+//   - integers at or beyond 2^53 are rejected outright: Compare goes through
+//     float64, where several distinct huge integers are equal.
+func probeValuesForEq(v Value, kinds kindMask, hasNaN bool) ([]Value, bool) {
+	switch v.Kind {
+	case KindNull:
+		return []Value{v}, true
+	case KindString:
+		if _, err := strconv.ParseFloat(v.Str, 64); err != nil {
+			return []Value{v}, true
+		}
+		if kinds.has(KindInt) || kinds.has(KindFloat) {
+			return nil, false
+		}
+		return []Value{v}, true
+	case KindInt:
+		if kinds.has(KindString) || hasNaN {
+			return nil, false
+		}
+		n := v.Int
+		if n <= -maxExactInt || n >= maxExactInt {
+			return nil, false
+		}
+		probes := []Value{v, F(float64(n))}
+		if n == 0 {
+			probes = append(probes, F(math.Copysign(0, -1)))
+		}
+		return probes, true
+	case KindFloat:
+		f := v.Float
+		if f != f || kinds.has(KindString) || hasNaN {
+			return nil, false
+		}
+		probes := []Value{v}
+		switch {
+		case f == 0:
+			other := math.Copysign(0, -1)
+			if math.Signbit(f) {
+				other = 0
+			}
+			probes = append(probes, F(other), I(0))
+		case math.Trunc(f) == f && f > -float64(maxExactInt) && f < float64(maxExactInt):
+			probes = append(probes, I(int64(f)))
+		case kinds.has(KindInt) && !math.IsInf(f, 0):
+			// An integer-valued float at or beyond 2^53: several int64 values
+			// round to it, and the probe set cannot enumerate them.  (±Inf is
+			// safe — no int64 converts to an infinity.)
+			return nil, false
+		}
+		return probes, true
+	default:
+		return nil, false
+	}
+}
+
+// constPreds flattens p into its constant comparisons when p is a single
+// ConstPredicate or a conjunction of them; any other shape reports ok=false.
+func constPreds(p Predicate) ([]*ConstPredicate, bool) {
+	switch n := p.(type) {
+	case *ConstPredicate:
+		return []*ConstPredicate{n}, true
+	case *AndPredicate:
+		out := make([]*ConstPredicate, 0, len(n.Children))
+		for _, c := range n.Children {
+			cp, ok := c.(*ConstPredicate)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, cp)
+		}
+		return out, true
+	default:
+		return nil, false
+	}
+}
+
+// residualConsts rebuilds the predicate minus the probe comparison (which the
+// index answers exactly).  nil means nothing remains to evaluate per row.
+func residualConsts(consts []*ConstPredicate, skip int) Predicate {
+	rest := make([]Predicate, 0, len(consts)-1)
+	for i, cp := range consts {
+		if i != skip {
+			rest = append(rest, cp)
+		}
+	}
+	switch len(rest) {
+	case 0:
+		return nil
+	case 1:
+		return rest[0]
+	default:
+		return &AndPredicate{Children: rest}
+	}
+}
+
+// colKey identifies one cached column index.
+type colKey struct {
+	rel *Relation
+	col int
+}
+
+// colEntry is one singleflight-constructed column index together with the
+// relation state it was built against.
+type colEntry struct {
+	version uint64
+	nrows   int
+	once    sync.Once
+	idx     *hashIndex
+	err     error
+}
+
+// IndexCache memoizes per-(relation, column) hash indexes for the base
+// relations of one Instance.  Construction is lazy and singleflight: when
+// several concurrent workers request the same index, exactly one builds it and
+// the others block until it is ready, so each index is built once per instance
+// no matter how the queries sharing it are scheduled.
+//
+// Entries are validated against the relation's mutation version and row count
+// on every request, so appending to a base relation (Relation.Append)
+// invalidates its cached indexes; the next request rebuilds them.  Mutating
+// Relation.Rows in place during evaluation is outside the engine's contract,
+// exactly as it is for a running scan.
+type IndexCache struct {
+	db      *Instance
+	mu      sync.Mutex
+	entries map[colKey]*colEntry
+}
+
+func newIndexCache(db *Instance) *IndexCache {
+	return &IndexCache{db: db, entries: make(map[colKey]*colEntry)}
+}
+
+// Len returns the number of cached column indexes.
+func (c *IndexCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// columnIndex returns the shared hash index over the relation's column,
+// building it on first request.  A build aborted by context cancellation is
+// evicted, and waiters whose own context is still live retry — one of them
+// becomes the next builder — so one caller's cancellation never fails a
+// concurrent query that wasn't cancelled, and a later run can always
+// construct the index.
+func (c *IndexCache) columnIndex(ctx context.Context, rel *Relation, col int, stats *Stats) (*hashIndex, error) {
+	if col < 0 || col >= len(rel.Columns) {
+		return nil, fmt.Errorf("index: column %d out of range for %s", col, rel.Name)
+	}
+	key := colKey{rel: rel, col: col}
+	for {
+		ver := rel.version.Load()
+		nrows := len(rel.Rows)
+		c.mu.Lock()
+		e := c.entries[key]
+		if e != nil && (e.version != ver || e.nrows != nrows) {
+			delete(c.entries, key)
+			e = nil
+		}
+		if e == nil {
+			e = &colEntry{version: ver, nrows: nrows}
+			c.entries[key] = e
+		}
+		c.mu.Unlock()
+		e.once.Do(func() {
+			e.idx, e.err = buildColumnHashIndex(ctx, rel.Rows[:e.nrows:e.nrows], col)
+			if e.err == nil {
+				stats.recordIndexBuild()
+			} else if errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded) {
+				c.mu.Lock()
+				if c.entries[key] == e {
+					delete(c.entries, key)
+				}
+				c.mu.Unlock()
+			}
+		})
+		if e.err == nil {
+			return e.idx, nil
+		}
+		if errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded) {
+			// The winning builder's context died — not necessarily ours.  The
+			// entry has been evicted; fail with our own context's error if we
+			// were cancelled too, otherwise take another turn.
+			if ctxErr := canceled(ctx); ctxErr != nil {
+				return nil, ctxErr
+			}
+			continue
+		}
+		return nil, e.err
+	}
+}
+
+// baseForRows reports which base relation's row list backs rows, if any.
+// Materialized scans (QualifyColumns) and o-sharing's untouched fragments
+// share the base relation's []Tuple, so pointer identity of the first row plus
+// equal length identifies an unfiltered base scan; any selection, projection
+// or product produces a fresh slice and fails the check.
+func (c *IndexCache) baseForRows(rows []Tuple) (*Relation, bool) {
+	if len(rows) == 0 {
+		return nil, false
+	}
+	for _, r := range c.db.relations {
+		if len(r.Rows) == len(rows) && &r.Rows[0] == &rows[0] {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// trySelect serves a constant selection over an untouched base scan from the
+// shared index: rows whose probe column equals the constant come from the
+// index in base row order, with the remaining constant comparisons evaluated
+// per matched row.  ok=false means the caller must run the plain selection
+// (wrong shape, no equality probe, or a column content the probe set cannot
+// cover).
+func (c *IndexCache) trySelect(ctx context.Context, rel *Relation, pred Predicate, stats *Stats) (*Relation, bool, error) {
+	consts, ok := constPreds(pred)
+	if !ok {
+		return nil, false, nil
+	}
+	base, ok := c.baseForRows(rel.Rows)
+	if !ok {
+		return nil, false, nil
+	}
+	probeAt, col := -1, -1
+	for i, cp := range consts {
+		if cp.Op != OpEq {
+			continue
+		}
+		if j := rel.ColumnIndex(cp.Column); j >= 0 {
+			probeAt, col = i, j
+			break
+		}
+	}
+	if probeAt < 0 {
+		return nil, false, nil
+	}
+	idx, err := c.columnIndex(ctx, base, col, stats)
+	if err != nil {
+		return nil, false, err
+	}
+	probes, ok := probeValuesForEq(consts[probeAt].Value, idx.kinds, idx.hasNaN)
+	if !ok {
+		return nil, false, nil
+	}
+	var residual boundPredicate
+	if rp := residualConsts(consts, probeAt); rp != nil {
+		residual, err = bindRelPredicate(rp, rel)
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	matches, _, err := idx.probeMatches(ctx, probes)
+	if err != nil {
+		return nil, false, err
+	}
+	out := NewRelation(rel.Name, rel.Columns)
+	for _, mi := range matches {
+		row := idx.rows[mi]
+		if residual != nil {
+			keep, err := residual.eval(row)
+			if err != nil {
+				return nil, false, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	stats.recordIndexLookup()
+	stats.record(OpKindSelect, len(matches), len(out.Rows))
+	return out, true, nil
+}
+
+// IndexedSelect is Select with an optional shared base-relation index: when
+// rel is an untouched scan of one of the cache's base relations and the
+// predicate is a constant equality the index can answer exactly, the matching
+// rows come from the per-column hash index instead of a full scan.  The result
+// is bit-identical to Select — same rows, same order.  The o-sharing
+// evaluator's fragment selections go through here; a nil cache is the plain
+// Select.
+func IndexedSelect(ctx context.Context, rel *Relation, pred Predicate, stats *Stats, cache *IndexCache) (*Relation, error) {
+	if cache != nil {
+		out, ok, err := cache.trySelect(ctx, rel, pred, stats)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return out, nil
+		}
+	}
+	return Select(ctx, rel, pred, stats)
+}
+
+// IndexedHashJoin is HashJoin with an optional shared build table: when the
+// build (right) side is an untouched scan of one of the cache's base
+// relations, the join probes the instance's shared per-column index instead of
+// draining and hashing the build side per query.  Join matching is EqualKey in
+// both paths, so the output is bit-identical to HashJoin.  A nil cache is the
+// plain HashJoin.
+func IndexedHashJoin(ctx context.Context, left, right *Relation, leftCol, rightCol string, stats *Stats, cache *IndexCache) (*Relation, error) {
+	return hashJoin(ctx, left, right, leftCol, rightCol, stats, cache)
+}

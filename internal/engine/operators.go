@@ -133,6 +133,14 @@ func Product(ctx context.Context, left, right *Relation, stats *Stats) (*Relatio
 // probes compare candidate rows with EqualKey, so no key strings are ever
 // formatted.
 func HashJoin(ctx context.Context, left, right *Relation, leftCol, rightCol string, stats *Stats) (*Relation, error) {
+	return hashJoin(ctx, left, right, leftCol, rightCol, stats, nil)
+}
+
+// hashJoin is the equi-join shared by HashJoin and IndexedHashJoin: when the
+// cache identifies the right side as an untouched base scan, the build table
+// is the instance's shared per-column index; otherwise it is built here from
+// the right rows.
+func hashJoin(ctx context.Context, left, right *Relation, leftCol, rightCol string, stats *Stats, cache *IndexCache) (*Relation, error) {
 	if err := canceled(ctx); err != nil {
 		return nil, err
 	}
@@ -149,31 +157,60 @@ func HashJoin(ctx context.Context, left, right *Relation, leftCol, rightCol stri
 	cols = append(cols, right.Columns...)
 	out := NewRelation(left.Name+"⋈"+right.Name, cols)
 
-	// Build on the right side.
-	build, err := buildJoinIndex(ctx, right.Rows, ri)
-	if err != nil {
+	var build *hashIndex
+	shared := false
+	if cache != nil {
+		if base, ok := cache.baseForRows(right.Rows); ok {
+			idx, err := cache.columnIndex(ctx, base, ri, stats)
+			if err != nil {
+				return nil, err
+			}
+			stats.recordIndexLookup()
+			build, shared = idx, true
+		}
+	}
+	if build == nil {
+		var err error
+		build, err = buildColumnHashIndex(ctx, right.Rows, ri)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := probeJoin(ctx, left.Rows, li, ri, build, out); err != nil {
 		return nil, err
 	}
+	if shared {
+		// The build side was not read: only the probe rows count as input.
+		stats.record(OpKindJoin, len(left.Rows), len(out.Rows))
+	} else {
+		stats.record(OpKindJoin, len(left.Rows)+len(right.Rows), len(out.Rows))
+	}
+	return out, nil
+}
+
+// probeJoin streams the left rows against the build index, appending joined
+// rows to out.  Chains preserve build-row order, so output order is identical
+// whether the index was built here or shared.
+func probeJoin(ctx context.Context, lrows []Tuple, li, ri int, build *hashIndex, out *Relation) error {
 	var arena valueArena
 	probed := 0
-	for _, lr := range left.Rows {
+	for _, lr := range lrows {
 		v := lr[li]
 		for j := build.heads[v.Hash64()]; j != 0; j = build.next[j-1] {
 			probed++
 			if probed%checkInterval == 0 {
 				if err := canceled(ctx); err != nil {
-					return nil, err
+					return err
 				}
 			}
-			rr := right.Rows[j-1]
+			rr := build.rows[j-1]
 			if !rr[ri].EqualKey(v) {
 				continue // hash collision, not an actual match
 			}
 			out.Rows = append(out.Rows, arena.concat(lr, rr))
 		}
 	}
-	stats.record(OpKindJoin, len(left.Rows)+len(right.Rows), len(out.Rows))
-	return out, nil
+	return nil
 }
 
 // Distinct removes duplicate rows, preserving first-seen order.  Duplicate

@@ -139,8 +139,32 @@ func pushDown(child Plan, cp *ConstPredicate) Plan {
 		if pushed := pushDown(n.Child, cp); pushed != nil {
 			return &SelectPlan{Pred: n.Pred, Child: pushed}
 		}
+		// Keep constant selections adjacent to their scan: slide the constant
+		// below a non-constant selection over a scan, so the index-eligible
+		// select*(scan) shape survives stacking.  Conjunctive filters commute,
+		// so only intermediate row counts change, never the result.
+		if _, constLevel := constPreds(n.Pred); !constLevel &&
+			providesColumn(n.Child, cp.Column) && selectStackOverScan(n.Child) {
+			return &SelectPlan{Pred: n.Pred, Child: &SelectPlan{Pred: cp, Child: n.Child}}
+		}
 	}
 	return nil
+}
+
+// selectStackOverScan reports whether the plan is a (possibly empty) chain of
+// selections ending at a scan — the shape the index-aware compiler serves from
+// a per-column index.
+func selectStackOverScan(p Plan) bool {
+	for {
+		switch n := p.(type) {
+		case *ScanPlan:
+			return true
+		case *SelectPlan:
+			p = n.Child
+		default:
+			return false
+		}
+	}
 }
 
 // providesColumn reports whether the plan's output is known to contain the

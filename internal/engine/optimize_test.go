@@ -129,6 +129,50 @@ func TestOptimizeLeavesUnrelatedPlansAlone(t *testing.T) {
 	}
 }
 
+// TestOptimizeKeepsConstAdjacentToScan pins the index-enabling rewrite: a
+// constant selection stacked above a column comparison over a scan slides
+// below it, so the select*(scan) shape the index compiler recognises survives.
+func TestOptimizeKeepsConstAdjacentToScan(t *testing.T) {
+	scan := &ScanPlan{Relation: "Customer", Alias: "C.Customer"}
+	plan := &SelectPlan{
+		Pred: Eq("C.Customer.city", S("hk")),
+		Child: &SelectPlan{
+			Pred:  &ColPredicate{Left: "C.Customer.cid", Op: OpNe, Right: "C.Customer.cname"},
+			Child: scan,
+		},
+	}
+	opt := Optimize(plan)
+	outer, ok := opt.(*SelectPlan)
+	if !ok {
+		t.Fatalf("optimized plan is %T (%s), want select over select", opt, opt.Signature())
+	}
+	if _, ok := outer.Pred.(*ColPredicate); !ok {
+		t.Fatalf("outer predicate is %T, want the column comparison on top: %s", outer.Pred, opt.Signature())
+	}
+	inner, ok := outer.Child.(*SelectPlan)
+	if !ok {
+		t.Fatalf("inner plan is %T, want the constant selection: %s", outer.Child, opt.Signature())
+	}
+	if _, ok := inner.Pred.(*ConstPredicate); !ok {
+		t.Fatalf("inner predicate is %T, want the constant adjacent to the scan", inner.Pred)
+	}
+	if _, ok := inner.Child.(*ScanPlan); !ok {
+		t.Fatalf("constant selection sits over %T, want the scan", inner.Child)
+	}
+
+	// Same rows either way.
+	db := optimizerInstance()
+	a, err := NewExecutor(db).Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewExecutor(db).Execute(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameRelation(t, "const-adjacent rewrite", a, b)
+}
+
 func TestProvidesColumn(t *testing.T) {
 	scan := &ScanPlan{Relation: "Customer", Alias: "C.Customer"}
 	if !providesColumn(scan, "C.Customer.cid") || providesColumn(scan, "O.Orders.cid") {

@@ -167,6 +167,13 @@ type Executor struct {
 	// shared by several executors running concurrently — each shared
 	// subexpression is still computed exactly once.
 	Cache *PlanCache
+	// Indexes is the shared base-relation index subsystem (usually the
+	// instance's own, DB.Indexes()).  When non-nil, plan compilation serves
+	// constant-equality selections directly above a scan from a per-column
+	// hash index, and reuses the same index as a hash join's build table when
+	// the build side is a bare or constant-filtered scan.  Answers are
+	// bit-identical with or without it.  nil disables index use.
+	Indexes *IndexCache
 }
 
 // NewExecutor returns an executor over the instance with a fresh Stats.
@@ -176,6 +183,13 @@ func NewExecutor(db *Instance) *Executor {
 
 // EnableCache turns on common-subexpression result caching.
 func (e *Executor) EnableCache() { e.Cache = NewPlanCache() }
+
+// EnableIndexes attaches the instance's shared index cache.
+func (e *Executor) EnableIndexes() {
+	if e.DB != nil {
+		e.Indexes = e.DB.Indexes()
+	}
+}
 
 // Execute evaluates the plan and returns its materialized result.
 func (e *Executor) Execute(p Plan) (*Relation, error) {
@@ -235,6 +249,15 @@ func (e *Executor) compile(ctx context.Context, p Plan) (RowSource, error) {
 		}
 		return newMatSource(ctx, n.Rel.Name, n.Rel.Columns, n.Rel.Rows), nil
 	case *SelectPlan:
+		if e.Indexes != nil {
+			src, ok, err := e.compileIndexedSelect(ctx, n)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return src, nil
+			}
+		}
 		child, err := e.compile(ctx, n.Child)
 		if err != nil {
 			return nil, err
@@ -276,6 +299,15 @@ func (e *Executor) compile(ctx context.Context, p Plan) (RowSource, error) {
 		left, err := e.compile(ctx, n.Left)
 		if err != nil {
 			return nil, err
+		}
+		if e.Indexes != nil {
+			src, ok, err := e.compileSharedJoin(ctx, n, left)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return src, nil
+			}
 		}
 		right, err := e.compile(ctx, n.Right)
 		if err != nil {
@@ -329,6 +361,17 @@ func (e *Executor) executeMaterialized(ctx context.Context, p Plan) (*Relation, 
 		}
 		return n.Rel, nil
 	case *SelectPlan:
+		if e.Indexes != nil {
+			if scan, ok := n.Child.(*ScanPlan); ok {
+				rel, served, err := e.indexedSelectRel(ctx, n, scan)
+				if err != nil {
+					return nil, err
+				}
+				if served {
+					return rel, nil
+				}
+			}
+		}
 		child, err := e.ExecuteContext(ctx, n.Child)
 		if err != nil {
 			return nil, err
@@ -355,6 +398,19 @@ func (e *Executor) executeMaterialized(ctx context.Context, p Plan) (*Relation, 
 		if err != nil {
 			return nil, err
 		}
+		if e.Indexes != nil {
+			if scan, ok := n.Right.(*ScanPlan); ok {
+				if base := e.DB.Relation(scan.Relation); base != nil {
+					// The build side is a bare scan: attach the shared index
+					// instead of materializing and hashing the scan.
+					alias := scan.Alias
+					if alias == "" {
+						alias = scan.Relation
+					}
+					return IndexedHashJoin(ctx, left, base.QualifyColumns(alias), n.LeftCol, n.RightCol, e.Stats, e.Indexes)
+				}
+			}
+		}
 		right, err := e.ExecuteContext(ctx, n.Right)
 		if err != nil {
 			return nil, err
@@ -375,4 +431,175 @@ func (e *Executor) executeMaterialized(ctx context.Context, p Plan) (*Relation, 
 	default:
 		return nil, fmt.Errorf("execute: unsupported plan node %T", p)
 	}
+}
+
+// qualifiedScanColumns returns the alias-qualified output columns of a scan,
+// exactly as newScanSource and QualifyColumns name them.
+func qualifiedScanColumns(base *Relation, alias string) []string {
+	cols := make([]string, len(base.Columns))
+	for i, c := range base.Columns {
+		cols[i] = alias + "." + unqualified(c)
+	}
+	return cols
+}
+
+// constFilterStack unwraps a chain of constant-only selections down to a scan,
+// returning the scan and the per-level predicates in bottom-to-top order.
+// ok=false for any other shape (a non-constant predicate anywhere in the
+// chain, or a non-scan leaf).
+func constFilterStack(p Plan) (*ScanPlan, []Predicate, bool) {
+	var preds []Predicate // collected top to bottom
+	for {
+		switch n := p.(type) {
+		case *ScanPlan:
+			for i, j := 0, len(preds)-1; i < j; i, j = i+1, j-1 {
+				preds[i], preds[j] = preds[j], preds[i]
+			}
+			return n, preds, true
+		case *SelectPlan:
+			if _, ok := constPreds(n.Pred); !ok {
+				return nil, nil, false
+			}
+			preds = append(preds, n.Pred)
+			p = n.Child
+		default:
+			return nil, nil, false
+		}
+	}
+}
+
+// compileIndexedSelect lowers a stack of constant selections directly above a
+// scan into an index probe: the bottom-most constant equality whose column
+// resolves becomes the probe, and every other comparison is evaluated as a
+// residual per matched row.  ok=false hands the plan back to the plain
+// compiler (wrong shape, or no equality to probe with).  Whether the probe is
+// actually answerable from the index depends on the column's content and is
+// decided when the source starts; if not, it runs the plain pipeline itself.
+func (e *Executor) compileIndexedSelect(ctx context.Context, top *SelectPlan) (RowSource, bool, error) {
+	scan, stack, ok := constFilterStack(top)
+	if !ok {
+		return nil, false, nil
+	}
+	base := e.DB.Relation(scan.Relation)
+	if base == nil {
+		return nil, false, nil // the plain compiler reports the unknown relation
+	}
+	alias := scan.Alias
+	if alias == "" {
+		alias = scan.Relation
+	}
+	cols := qualifiedScanColumns(base, alias)
+	resolve := func(name string) int { return lookupColumn(cols, name) }
+
+	// Pick the probe: the bottom-most constant equality with a resolvable
+	// column.  Binding errors for unresolvable columns surface below, in the
+	// same bottom-to-top order as the plain compiler's.
+	probeLevel, probeAt, probeCol := -1, -1, -1
+	for li := range stack {
+		consts, _ := constPreds(stack[li])
+		for ci, cp := range consts {
+			if cp.Op != OpEq {
+				continue
+			}
+			if j := resolve(cp.Column); j >= 0 {
+				probeLevel, probeAt, probeCol = li, ci, j
+				break
+			}
+		}
+		if probeLevel >= 0 {
+			break
+		}
+	}
+	if probeLevel < 0 {
+		return nil, false, nil
+	}
+
+	levels := make([]selectLevel, len(stack))
+	fulls := make([]boundPredicate, len(stack))
+	var probeVal Value
+	for li, pred := range stack {
+		full, err := bindPredicate(pred, resolve, cols)
+		if err != nil {
+			return nil, false, err
+		}
+		fulls[li] = full
+		residual := pred
+		if li == probeLevel {
+			consts, _ := constPreds(pred)
+			probeVal = consts[probeAt].Value
+			residual = residualConsts(consts, probeAt)
+		}
+		if residual != nil {
+			bp, err := bindPredicate(residual, resolve, cols)
+			if err != nil {
+				return nil, false, err
+			}
+			levels[li].residual = bp
+		}
+	}
+	return &indexScanSource{
+		ctx: ctx, cache: e.Indexes, base: base, alias: alias, cols: cols,
+		stats: e.Stats, probeCol: probeCol, probeVal: probeVal,
+		levels: levels, fulls: fulls,
+	}, true, nil
+}
+
+// compileSharedJoin lowers an equi-join whose build (right) side is a bare or
+// constant-filtered scan of a base relation into a join over the shared
+// per-column index: the build table is the instance's index and the build-side
+// constant filters run per probed candidate.  ok=false hands the join back to
+// the plain compiler.
+func (e *Executor) compileSharedJoin(ctx context.Context, n *JoinPlan, left RowSource) (RowSource, bool, error) {
+	scan, stack, ok := constFilterStack(n.Right)
+	if !ok {
+		return nil, false, nil
+	}
+	base := e.DB.Relation(scan.Relation)
+	if base == nil {
+		return nil, false, nil // the plain compiler reports the unknown relation
+	}
+	alias := scan.Alias
+	if alias == "" {
+		alias = scan.Relation
+	}
+	rcols := qualifiedScanColumns(base, alias)
+	levels := make([]selectLevel, len(stack))
+	for i, pred := range stack {
+		bp, err := bindPredicate(pred, func(name string) int { return lookupColumn(rcols, name) }, rcols)
+		if err != nil {
+			return nil, false, err
+		}
+		levels[i].residual = bp
+	}
+	li := lookupColumn(left.Columns(), n.LeftCol)
+	if li < 0 {
+		return nil, false, fmt.Errorf("join: column %q not found in %v", n.LeftCol, left.Columns())
+	}
+	ri := lookupColumn(rcols, n.RightCol)
+	if ri < 0 {
+		return nil, false, fmt.Errorf("join: column %q not found in %v", n.RightCol, rcols)
+	}
+	cols := make([]string, 0, len(left.Columns())+len(rcols))
+	cols = append(cols, left.Columns()...)
+	cols = append(cols, rcols...)
+	return &sharedJoinSource{
+		ctx: ctx, cache: e.Indexes, left: left, li: li, base: base, ri: ri,
+		name: left.Name() + "⋈" + alias, cols: cols, stats: e.Stats, levels: levels,
+	}, true, nil
+}
+
+// indexedSelectRel is the materialized-path twin of compileIndexedSelect, used
+// by cached (MQO) executors, which materialize per node: a constant selection
+// directly above a scan is served from the shared index without materializing
+// the scan.  served=false falls back to the plain node-by-node execution.
+func (e *Executor) indexedSelectRel(ctx context.Context, n *SelectPlan, scan *ScanPlan) (*Relation, bool, error) {
+	base := e.DB.Relation(scan.Relation)
+	if base == nil {
+		return nil, false, nil // the plain path reports the unknown relation
+	}
+	alias := scan.Alias
+	if alias == "" {
+		alias = scan.Relation
+	}
+	return e.Indexes.trySelect(ctx, base.QualifyColumns(alias), n.Pred, e.Stats)
 }

@@ -23,6 +23,11 @@ type Relation struct {
 	// first lookup and published atomically, so concurrent readers — o-sharing
 	// branches share fragment relations across workers — are race-free.
 	colIndex atomic.Pointer[map[string]int]
+
+	// version counts mutations through Append.  The IndexCache validates its
+	// per-column indexes against it (plus the row count), so appending to a
+	// base relation invalidates every index built over it.
+	version atomic.Uint64
 }
 
 // NewRelation creates an empty relation with the given name and columns.
@@ -139,6 +144,7 @@ func (r *Relation) Append(t Tuple) error {
 		return fmt.Errorf("relation %s: tuple arity %d does not match %d columns", r.Name, len(t), len(r.Columns))
 	}
 	r.Rows = append(r.Rows, t)
+	r.version.Add(1)
 	return nil
 }
 
@@ -233,12 +239,36 @@ type Instance struct {
 	Name      string
 	relations map[string]*Relation
 	order     []string
+
+	// indexes is the instance's shared base-relation index subsystem: one
+	// lazily built hash index per (relation, column), shared by every query
+	// evaluated against this instance.
+	indexes *IndexCache
+	noIndex bool
 }
 
 // NewInstance creates an empty instance.
 func NewInstance(name string) *Instance {
-	return &Instance{Name: name, relations: make(map[string]*Relation)}
+	db := &Instance{Name: name, relations: make(map[string]*Relation)}
+	db.indexes = newIndexCache(db)
+	return db
 }
+
+// Indexes returns the instance's shared base-relation index cache, or nil
+// when indexing is disabled.  Executors and the materialized operator API
+// treat a nil cache as "no indexes": every plan runs as a plain scan-and-
+// filter pipeline.
+func (db *Instance) Indexes() *IndexCache {
+	if db.noIndex {
+		return nil
+	}
+	return db.indexes
+}
+
+// SetIndexing enables (the default) or disables the shared index subsystem.
+// Answers are bit-identical either way; the switch exists for A/B perf
+// comparison and for the equivalence tests that prove that property.
+func (db *Instance) SetIndexing(on bool) { db.noIndex = !on }
 
 // AddRelation registers a base relation.  Re-adding a name replaces the
 // previous relation but keeps its position.

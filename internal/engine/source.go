@@ -306,42 +306,11 @@ func (s *productSource) Next() (Tuple, bool, error) {
 	}
 }
 
-// joinIndex is the equi-join build table: rows bucketed by the 64-bit hash of
-// their key column.  Buckets are chains of row indices (1-based, threaded
-// through next), so building allocates one map and one flat slice instead of
-// a []Tuple per distinct key.  Chains preserve row order: rows are inserted
-// back to front, each prepended to its chain.  Rows whose key values hash
-// equally but differ are skipped at probe time with EqualKey.  Like TupleSet,
-// chain indices are int32 — an in-memory build side cannot reach 2^31 rows.
-type joinIndex struct {
-	heads map[uint64]int32
-	next  []int32
-	rows  []Tuple
-	col   int
-}
-
-func buildJoinIndex(ctx context.Context, rows []Tuple, col int) (*joinIndex, error) {
-	idx := &joinIndex{
-		heads: make(map[uint64]int32, len(rows)),
-		next:  make([]int32, len(rows)),
-		rows:  rows,
-		col:   col,
-	}
-	for i := len(rows) - 1; i >= 0; i-- {
-		if err := canceledEvery(ctx, len(rows)-1-i); err != nil {
-			return nil, err
-		}
-		h := rows[i][col].Hash64()
-		idx.next[i] = idx.heads[h]
-		idx.heads[h] = int32(i + 1)
-	}
-	return idx, nil
-}
-
 // joinSource is the equi-join: the right input is drained into a hash index
-// (build side), then left rows stream through as probes.  Matching is by
-// EqualKey — identical to the canonical-key equality the join historically
-// used, but without formatting a key string per row.
+// (build side, the shared hashIndex bucket-chain structure), then left rows
+// stream through as probes.  Matching is by EqualKey — identical to the
+// canonical-key equality the join historically used, but without formatting a
+// key string per row.
 type joinSource struct {
 	ctx         context.Context
 	left, right RowSource
@@ -352,7 +321,7 @@ type joinSource struct {
 	arena       valueArena
 
 	started bool
-	build   *joinIndex
+	build   *hashIndex
 	cur     Tuple // current probe row
 	chain   int32 // next build-chain position (1-based) for cur; 0 = exhausted
 	leftIn  int
@@ -387,7 +356,7 @@ func (s *joinSource) Next() (Tuple, bool, error) {
 			}
 			rrows = append(rrows, row)
 		}
-		build, err := buildJoinIndex(s.ctx, rrows, s.ri)
+		build, err := buildColumnHashIndex(s.ctx, rrows, s.ri)
 		if err != nil {
 			return nil, false, err
 		}
@@ -524,35 +493,51 @@ func (a *aggAccumulator) add(row Tuple) error {
 
 // addAll folds a materialized row slice with per-function loops — same
 // semantics as add row by row (same accumulation order, same errors), without
-// paying a per-row dispatch.  The materialized Aggregate drives it.
+// paying a per-row dispatch.  The materialized Aggregate drives it.  The hot
+// loops accumulate into locals and read values through a pointer: a per-row
+// field store and a 48-byte Value copy per row are measurable at scan speed.
 func (a *aggAccumulator) addAll(ctx context.Context, rows []Tuple) error {
 	switch a.fn {
 	case AggCount:
 		a.n += len(rows)
 	case AggSum, AggAvg:
-		for i, row := range rows {
+		idx := a.idx
+		sum := a.sum
+		for i := range rows {
 			if i%checkInterval == checkInterval-1 {
 				if err := canceled(ctx); err != nil {
+					a.sum = sum
 					return err
 				}
 			}
-			f, ok := row[a.idx].AsFloat()
-			if !ok {
-				a.n += i + 1
-				return fmt.Errorf("aggregate %s: non-numeric value %v in column %q", a.fn, row[a.idx], a.column)
+			v := &rows[i][idx]
+			switch v.Kind {
+			case KindFloat:
+				sum += v.Float
+			case KindInt:
+				sum += float64(v.Int)
+			default:
+				f, ok := v.AsFloat()
+				if !ok {
+					a.sum = sum
+					a.n += i + 1
+					return fmt.Errorf("aggregate %s: non-numeric value %v in column %q", a.fn, *v, a.column)
+				}
+				sum += f
 			}
-			a.sum += f
 		}
+		a.sum = sum
 		a.n += len(rows)
 		a.numIn += len(rows)
 	case AggMin, AggMax:
-		for i, row := range rows {
+		idx := a.idx
+		for i := range rows {
 			if i%checkInterval == checkInterval-1 {
 				if err := canceled(ctx); err != nil {
 					return err
 				}
 			}
-			v := row[a.idx]
+			v := rows[i][idx]
 			if a.n == 0 && i == 0 {
 				a.best = v
 			} else if cmp := v.Compare(a.best); (a.fn == AggMin && cmp < 0) || (a.fn == AggMax && cmp > 0) {
@@ -640,4 +625,215 @@ func (s *aggSource) Next() (Tuple, bool, error) {
 	s.emitted = true
 	s.stats.record(OpKindAggregate, s.acc.n, 1)
 	return s.acc.result(), true, nil
+}
+
+// selectLevel is one bound selection of a constant-filter stack above a base
+// scan, with its rows-in/rows-out accounting.  A nil residual marks a level
+// whose predicate the index probe satisfies exactly.
+type selectLevel struct {
+	residual boundPredicate
+	in, out  int
+}
+
+// evalLevels runs the row through the levels bottom-to-top, counting per-level
+// input and output rows exactly as a chain of filterSources would.
+func evalLevels(levels []selectLevel, row Tuple) (bool, error) {
+	for i := range levels {
+		l := &levels[i]
+		l.in++
+		if l.residual != nil {
+			ok, err := l.residual.eval(row)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		l.out++
+	}
+	return true, nil
+}
+
+// recordLevels records one executed selection per level, preserving the
+// logical operator counts of the scan+filter pipeline the index replaced.
+func recordLevels(levels []selectLevel, stats *Stats) {
+	for i := range levels {
+		stats.record(OpKindSelect, levels[i].in, levels[i].out)
+	}
+}
+
+// indexScanSource serves a stack of constant selections directly above a base
+// relation scan from the shared per-column hash index: instead of streaming
+// every base row through the filters, it probes the index for the rows whose
+// probe column equals the constant and applies only the residual predicates.
+// Probe chains preserve base row order, so the output is bit-identical to the
+// scan+filter pipeline it replaces.  When the column's content makes the
+// constant unanswerable from the index (mixed-kind columns whose
+// Compare-equality is wider than hash equality), it falls back to exactly
+// that pipeline at runtime.
+type indexScanSource struct {
+	ctx   context.Context
+	cache *IndexCache
+	base  *Relation
+	alias string
+	cols  []string
+	stats *Stats
+
+	probeCol int
+	probeVal Value
+	levels   []selectLevel
+	fulls    []boundPredicate // per-level full predicates, for the fallback
+
+	started  bool
+	fallback RowSource
+	rows     []Tuple
+	matches  []int32
+	mi       int
+	done     bool
+}
+
+func (s *indexScanSource) Name() string      { return s.alias }
+func (s *indexScanSource) Columns() []string { return s.cols }
+
+func (s *indexScanSource) start() error {
+	idx, err := s.cache.columnIndex(s.ctx, s.base, s.probeCol, s.stats)
+	if err != nil {
+		return err
+	}
+	probes, ok := probeValuesForEq(s.probeVal, idx.kinds, idx.hasNaN)
+	if !ok {
+		// The probe set cannot cover the predicate on this column's content:
+		// run the exact pipeline the compiler would have built.
+		src := RowSource(newScanSource(s.ctx, s.base, s.alias, s.stats))
+		for _, bp := range s.fulls {
+			src = &filterSource{ctx: s.ctx, src: src, pred: bp, stats: s.stats}
+		}
+		s.fallback = src
+		return nil
+	}
+	s.stats.recordIndexLookup()
+	matches, _, err := idx.probeMatches(s.ctx, probes)
+	if err != nil {
+		return err
+	}
+	s.matches, s.rows = matches, idx.rows
+	return nil
+}
+
+func (s *indexScanSource) Next() (Tuple, bool, error) {
+	if !s.started {
+		s.started = true
+		if err := s.start(); err != nil {
+			return nil, false, err
+		}
+	}
+	if s.fallback != nil {
+		return s.fallback.Next()
+	}
+	for {
+		if s.mi >= len(s.matches) {
+			if !s.done {
+				s.done = true
+				recordLevels(s.levels, s.stats)
+			}
+			return nil, false, nil
+		}
+		if err := canceledEvery(s.ctx, s.mi); err != nil {
+			return nil, false, err
+		}
+		row := s.rows[s.matches[s.mi]]
+		s.mi++
+		keep, err := evalLevels(s.levels, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			return row, true, nil
+		}
+	}
+}
+
+// sharedJoinSource is the equi-join whose build side is a bare or
+// constant-filtered scan of a base relation: instead of draining and hashing
+// the build side once per query, it attaches the instance's shared per-column
+// index and evaluates the build-side constant filters per probed candidate.
+// h reformulated queries probing the same join therefore pay one build instead
+// of h.  Chain order is base row order, so the joined output is bit-identical
+// to the drain-and-build join it replaces.
+type sharedJoinSource struct {
+	ctx    context.Context
+	cache  *IndexCache
+	left   RowSource
+	li     int
+	base   *Relation
+	ri     int
+	name   string
+	cols   []string
+	stats  *Stats
+	arena  valueArena
+	levels []selectLevel
+
+	started bool
+	build   *hashIndex
+	cur     Tuple
+	chain   int32
+	leftIn  int
+	out     int
+	done    bool
+}
+
+func (s *sharedJoinSource) Name() string      { return s.name }
+func (s *sharedJoinSource) Columns() []string { return s.cols }
+
+func (s *sharedJoinSource) Next() (Tuple, bool, error) {
+	if !s.started {
+		s.started = true
+		build, err := s.cache.columnIndex(s.ctx, s.base, s.ri, s.stats)
+		if err != nil {
+			return nil, false, err
+		}
+		s.stats.recordIndexLookup()
+		s.build = build
+	}
+	for {
+		for s.chain != 0 {
+			rr := s.build.rows[s.chain-1]
+			s.chain = s.build.next[s.chain-1]
+			if !rr[s.ri].EqualKey(s.cur[s.li]) {
+				continue // hash collision: not an actual match
+			}
+			keep, err := evalLevels(s.levels, rr)
+			if err != nil {
+				return nil, false, err
+			}
+			if !keep {
+				continue // filtered out of the build side
+			}
+			if err := canceledEvery(s.ctx, s.out); err != nil {
+				return nil, false, err
+			}
+			s.out++
+			return s.arena.concat(s.cur, rr), true, nil
+		}
+		row, ok, err := s.left.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			if !s.done {
+				s.done = true
+				recordLevels(s.levels, s.stats)
+				// The build side was never read: only probe rows count as input.
+				s.stats.record(OpKindJoin, s.leftIn, s.out)
+			}
+			return nil, false, nil
+		}
+		if err := canceledEvery(s.ctx, s.leftIn); err != nil {
+			return nil, false, err
+		}
+		s.leftIn++
+		s.cur = row
+		s.chain = s.build.heads[row[s.li].Hash64()]
+	}
 }

@@ -44,6 +44,15 @@ type Stats struct {
 	ops          [numOpKinds]atomic.Int64
 	rowsRead     atomic.Int64
 	rowsProduced atomic.Int64
+
+	// indexBuilds and indexLookups track the shared base-relation index
+	// subsystem.  They are deliberately not operator kinds: an index build
+	// happens at most once per (relation, column) per instance — whichever
+	// evaluation triggers it records it — so folding builds into the operator
+	// totals would make those totals depend on evaluation history.  Operators
+	// served from an index still record their logical kind (select, join).
+	indexBuilds  atomic.Int64
+	indexLookups atomic.Int64
 }
 
 // NewStats returns an empty statistics collector.
@@ -67,6 +76,39 @@ func (s *Stats) RecordOp(op OpKind) {
 		return
 	}
 	s.ops[op].Add(1)
+}
+
+// recordIndexBuild counts one base-relation hash-index construction.
+func (s *Stats) recordIndexBuild() {
+	if s == nil {
+		return
+	}
+	s.indexBuilds.Add(1)
+}
+
+// recordIndexLookup counts one operator served from a shared index (a
+// constant-equality selection probe or a join attaching the shared build).
+func (s *Stats) recordIndexLookup() {
+	if s == nil {
+		return
+	}
+	s.indexLookups.Add(1)
+}
+
+// IndexBuilds returns the number of base-relation hash indexes built.
+func (s *Stats) IndexBuilds() int {
+	if s == nil {
+		return 0
+	}
+	return int(s.indexBuilds.Load())
+}
+
+// IndexLookups returns the number of operators served from a shared index.
+func (s *Stats) IndexLookups() int {
+	if s == nil {
+		return 0
+	}
+	return int(s.indexLookups.Load())
 }
 
 // Count returns the number of executed operators of the given kind.
@@ -134,6 +176,8 @@ func (s *Stats) Add(o *Stats) {
 	}
 	s.rowsRead.Add(o.rowsRead.Load())
 	s.rowsProduced.Add(o.rowsProduced.Load())
+	s.indexBuilds.Add(o.indexBuilds.Load())
+	s.indexLookups.Add(o.indexLookups.Load())
 }
 
 // Reset clears the collector.
@@ -146,4 +190,6 @@ func (s *Stats) Reset() {
 	}
 	s.rowsRead.Store(0)
 	s.rowsProduced.Store(0)
+	s.indexBuilds.Store(0)
+	s.indexLookups.Store(0)
 }

@@ -291,22 +291,21 @@ func (t Tuple) String() string {
 	return "(" + strings.Join(parts, ", ") + ")"
 }
 
-// TupleSet is a hash set of tuples under Key equality (Hash64/EqualKey).
-// Collisions are resolved by scanning a chain of row indices, so membership
-// never formats values and never allocates a slice per bucket: storage is one
-// map plus two flat slices that grow geometrically.  Chain indices are int32:
-// the set silently assumes fewer than 2^31 tuples, which in-memory relations
-// cannot approach (2 billion rows of ≥48 bytes each would need >100 GB).
-// The zero value is not usable; call NewTupleSet.
+// TupleSet is a hash set of tuples under Key equality (Hash64/EqualKey),
+// backed by the engine's shared hashIndex bucket-chain structure: collisions
+// are resolved by scanning a chain of row indices, so membership never formats
+// values and never allocates a slice per bucket — storage is one map plus two
+// flat slices that grow geometrically.  Chain indices are int32: the set
+// silently assumes fewer than 2^31 tuples, which in-memory relations cannot
+// approach (2 billion rows of ≥48 bytes each would need >100 GB).  The zero
+// value is not usable; call NewTupleSet.
 type TupleSet struct {
-	heads map[uint64]int32 // hash → 1-based index of the chain head in rows
-	next  []int32          // next[i] is the 1-based index of the next tuple with the same hash
-	rows  []Tuple
+	idx hashIndex
 }
 
 // NewTupleSet returns an empty set sized for about n tuples.
 func NewTupleSet(n int) *TupleSet {
-	return &TupleSet{heads: make(map[uint64]int32, n)}
+	return &TupleSet{idx: hashIndex{heads: make(map[uint64]int32, n), col: -1}}
 }
 
 // Add inserts the tuple and reports whether it was not already present.
@@ -315,16 +314,14 @@ func (s *TupleSet) Add(t Tuple) bool { return s.AddHashed(t.Hash64(), t) }
 // AddHashed is Add for callers that already computed the tuple's Hash64 —
 // the answer aggregators reuse one hash for dedup and bucket lookup.
 func (s *TupleSet) AddHashed(h uint64, t Tuple) bool {
-	for j := s.heads[h]; j != 0; j = s.next[j-1] {
-		if s.rows[j-1].EqualKey(t) {
+	for j := s.idx.heads[h]; j != 0; j = s.idx.next[j-1] {
+		if s.idx.rows[j-1].EqualKey(t) {
 			return false
 		}
 	}
-	s.next = append(s.next, s.heads[h])
-	s.rows = append(s.rows, t)
-	s.heads[h] = int32(len(s.rows))
+	s.idx.add(h, t)
 	return true
 }
 
 // Len returns the number of distinct tuples in the set.
-func (s *TupleSet) Len() int { return len(s.rows) }
+func (s *TupleSet) Len() int { return len(s.idx.rows) }
