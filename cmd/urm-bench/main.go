@@ -48,13 +48,21 @@ func run(args []string, out *os.File) error {
 		outDir   = fs.String("out", "", "directory to write <ID>.csv files into")
 		list     = fs.Bool("list", false, "list experiment IDs and exit")
 		jsonSnap = fs.Bool("json", false, "measure the engine perf snapshot and write BENCH_engine.json instead of running experiments")
+		serve    = fs.Bool("serve", false, "run the query-service benchmark (cold vs cached latency through the HTTP layer) and merge it into BENCH_engine.json")
 		check    = fs.Bool("check", false, "validate BENCH_engine.json (every operator speedup >= 1.0) and exit — the CI bench-regression gate")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected trailing arguments: %q", fs.Args())
+	}
 	if *jsonSnap {
 		return writeSnapshot(*outDir, out)
+	}
+	if *serve {
+		return serveSnapshot(*outDir, out)
 	}
 	if *check {
 		return checkSnapshot(*outDir, out)
@@ -165,6 +173,48 @@ func writeSnapshot(dir string, out *os.File) error {
 		fmt.Fprintf(out, "  %-9s naive %8.3fms  engine %8.3fms  speedup %.2fx\n",
 			name, float64(ob.NaiveNsOp)/1e6, float64(ob.EngineNsOp)/1e6, ob.Speedup)
 	}
+	fmt.Fprintf(out, "wrote %s\n", path)
+	return nil
+}
+
+// serveSnapshot runs the query-service benchmark and merges its section into
+// <dir>/BENCH_engine.json, preserving the operator and method measurements a
+// previous `urm-bench -json` run recorded (the file is created if absent —
+// note that `-check` requires operator pairs, so run `-json` too before
+// committing a fresh file).
+func serveSnapshot(dir string, out *os.File) error {
+	fmt.Fprintln(out, "urm-bench: measuring query-service snapshot (takes ~10s)...")
+	sb, err := bench.ServeSnapshot()
+	if err != nil {
+		return err
+	}
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_engine.json")
+	snap, err := bench.ReadSnapshot(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return err
+		}
+		snap = &bench.EngineSnapshot{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	}
+	snap.Serve = sb
+	data, err := snap.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  cold:   %3d requests  p50 %8.2fms  p99 %8.2fms\n", sb.Cold.Requests, sb.Cold.P50Ms, sb.Cold.P99Ms)
+	fmt.Fprintf(out, "  cached: %3d requests  p50 %8.2fms  p99 %8.2fms  %8.0f req/s\n",
+		sb.Cached.Requests, sb.Cached.P50Ms, sb.Cached.P99Ms, sb.ThroughputRPS)
+	fmt.Fprintf(out, "  evaluations %d, cache hits %d, misses %d, index builds %d, lookups %d\n",
+		sb.Evaluations, sb.CacheHits, sb.CacheMisses, sb.IndexBuilds, sb.IndexLookups)
 	fmt.Fprintf(out, "wrote %s\n", path)
 	return nil
 }

@@ -47,6 +47,10 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected trailing arguments: %q", fs.Args())
+	}
 	if *workload == 0 && *text == "" {
 		return fmt.Errorf("provide -workload <1-10> or -query \"<sql>\"")
 	}

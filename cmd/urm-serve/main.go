@@ -1,0 +1,148 @@
+// Command urm-serve runs the query service: it generates (or is pointed at)
+// scenarios, registers them with warm base-relation indexes, and serves the
+// HTTP JSON API with admission control, an answer cache and graceful drain.
+//
+// Usage:
+//
+//	urm-serve                                   # Excel scenario on :8080
+//	urm-serve -targets Excel,Noris -addr :9000  # two scenarios
+//	urm-serve -mappings 100 -size 40            # paper-scale data
+//	urm-serve -max-concurrent 4 -timeout 10s    # tighter admission control
+//
+// Query it:
+//
+//	curl -s localhost:8080/v1/query -d '{
+//	  "scenario": "excel",
+//	  "query": "SELECT orderNum FROM PO WHERE telephone = '\''335-1736'\''",
+//	  "method": "o-sharing"
+//	}'
+//
+// SIGINT/SIGTERM triggers a graceful stop: new requests are refused with 503,
+// in-flight requests finish (bounded by -drain-timeout), then the listener
+// closes and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	urm "github.com/probdb/urm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "urm-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("urm-serve", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		targets  = fs.String("targets", "Excel", "comma-separated target schemas to register (Excel, Noris, Paragon); each becomes a scenario named after its lowercased target")
+		mappings = fs.Int("mappings", 100, "number of possible mappings h per scenario")
+		sizeMB   = fs.Float64("size", 40, "source instance scale in MB")
+		seed     = fs.Uint64("seed", 42, "data-generation seed")
+		maxConc  = fs.Int("max-concurrent", 0, "maximum concurrent evaluations (0 = all cores); excess requests get 429")
+		quWait   = fs.Duration("queue-wait", 100*time.Millisecond, "how long a request may wait for an evaluation slot before 429")
+		timeout  = fs.Duration("timeout", 30*time.Second, "per-request evaluation deadline cap")
+		cacheMB  = fs.Int("cache-mb", 64, "answer cache budget in MiB (0 disables caching, keeps request coalescing)")
+		parallel = fs.Int("parallel", 1, "worker goroutines per evaluation (0 = all cores); total workers reach max-concurrent×parallel")
+		warm     = fs.Bool("warm", true, "build every base-relation index at registration instead of on first use")
+		drainTO  = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected trailing arguments: %q", fs.Args())
+	}
+
+	cacheBytes := int64(*cacheMB) << 20
+	if *cacheMB <= 0 {
+		cacheBytes = -1
+	}
+	registry := urm.NewRegistry()
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	for _, target := range strings.Split(*targets, ",") {
+		target = strings.TrimSpace(target)
+		if target == "" {
+			continue
+		}
+		name := strings.ToLower(target)
+		fmt.Printf("registering scenario %q (%s, h=%d, %gMB, warm=%v)...\n", name, target, *mappings, *sizeMB, *warm)
+		start := time.Now()
+		scenario, err := urm.NewScenario(urm.ScenarioOptions{
+			Target:   target,
+			Mappings: *mappings,
+			SizeMB:   *sizeMB,
+			Seed:     *seed,
+		})
+		if err != nil {
+			return err
+		}
+		reg, err := scenario.Register(ctx, registry, name, urm.RegisterOptions{WarmIndexes: *warm})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %d rows, %d mappings, %d indexes warmed in %.2fs\n",
+			reg.NumRows(), len(reg.Mappings()), reg.WarmIndexBuilds(), time.Since(start).Seconds())
+	}
+	if registry.Len() == 0 {
+		return fmt.Errorf("no scenarios registered; pass -targets")
+	}
+
+	srv := urm.NewServer(registry, urm.ServerConfig{
+		MaxConcurrent:  *maxConc,
+		QueueWait:      *quWait,
+		RequestTimeout: *timeout,
+		CacheBytes:     cacheBytes,
+		Parallelism:    *parallel,
+	})
+	httpServer := &http.Server{Addr: *addr, Handler: srv}
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("serving on %s (POST /v1/query, GET /v1/scenarios, /healthz, /metrics)\n", *addr)
+		if err := httpServer.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful stop: refuse new queries (503), finish in-flight ones, then
+	// close the listener.
+	fmt.Println("signal received; draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "urm-serve:", err)
+	}
+	if err := httpServer.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil {
+		return err
+	}
+	fmt.Println("drained; bye")
+	return nil
+}

@@ -1,0 +1,265 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/probdb/urm/internal/datagen"
+	"github.com/probdb/urm/internal/server"
+)
+
+// The serve benchmark measures the query service end to end — HTTP layer,
+// admission control, answer cache — against an in-process server, separating
+// cold latency (every request evaluates) from cached latency (every request
+// hits).  The gap between the two is the request-level sharing the service
+// layer adds on top of the engine's mapping-level sharing.
+
+// LatencyStats summarizes one phase's request latencies.
+type LatencyStats struct {
+	Requests int     `json:"requests"`
+	MeanMs   float64 `json:"mean_ms"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+// ServeBench is the serve-benchmark section of the engine snapshot.
+type ServeBench struct {
+	Scenario        string  `json:"scenario"`
+	Mappings        int     `json:"mappings"`
+	SizeMB          float64 `json:"size_mb"`
+	DistinctQueries int     `json:"distinct_queries"`
+	Clients         int     `json:"clients"`
+
+	// Cold: one sequential pass over the distinct queries against an empty
+	// cache; every request pays a full evaluation.
+	Cold LatencyStats `json:"cold"`
+	// Cached: concurrent clients replaying the same queries; every request is
+	// an answer-cache hit.
+	Cached        LatencyStats `json:"cached"`
+	ThroughputRPS float64      `json:"cached_throughput_rps"`
+
+	// Server-side counters after the run (cache behaviour and the shared
+	// index subsystem's build/lookup balance).
+	Evaluations  int64 `json:"evaluations"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	// WarmIndexBuilds is registration-time index construction; IndexBuilds
+	// counts request-time builds, which warm registration keeps at zero.
+	WarmIndexBuilds int   `json:"warm_index_builds"`
+	IndexBuilds     int64 `json:"index_builds"`
+	IndexLookups    int64 `json:"index_lookups"`
+}
+
+// serve-bench scale: a small instance keeps the cold phase in seconds while
+// the cached phase still measures the serving stack, not the engine.
+const (
+	serveBenchMappings = 24
+	serveBenchSizeMB   = 8.0
+	serveBenchSeed     = 42
+	serveBenchClients  = 8
+	serveBenchRequests = 50 // per client, cached phase
+)
+
+// ServeSnapshot boots an in-process query server on a loopback listener,
+// drives the paper's Excel workload queries through it over real HTTP, and
+// returns the measured section.
+func ServeSnapshot() (*ServeBench, error) {
+	ds, err := datagen.NewDataset(datagen.DatasetOptions{
+		Target:      datagen.TargetExcel,
+		NumMappings: serveBenchMappings,
+		SizeMB:      serveBenchSizeMB,
+		Seed:        serveBenchSeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	registry := server.NewRegistry()
+	if _, err := registry.Register(context.Background(), "excel", ds.Target, ds.DB, ds.Mappings(),
+		server.RegisterOptions{TargetLabel: string(ds.TargetName), WarmIndexes: true}); err != nil {
+		return nil, err
+	}
+	srv := server.New(registry, server.Config{
+		MaxConcurrent: runtime.GOMAXPROCS(0),
+		QueueWait:     time.Second,
+		Parallelism:   1,
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpServer := &http.Server{Handler: srv}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		_ = httpServer.Serve(ln)
+	}()
+	defer func() {
+		_ = httpServer.Close()
+		<-serveDone
+	}()
+	base := "http://" + ln.Addr().String()
+
+	// The Excel workload slice of Table III (Q1-Q5), as HTTP request bodies.
+	var bodies [][]byte
+	for id := 1; id <= 5; id++ {
+		q, err := datagen.WorkloadQuery(id)
+		if err != nil {
+			return nil, err
+		}
+		text, err := q.SQL()
+		if err != nil {
+			return nil, fmt.Errorf("serve bench: Q%d has no canonical text: %w", id, err)
+		}
+		body, err := json.Marshal(server.Request{Scenario: "excel", Query: text})
+		if err != nil {
+			return nil, err
+		}
+		bodies = append(bodies, body)
+	}
+
+	out := &ServeBench{
+		Scenario:        "excel",
+		Mappings:        serveBenchMappings,
+		SizeMB:          serveBenchSizeMB,
+		DistinctQueries: len(bodies),
+		Clients:         serveBenchClients,
+	}
+	// One idle connection per client: the default transport keeps only two
+	// per host, which would make most cached-phase requests pay connection
+	// setup/teardown and measure transport churn instead of the serving
+	// stack.
+	transport := &http.Transport{
+		MaxIdleConns:        serveBenchClients,
+		MaxIdleConnsPerHost: serveBenchClients,
+	}
+	defer transport.CloseIdleConnections()
+	client := &http.Client{Timeout: 5 * time.Minute, Transport: transport}
+
+	// Cold phase: sequential, empty cache — each request is one evaluation.
+	var coldLat []float64
+	for _, body := range bodies {
+		ms, cached, err := timedQuery(client, base, body)
+		if err != nil {
+			return nil, fmt.Errorf("serve bench cold: %w", err)
+		}
+		if cached {
+			return nil, fmt.Errorf("serve bench cold: request unexpectedly served from cache")
+		}
+		coldLat = append(coldLat, ms)
+	}
+	out.Cold = summarize(coldLat)
+
+	// Cached phase: concurrent clients replay the distinct queries in
+	// deterministic per-client shuffles; every request must hit.
+	latCh := make(chan []float64, serveBenchClients)
+	errCh := make(chan error, serveBenchClients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < serveBenchClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 1))
+			lats := make([]float64, 0, serveBenchRequests)
+			for i := 0; i < serveBenchRequests; i++ {
+				body := bodies[rng.Intn(len(bodies))]
+				ms, cached, err := timedQuery(client, base, body)
+				if err != nil {
+					errCh <- fmt.Errorf("serve bench client %d: %w", c, err)
+					return
+				}
+				if !cached {
+					errCh <- fmt.Errorf("serve bench client %d: warm request missed the cache", c)
+					return
+				}
+				lats = append(lats, ms)
+			}
+			latCh <- lats
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(latCh)
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+	var cachedLat []float64
+	for lats := range latCh {
+		cachedLat = append(cachedLat, lats...)
+	}
+	out.Cached = summarize(cachedLat)
+	if elapsed > 0 {
+		out.ThroughputRPS = float64(len(cachedLat)) / elapsed.Seconds()
+	}
+
+	metrics := srv.Metrics()
+	out.Evaluations = metrics.Evaluations
+	out.CacheHits = metrics.Cache.Hits
+	out.CacheMisses = metrics.Cache.Misses
+	out.IndexBuilds = metrics.IndexBuilds
+	out.IndexLookups = metrics.IndexLookups
+	for _, info := range metrics.Scenarios {
+		out.WarmIndexBuilds += info.WarmIndexBuilds
+	}
+	return out, nil
+}
+
+// timedQuery posts one query and returns its wall latency and cached flag.
+func timedQuery(client *http.Client, base string, body []byte) (ms float64, cached bool, err error) {
+	start := time.Now()
+	resp, err := client.Post(base+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	elapsed := time.Since(start)
+	if err != nil {
+		return 0, false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, false, fmt.Errorf("status %d: %s", resp.StatusCode, data)
+	}
+	var qr server.Response
+	if err := json.Unmarshal(data, &qr); err != nil {
+		return 0, false, err
+	}
+	return float64(elapsed.Microseconds()) / 1000, qr.Cached, nil
+}
+
+// summarize computes the latency distribution of one phase.
+func summarize(lats []float64) LatencyStats {
+	if len(lats) == 0 {
+		return LatencyStats{}
+	}
+	sorted := append([]float64(nil), lats...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	quantile := func(q float64) float64 {
+		idx := int(q * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	return LatencyStats{
+		Requests: len(sorted),
+		MeanMs:   sum / float64(len(sorted)),
+		P50Ms:    quantile(0.50),
+		P99Ms:    quantile(0.99),
+		MaxMs:    sorted[len(sorted)-1],
+	}
+}

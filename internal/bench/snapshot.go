@@ -22,10 +22,15 @@ type OperatorBench struct {
 }
 
 // MethodBench is one full evaluation of the default benchmark query.
+// IndexBuilds/IndexLookups surface the shared base-relation index subsystem's
+// work for the run: how many per-column indexes were constructed versus how
+// many operators were served from one.
 type MethodBench struct {
-	TotalMs   float64 `json:"total_ms"`
-	Operators int     `json:"operators"`
-	Answers   int     `json:"answers"`
+	TotalMs      float64 `json:"total_ms"`
+	Operators    int     `json:"operators"`
+	Answers      int     `json:"answers"`
+	IndexBuilds  int     `json:"index_builds"`
+	IndexLookups int     `json:"index_lookups"`
 }
 
 // EngineSnapshot is the machine-readable perf snapshot urm-bench -json emits
@@ -40,6 +45,10 @@ type EngineSnapshot struct {
 	BenchRows  int                      `json:"bench_rows"`
 	Operators  map[string]OperatorBench `json:"operators"`
 	Methods    map[string]MethodBench   `json:"methods"`
+	// Serve is the query-service benchmark (`urm-bench -serve`): cold versus
+	// cached latency and throughput through the HTTP layer.  Omitted until a
+	// serve run has been merged into the snapshot.
+	Serve *ServeBench `json:"serve,omitempty"`
 }
 
 // snapshotRows is the input size for the operator measurements.
@@ -246,9 +255,11 @@ func Snapshot() (*EngineSnapshot, error) {
 			return nil, fmt.Errorf("snapshot %s: %w", m, err)
 		}
 		snap.Methods[m.String()] = MethodBench{
-			TotalMs:   float64(res.TotalTime.Microseconds()) / 1000,
-			Operators: res.Stats.TotalOperators(),
-			Answers:   len(res.Answers),
+			TotalMs:      float64(res.TotalTime.Microseconds()) / 1000,
+			Operators:    res.Stats.TotalOperators(),
+			Answers:      len(res.Answers),
+			IndexBuilds:  res.Stats.IndexBuilds(),
+			IndexLookups: res.Stats.IndexLookups(),
 		}
 	}
 	return snap, nil

@@ -326,6 +326,27 @@ func (c *IndexCache) columnIndex(ctx context.Context, rel *Relation, col int, st
 	}
 }
 
+// Warm eagerly builds the index for every (relation, column) of the
+// instance, in registration order, so that a long-lived service pays index
+// construction when a scenario is registered rather than on the first query
+// that needs each index.  It returns the number of indexes built by this call
+// (already-cached entries are revalidated, not rebuilt).  Builds honour the
+// context; a cancelled build is evicted exactly as on the lazy path.
+func (c *IndexCache) Warm(ctx context.Context, stats *Stats) (int, error) {
+	built := 0
+	before := stats.IndexBuilds()
+	for _, name := range c.db.RelationNames() {
+		rel := c.db.Relation(name)
+		for col := range rel.Columns {
+			if _, err := c.columnIndex(ctx, rel, col, stats); err != nil {
+				return built, err
+			}
+			built = stats.IndexBuilds() - before
+		}
+	}
+	return built, nil
+}
+
 // baseForRows reports which base relation's row list backs rows, if any.
 // Materialized scans (QualifyColumns) and o-sharing's untouched fragments
 // share the base relation's []Tuple, so pointer identity of the first row plus

@@ -86,9 +86,29 @@ type Select struct {
 // Children implements Node.
 func (s *Select) Children() []Node { return []Node{s.Child} }
 
-// String implements Node.
+// String implements Node.  The literal spelling is kind-distinct — σ[x='5'],
+// σ[x=5] and σ[x=5.0] are different ASTs with different answers and must
+// render differently; the answer-cache fingerprint relies on the rendering
+// being injective per AST.
 func (s *Select) String() string {
-	return fmt.Sprintf("σ[%s%s%s](%s)", s.Ref, s.Op, s.Value, s.Child)
+	return fmt.Sprintf("σ[%s%s%s](%s)", s.Ref, s.Op, literalString(s.Value), s.Child)
+}
+
+// literalString spells a constant with its kind visible: strings quoted,
+// integer-valued floats with a forced decimal point.
+func literalString(v engine.Value) string {
+	out := v.String()
+	switch v.Kind {
+	case engine.KindString:
+		return "'" + out + "'"
+	case engine.KindFloat:
+		if !strings.ContainsAny(out, ".eE") && out != "NaN" && !strings.Contains(out, "Inf") {
+			out += ".0"
+		}
+		return out
+	default:
+		return out
+	}
 }
 
 // JoinSelect filters its child by comparing two target attributes (the join

@@ -1,0 +1,240 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"github.com/probdb/urm/internal/core"
+	"github.com/probdb/urm/internal/engine"
+)
+
+// CacheKey identifies one cacheable request exactly.  The query text is the
+// canonical form (query.Query.Fingerprint): the parser round-trip property
+// guarantees two requests with the same canonical text evaluate the same AST.
+// Epoch is part of the key, so a scenario mutation makes every older entry
+// unreachable without any synchronous sweep; stale entries age out through
+// the LRU.  Parallelism is deliberately absent — answers are bit-identical at
+// every setting (the runtime's determinism contract), so it must not split
+// the cache.
+type CacheKey struct {
+	Scenario string
+	Epoch    uint64
+	Query    string
+	Method   core.Method
+	Strategy core.Strategy
+	TopK     int
+}
+
+// AnswerCache is a byte-budgeted LRU of evaluation results with singleflight
+// semantics mirroring engine.PlanCache: when several requests need the same
+// missing key at once, exactly one evaluates and the rest block for its
+// result, so N concurrent identical requests cost one evaluation.  Unlike
+// PlanCache it never caches errors — a failed evaluation releases the key so
+// the next request retries — and it evicts least-recently-used entries once
+// the byte budget is exceeded.
+type AnswerCache struct {
+	mu       sync.Mutex
+	budget   int64
+	bytes    int64
+	entries  map[CacheKey]*list.Element
+	lru      *list.List // front = most recently used
+	inflight map[CacheKey]*inflightCall
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheEntry struct {
+	key  CacheKey
+	res  *core.Result
+	size int64
+}
+
+// inflightCall is one in-progress evaluation other requests can wait on.
+type inflightCall struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+// NewAnswerCache returns a cache that holds at most budget bytes of results
+// (estimated; see resultSize).  A budget <= 0 disables storage but keeps the
+// singleflight coalescing: concurrent identical requests still share one
+// evaluation even with caching off.
+func NewAnswerCache(budget int64) *AnswerCache {
+	return &AnswerCache{
+		budget:   budget,
+		entries:  make(map[CacheKey]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[CacheKey]*inflightCall),
+	}
+}
+
+// Outcome says how GetOrCompute satisfied a request.
+type Outcome int
+
+// Outcomes.
+const (
+	// OutcomeMiss: this request ran the evaluation.
+	OutcomeMiss Outcome = iota
+	// OutcomeHit: served from the cache without any evaluation.
+	OutcomeHit
+	// OutcomeCoalesced: waited on another request's in-flight evaluation.
+	OutcomeCoalesced
+)
+
+// GetOrCompute returns the result for the key, evaluating with compute on a
+// miss.  Concurrent callers with the same key share one compute call.  The
+// returned *core.Result is shared across callers and must be treated as
+// immutable.
+//
+// Error handling follows engine.PlanCache's cancellation rule, tightened for
+// a serving context: no error is ever cached, and a waiter whose leader died
+// of *the leader's* context (cancellation or deadline) retries with its own
+// live context rather than inheriting the failure.
+func (c *AnswerCache) GetOrCompute(ctx context.Context, key CacheKey, compute func() (*core.Result, error)) (*core.Result, Outcome, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.lru.MoveToFront(el)
+			res := el.Value.(*cacheEntry).res
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return res, OutcomeHit, nil
+		}
+		if call, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-call.done:
+			case <-ctx.Done():
+				return nil, OutcomeCoalesced, ctx.Err()
+			}
+			if call.err == nil {
+				c.coalesced.Add(1)
+				return call.res, OutcomeCoalesced, nil
+			}
+			if errors.Is(call.err, context.Canceled) || errors.Is(call.err, context.DeadlineExceeded) {
+				// The leader's context died, not necessarily ours.  If ours is
+				// live, take another turn (possibly becoming the leader).
+				if err := ctx.Err(); err != nil {
+					return nil, OutcomeCoalesced, err
+				}
+				continue
+			}
+			return nil, OutcomeCoalesced, call.err
+		}
+		call := &inflightCall{done: make(chan struct{})}
+		c.inflight[key] = call
+		c.mu.Unlock()
+
+		call.res, call.err = compute()
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if call.err == nil {
+			c.insertLocked(key, call.res)
+		}
+		c.mu.Unlock()
+		close(call.done)
+		if call.err != nil {
+			return nil, OutcomeMiss, call.err
+		}
+		c.misses.Add(1)
+		return call.res, OutcomeMiss, nil
+	}
+}
+
+// insertLocked stores the result and evicts from the LRU tail until the
+// budget holds.  An entry larger than the whole budget is not stored at all.
+func (c *AnswerCache) insertLocked(key CacheKey, res *core.Result) {
+	size := resultSize(res)
+	if size > c.budget {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		// A concurrent computation for the same key can finish twice only via
+		// epoch races; keep the newer result.
+		c.bytes -= el.Value.(*cacheEntry).size
+		c.lru.Remove(el)
+		delete(c.entries, key)
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, res: res, size: size})
+	c.bytes += size
+	for c.bytes > c.budget {
+		tail := c.lru.Back()
+		if tail == nil {
+			break
+		}
+		e := tail.Value.(*cacheEntry)
+		c.lru.Remove(tail)
+		delete(c.entries, e.key)
+		c.bytes -= e.size
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *AnswerCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Bytes returns the estimated size of the cached results.
+func (c *AnswerCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// CacheMetrics is a snapshot of the cache counters.
+type CacheMetrics struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Coalesced   int64 `json:"coalesced"`
+	Evictions   int64 `json:"evictions"`
+	Entries     int   `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	BudgetBytes int64 `json:"budget_bytes"`
+}
+
+// Metrics returns a snapshot of the cache counters.
+func (c *AnswerCache) Metrics() CacheMetrics {
+	c.mu.Lock()
+	entries, bytes := len(c.entries), c.bytes
+	c.mu.Unlock()
+	return CacheMetrics{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Coalesced:   c.coalesced.Load(),
+		Evictions:   c.evictions.Load(),
+		Entries:     entries,
+		Bytes:       bytes,
+		BudgetBytes: c.budget,
+	}
+}
+
+// resultSize estimates the retained footprint of a result: answer tuples
+// dominate, at slice/struct overhead plus string payloads.  The estimate only
+// needs to be proportional — the budget is a pressure valve, not an
+// accounting system.
+func resultSize(res *core.Result) int64 {
+	const entryOverhead = 256
+	size := int64(entryOverhead)
+	for _, a := range res.Answers {
+		size += 24 + int64(len(a.Tuple))*48
+		for _, v := range a.Tuple {
+			if v.Kind == engine.KindString {
+				size += int64(len(v.Str))
+			}
+		}
+	}
+	for _, c := range res.Columns {
+		size += int64(len(c)) + 16
+	}
+	return size
+}

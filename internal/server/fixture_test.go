@@ -1,0 +1,116 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/probdb/urm/internal/core"
+	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/schema"
+)
+
+// The test scenario: source S(x, y, z), target T(a, b), two mappings that
+// agree on a→x and disagree on b (y versus z).  Small enough to evaluate in
+// microseconds, with a self-product query available when a test needs an
+// evaluation slow enough to race against (see slowQueryText).
+
+func serveSourceSchema() *schema.Schema {
+	s := schema.NewSchema("Source")
+	s.MustAddRelation(&schema.RelationSchema{Name: "S", Columns: []schema.Column{
+		{Name: "x"}, {Name: "y", Type: schema.TypeInt}, {Name: "z", Type: schema.TypeInt},
+	}})
+	return s
+}
+
+func serveTargetSchema() *schema.Schema {
+	t := schema.NewSchema("Target")
+	t.MustAddRelation(&schema.RelationSchema{Name: "T", Columns: []schema.Column{
+		{Name: "a"}, {Name: "b", Type: schema.TypeInt},
+	}})
+	return t
+}
+
+// serveInstance builds S with n rows: x cycles through 40 distinct labels,
+// y = i%23, z = i%17.
+func serveInstance(n int) *engine.Instance {
+	db := engine.NewInstance("D")
+	rel := engine.NewRelation("S", []string{"x", "y", "z"})
+	for i := 0; i < n; i++ {
+		rel.MustAppend(engine.Tuple{
+			engine.S(fmt.Sprintf("k%02d", i%40)),
+			engine.I(int64(i % 23)),
+			engine.I(int64(i % 17)),
+		})
+	}
+	db.AddRelation(rel)
+	return db
+}
+
+func serveMappings() schema.MappingSet {
+	sAttr := func(name string) schema.Attribute { return schema.Attribute{Relation: "S", Name: name} }
+	tAttr := func(name string) schema.Attribute { return schema.Attribute{Relation: "T", Name: name} }
+	m1 := schema.MustNewMapping("m1", []schema.Correspondence{
+		{Source: sAttr("x"), Target: tAttr("a"), Score: 0.9},
+		{Source: sAttr("y"), Target: tAttr("b"), Score: 0.8},
+	}, 0.6)
+	m2 := schema.MustNewMapping("m2", []schema.Correspondence{
+		{Source: sAttr("x"), Target: tAttr("a"), Score: 0.9},
+		{Source: sAttr("z"), Target: tAttr("b"), Score: 0.7},
+	}, 0.4)
+	return schema.MappingSet{m1, m2}
+}
+
+const (
+	// fastQueryText evaluates in microseconds (index probe over S).
+	fastQueryText = "SELECT a FROM T WHERE b = 7"
+	// slowQueryText forces a Cartesian self-product with a non-equi condition
+	// — rows² pairs per mapping — so tests can hold an evaluation slot or a
+	// deadline open long enough to observe concurrent behaviour.
+	slowQueryText = "SELECT P1.a FROM T P1, T P2 WHERE P1.b < P2.b"
+)
+
+// tuple builds one S row.
+func tuple(x string, y, z int64) engine.Tuple {
+	return engine.Tuple{engine.S(x), engine.I(y), engine.I(z)}
+}
+
+// newTestServer registers one scenario ("test", n source rows) on a fresh
+// registry and returns the server and scenario.
+func newTestServer(t *testing.T, n int, cfg Config) (*Server, *Scenario) {
+	t.Helper()
+	reg := NewRegistry()
+	sc, err := reg.Register(context.Background(), "test", serveTargetSchema(), serveInstance(n), serveMappings(),
+		RegisterOptions{TargetLabel: "Test", WarmIndexes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(reg, cfg), sc
+}
+
+// sameResult asserts bit-identical results: same answer tuples in the same
+// order with exactly equal (not approximately equal) probabilities, same
+// empty probability, same columns.
+func sameResult(t *testing.T, label string, want, got *core.Result) {
+	t.Helper()
+	if len(want.Answers) != len(got.Answers) {
+		t.Fatalf("%s: %d answers, want %d", label, len(got.Answers), len(want.Answers))
+	}
+	for i := range want.Answers {
+		w, g := want.Answers[i], got.Answers[i]
+		if !w.Tuple.EqualKey(g.Tuple) || w.Prob != g.Prob {
+			t.Fatalf("%s: answer %d = %v@%v, want %v@%v", label, i, g.Tuple, g.Prob, w.Tuple, w.Prob)
+		}
+	}
+	if want.EmptyProb != got.EmptyProb {
+		t.Fatalf("%s: empty prob %v, want %v", label, got.EmptyProb, want.EmptyProb)
+	}
+	if len(want.Columns) != len(got.Columns) {
+		t.Fatalf("%s: columns %v, want %v", label, got.Columns, want.Columns)
+	}
+	for i := range want.Columns {
+		if want.Columns[i] != got.Columns[i] {
+			t.Fatalf("%s: columns %v, want %v", label, got.Columns, want.Columns)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package server
+
+import "sync/atomic"
+
+// serverMetrics are the server-level counters exposed by /metrics.  All
+// fields are atomics: the request path updates them without locking.
+type serverMetrics struct {
+	requests     atomic.Int64
+	rejected     atomic.Int64 // 429: no evaluation slot
+	unavailable  atomic.Int64 // 503: draining
+	timeouts     atomic.Int64 // 504: request deadline exceeded
+	badRequests  atomic.Int64 // 4xx other than overload
+	evaluations  atomic.Int64 // evaluations actually run (cache misses)
+	evalErrors   atomic.Int64
+	indexBuilds  atomic.Int64 // summed from per-evaluation engine stats
+	indexLookups atomic.Int64
+	operators    atomic.Int64
+	inflight     atomic.Int64 // requests currently being served
+}
+
+// Metrics is the JSON snapshot served by GET /metrics and embedded in the
+// serve benchmark's record.
+type Metrics struct {
+	Requests    int64 `json:"requests"`
+	Rejected    int64 `json:"rejected"`
+	Unavailable int64 `json:"unavailable"`
+	Timeouts    int64 `json:"timeouts"`
+	BadRequests int64 `json:"bad_requests"`
+	Inflight    int64 `json:"inflight"`
+
+	Evaluations int64 `json:"evaluations"`
+	EvalErrors  int64 `json:"eval_errors"`
+
+	// IndexBuilds/IndexLookups aggregate engine.Stats.IndexBuilds/IndexLookups
+	// over every evaluation the server ran: how often the shared base-relation
+	// index subsystem built versus served.
+	IndexBuilds  int64 `json:"index_builds"`
+	IndexLookups int64 `json:"index_lookups"`
+	Operators    int64 `json:"operators"`
+
+	Cache CacheMetrics `json:"cache"`
+
+	Draining  bool           `json:"draining"`
+	Scenarios []ScenarioInfo `json:"scenarios"`
+}
+
+// ScenarioInfo describes one registered scenario in API responses.
+type ScenarioInfo struct {
+	Name            string `json:"name"`
+	Target          string `json:"target"`
+	Epoch           uint64 `json:"epoch"`
+	Mappings        int    `json:"mappings"`
+	Relations       int    `json:"relations"`
+	Rows            int    `json:"rows"`
+	WarmIndexBuilds int    `json:"warm_index_builds"`
+}
+
+func (s *Server) snapshotMetrics() Metrics {
+	return Metrics{
+		Requests:     s.metrics.requests.Load(),
+		Rejected:     s.metrics.rejected.Load(),
+		Unavailable:  s.metrics.unavailable.Load(),
+		Timeouts:     s.metrics.timeouts.Load(),
+		BadRequests:  s.metrics.badRequests.Load(),
+		Inflight:     s.metrics.inflight.Load(),
+		Evaluations:  s.metrics.evaluations.Load(),
+		EvalErrors:   s.metrics.evalErrors.Load(),
+		IndexBuilds:  s.metrics.indexBuilds.Load(),
+		IndexLookups: s.metrics.indexLookups.Load(),
+		Operators:    s.metrics.operators.Load(),
+		Cache:        s.cache.Metrics(),
+		Draining:     s.draining(),
+		Scenarios:    s.scenarioInfos(),
+	}
+}

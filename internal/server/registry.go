@@ -1,0 +1,224 @@
+// Package server is the query service layer: a registry of named scenarios, a
+// byte-budgeted answer cache with singleflight semantics, and an HTTP JSON API
+// with admission control.  It turns the library — one evaluation per call, one
+// caller per process — into a long-lived system that amortizes work across
+// requests and users, the same axis the paper amortizes across mappings.
+//
+// The sharing story stacks three layers deep:
+//
+//   - within one evaluation, the methods share work across mappings
+//     (q-sharing / o-sharing, internal/core);
+//   - across evaluations of one instance, the base-relation index subsystem
+//     shares per-column hash indexes (internal/engine); registration warms
+//     them so first queries do not pay construction;
+//   - across requests, the answer cache shares whole results: N concurrent
+//     identical requests cost exactly one evaluation (singleflight), repeated
+//     requests cost none.
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/probdb/urm/internal/core"
+	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/query"
+	"github.com/probdb/urm/internal/schema"
+)
+
+// Scenario is one registered, named evaluation environment: a source instance,
+// a target schema and a possible-mapping set, plus a monotonically increasing
+// epoch.  Query results are cached under (scenario, epoch, ...); any mutation
+// of the underlying data must bump the epoch, which makes every cached answer
+// for the old epoch unreachable.
+//
+// Mutate only through AppendRow (or Bump after out-of-band changes).  The
+// engine's contract makes relation data immutable while an evaluation reads
+// it, so AppendRow excludes in-flight evaluations: Evaluate holds mu as a
+// reader, AppendRow as a writer.  The epoch bump then keeps *cached* answers
+// honest; the lock keeps the memory safe.
+type Scenario struct {
+	name   string
+	target *schema.Schema
+	label  string
+	db     *engine.Instance
+	maps   schema.MappingSet
+
+	epoch atomic.Uint64
+	// mu is the evaluation/mutation lock: evaluations (many, long) share it
+	// as readers, AppendRow (rare, microseconds) takes it exclusively.
+	// Writer acquisition is bounded by the request deadlines of the
+	// in-flight evaluations ahead of it.
+	mu sync.RWMutex
+
+	warmBuilds int
+}
+
+// Name returns the registry key of the scenario.
+func (s *Scenario) Name() string { return s.name }
+
+// TargetLabel returns the human-readable target schema label ("Excel", ...).
+func (s *Scenario) TargetLabel() string { return s.label }
+
+// Target returns the target schema queries are parsed against.
+func (s *Scenario) Target() *schema.Schema { return s.target }
+
+// DB returns the source instance.
+func (s *Scenario) DB() *engine.Instance { return s.db }
+
+// Mappings returns the possible-mapping set.
+func (s *Scenario) Mappings() schema.MappingSet { return s.maps }
+
+// Epoch returns the current epoch.  Cached answers are keyed by it.
+func (s *Scenario) Epoch() uint64 { return s.epoch.Load() }
+
+// Bump advances the epoch, invalidating every cached answer for the scenario.
+// Call it after any out-of-band mutation of the instance or mapping set.
+func (s *Scenario) Bump() uint64 { return s.epoch.Add(1) }
+
+// AppendRow appends a tuple to the named base relation and bumps the epoch.
+// It waits for in-flight evaluations to finish (and blocks new ones for the
+// microseconds the append takes), because engine relations must not mutate
+// under a running scan.  The engine's own index invalidation
+// (Relation.Append's version counter) handles the per-column indexes; the
+// epoch bump handles the answer cache.
+func (s *Scenario) AppendRow(relation string, t engine.Tuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rel := s.db.Relation(relation)
+	if rel == nil {
+		return fmt.Errorf("scenario %s: unknown relation %q", s.name, relation)
+	}
+	if err := rel.Append(t); err != nil {
+		return err
+	}
+	s.epoch.Add(1)
+	return nil
+}
+
+// Evaluate runs one evaluation while holding the scenario's evaluation lock
+// as a reader, so AppendRow cannot mutate relation data mid-scan.  This is
+// the evaluation path the server uses; Evaluator() remains available for
+// callers that manage mutation exclusion themselves.
+func (s *Scenario) Evaluate(ctx context.Context, q *query.Query, topK int, opts core.Options) (*core.Result, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ev := core.NewEvaluator(s.db, s.maps)
+	if topK > 0 {
+		return ev.EvaluateTopKContext(ctx, q, topK, opts)
+	}
+	return ev.EvaluateContext(ctx, q, opts)
+}
+
+// Parse parses an ad-hoc query against the scenario's target schema.
+func (s *Scenario) Parse(name, text string) (*query.Query, error) {
+	return query.Parse(name, s.target, text)
+}
+
+// Evaluator returns a fresh evaluator over the scenario's instance and
+// mappings; evaluators are stateless, so one per request is free.
+func (s *Scenario) Evaluator() *core.Evaluator {
+	return core.NewEvaluator(s.db, s.maps)
+}
+
+// WarmIndexBuilds reports how many base-relation indexes registration built.
+func (s *Scenario) WarmIndexBuilds() int { return s.warmBuilds }
+
+// NumRows returns the total row count of the source instance.
+func (s *Scenario) NumRows() int { return s.db.NumRows() }
+
+// Registry holds the scenarios a server can answer queries against.  It is
+// safe for concurrent use; registration is expected at startup but allowed at
+// any time.
+type Registry struct {
+	mu        sync.RWMutex
+	scenarios map[string]*Scenario
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{scenarios: make(map[string]*Scenario)}
+}
+
+// RegisterOptions tunes Register.
+type RegisterOptions struct {
+	// TargetLabel is a display label for the target schema; defaults to the
+	// schema's own name.
+	TargetLabel string
+	// WarmIndexes eagerly builds every base-relation index at registration so
+	// no request pays first-build latency.  Registration is the right time to
+	// pay: it is one-off, off the request path, and the paper's workload shape
+	// guarantees the indexes get used by every reformulated query.
+	WarmIndexes bool
+}
+
+// Register adds a scenario under the given name.  The name must be unused;
+// the instance and mappings must be non-nil and valid.
+func (r *Registry) Register(ctx context.Context, name string, target *schema.Schema, db *engine.Instance, maps schema.MappingSet, opts RegisterOptions) (*Scenario, error) {
+	if name == "" {
+		return nil, fmt.Errorf("register: empty scenario name")
+	}
+	if target == nil {
+		return nil, fmt.Errorf("register %s: nil target schema", name)
+	}
+	if db == nil {
+		return nil, fmt.Errorf("register %s: nil instance", name)
+	}
+	if len(maps) == 0 {
+		return nil, fmt.Errorf("register %s: empty mapping set", name)
+	}
+	if err := maps.Validate(); err != nil {
+		return nil, fmt.Errorf("register %s: invalid mapping set: %w", name, err)
+	}
+	label := opts.TargetLabel
+	if label == "" {
+		label = target.Name
+	}
+	s := &Scenario{name: name, target: target, label: label, db: db, maps: maps}
+	if opts.WarmIndexes {
+		if cache := db.Indexes(); cache != nil {
+			built, err := cache.Warm(ctx, engine.NewStats())
+			if err != nil {
+				return nil, fmt.Errorf("register %s: warming indexes: %w", name, err)
+			}
+			s.warmBuilds = built
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.scenarios[name]; dup {
+		return nil, fmt.Errorf("register: scenario %q already registered", name)
+	}
+	r.scenarios[name] = s
+	return s, nil
+}
+
+// Get returns the named scenario.
+func (r *Registry) Get(name string) (*Scenario, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.scenarios[name]
+	return s, ok
+}
+
+// Names returns the registered scenario names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.scenarios))
+	for name := range r.scenarios {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered scenarios.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.scenarios)
+}

@@ -1,0 +1,468 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/probdb/urm/internal/core"
+	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/query"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// MaxConcurrent bounds the number of evaluations running at once (the
+	// admission-control slot count).  Cache hits and coalesced waiters do not
+	// consume slots.  0 selects GOMAXPROCS.
+	MaxConcurrent int
+	// QueueWait is how long a request may wait for a free evaluation slot
+	// before being rejected with 429.  0 rejects immediately when saturated.
+	QueueWait time.Duration
+	// RequestTimeout caps the per-request evaluation deadline.  Requests may
+	// ask for less via timeout_ms but never more.  0 selects 30s.
+	RequestTimeout time.Duration
+	// CacheBytes is the answer cache's byte budget.  0 selects 64 MiB;
+	// negative disables caching (singleflight coalescing still applies).
+	CacheBytes int64
+	// Parallelism is passed through to core.Options for each evaluation
+	// (0 = GOMAXPROCS).  With MaxConcurrent evaluation slots, total worker
+	// goroutines reach MaxConcurrent×Parallelism; keep the product near the
+	// core count.
+	Parallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	return c
+}
+
+// Server answers probabilistic queries over registered scenarios.  It is an
+// http.Handler; Do is the transport-free core the handler (and the load
+// harness, and in-process callers) share.
+type Server struct {
+	registry *Registry
+	cache    *AnswerCache
+	cfg      Config
+	slots    chan struct{}
+
+	metrics serverMetrics
+
+	// drainMu/drainSet gate request entry against Drain: Drain flips the flag
+	// and then waits, and no request can join the WaitGroup after the flip.
+	drainMu  sync.RWMutex
+	drainSet bool
+	wg       sync.WaitGroup
+}
+
+// New builds a server over the registry.
+func New(reg *Registry, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		registry: reg,
+		cache:    NewAnswerCache(cfg.CacheBytes),
+		cfg:      cfg,
+		slots:    make(chan struct{}, cfg.MaxConcurrent),
+	}
+}
+
+// Registry returns the server's scenario registry.
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Cache returns the server's answer cache.
+func (s *Server) Cache() *AnswerCache { return s.cache }
+
+// Metrics returns a snapshot of the server counters.
+func (s *Server) Metrics() Metrics { return s.snapshotMetrics() }
+
+// Request is one query request, the body of POST /v1/query.
+type Request struct {
+	// Scenario names a registered scenario.
+	Scenario string `json:"scenario"`
+	// Query is the query text in the library's SQL subset.
+	Query string `json:"query"`
+	// Method is the evaluation method name ("o-sharing" default).
+	Method string `json:"method,omitempty"`
+	// Strategy is the o-sharing operator-selection strategy ("SEF" default).
+	Strategy string `json:"strategy,omitempty"`
+	// TopK, when positive, runs the probabilistic top-k algorithm.
+	TopK int `json:"topk,omitempty"`
+	// TimeoutMS optionally tightens the server's request deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// AnswerJSON is one probabilistic answer in a response.  Values keep their
+// engine kinds: strings as JSON strings, ints and floats as JSON numbers,
+// NULL as null.
+type AnswerJSON struct {
+	Values []any   `json:"values"`
+	Prob   float64 `json:"prob"`
+}
+
+// Response is the body of a successful POST /v1/query.
+type Response struct {
+	Scenario  string       `json:"scenario"`
+	Epoch     uint64       `json:"epoch"`
+	Query     string       `json:"query"` // canonical text, the cache-key form
+	Method    string       `json:"method"`
+	Strategy  string       `json:"strategy,omitempty"`
+	TopK      int          `json:"topk,omitempty"`
+	Columns   []string     `json:"columns,omitempty"`
+	Answers   []AnswerJSON `json:"answers"`
+	EmptyProb float64      `json:"empty_prob"`
+	// Cached is true when the response came from the answer cache; Coalesced
+	// when it shared another request's in-flight evaluation.
+	Cached    bool    `json:"cached"`
+	Coalesced bool    `json:"coalesced,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+
+	// Result is the evaluation result backing the response, shared and
+	// immutable; in-process callers (tests, the load harness) use it for
+	// bit-identical comparisons.  It is not serialized.
+	Result *core.Result `json:"-"`
+}
+
+// apiError carries an HTTP status through the Do path.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errBadRequest(format string, args ...any) error {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// ErrOverloaded is returned (and mapped to 429) when no evaluation slot frees
+// up within Config.QueueWait.
+var ErrOverloaded = &apiError{status: http.StatusTooManyRequests, msg: "server overloaded: no evaluation slot available"}
+
+// ErrDraining is returned (and mapped to 503) once Drain has begun.
+var ErrDraining = &apiError{status: http.StatusServiceUnavailable, msg: "server is draining"}
+
+// Do answers one request.  It is the transport-free request path: admission,
+// parsing, cache lookup with singleflight, evaluation under the request
+// deadline.  Returned errors are *apiError when they carry an HTTP status.
+func (s *Server) Do(ctx context.Context, req Request) (*Response, error) {
+	s.metrics.requests.Add(1)
+	if !s.enter() {
+		s.metrics.unavailable.Add(1)
+		return nil, ErrDraining
+	}
+	defer s.leave()
+
+	resp, err := s.do(ctx, req)
+	if err != nil {
+		var ae *apiError
+		switch {
+		case errors.As(err, &ae) && ae.status == http.StatusTooManyRequests:
+			s.metrics.rejected.Add(1)
+		case errors.Is(err, context.DeadlineExceeded):
+			s.metrics.timeouts.Add(1)
+		case errors.As(err, &ae) && ae.status >= 400 && ae.status < 500:
+			s.metrics.badRequests.Add(1)
+		}
+	}
+	return resp, err
+}
+
+func (s *Server) do(ctx context.Context, req Request) (*Response, error) {
+	start := time.Now()
+	if req.Scenario == "" {
+		return nil, errBadRequest("missing scenario")
+	}
+	sc, ok := s.registry.Get(req.Scenario)
+	if !ok {
+		return nil, &apiError{status: http.StatusNotFound, msg: fmt.Sprintf("unknown scenario %q", req.Scenario)}
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		return nil, errBadRequest("missing query")
+	}
+	method := core.MethodOSharing
+	if req.Method != "" {
+		var err error
+		if method, err = core.ParseMethod(req.Method); err != nil {
+			return nil, errBadRequest("%v", err)
+		}
+	}
+	strategy := core.StrategySEF
+	if req.Strategy != "" {
+		var err error
+		if strategy, err = core.ParseStrategy(req.Strategy); err != nil {
+			return nil, errBadRequest("%v", err)
+		}
+	}
+	if req.TopK < 0 {
+		return nil, errBadRequest("topk must be >= 0, got %d", req.TopK)
+	}
+	q, err := sc.Parse("q", req.Query)
+	if err != nil {
+		return nil, errBadRequest("%v", err)
+	}
+	canonical := q.Fingerprint()
+
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	// The epoch is read once per request: a mutation racing this request
+	// either lands before the read (the request sees the new epoch and fresh
+	// data) or after (the request caches under the old epoch, which the bump
+	// just made unreachable).  Either way no stale answer is served under a
+	// current key.
+	key := CacheKey{
+		Scenario: sc.Name(),
+		Epoch:    sc.Epoch(),
+		Query:    canonical,
+		Method:   method,
+		Strategy: strategy,
+		TopK:     req.TopK,
+	}
+	res, outcome, err := s.cache.GetOrCompute(ctx, key, func() (*core.Result, error) {
+		return s.evaluate(ctx, sc, q, method, strategy, req.TopK)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Response{
+		Scenario:  sc.Name(),
+		Epoch:     key.Epoch,
+		Query:     canonical,
+		Method:    method.String(),
+		Strategy:  strategy.String(),
+		TopK:      req.TopK,
+		Columns:   res.Columns,
+		Answers:   answersJSON(res),
+		EmptyProb: res.EmptyProb,
+		Cached:    outcome == OutcomeHit,
+		Coalesced: outcome == OutcomeCoalesced,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		Result:    res,
+	}, nil
+}
+
+// evaluate runs one evaluation under admission control: it acquires a slot
+// (waiting at most QueueWait) and threads the request context into the
+// evaluation runtime, so a deadline aborts mid-operator.
+func (s *Server) evaluate(ctx context.Context, sc *Scenario, q *query.Query, method core.Method, strategy core.Strategy, topK int) (*core.Result, error) {
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		if s.cfg.QueueWait <= 0 {
+			return nil, ErrOverloaded
+		}
+		timer := time.NewTimer(s.cfg.QueueWait)
+		defer timer.Stop()
+		select {
+		case s.slots <- struct{}{}:
+		case <-timer.C:
+			return nil, ErrOverloaded
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	defer func() { <-s.slots }()
+
+	s.metrics.evaluations.Add(1)
+	opts := core.Options{Method: method, Strategy: strategy, Parallelism: s.cfg.Parallelism}
+	res, err := sc.Evaluate(ctx, q, topK, opts)
+	if err != nil {
+		s.metrics.evalErrors.Add(1)
+		return nil, err
+	}
+	s.metrics.indexBuilds.Add(int64(res.Stats.IndexBuilds()))
+	s.metrics.indexLookups.Add(int64(res.Stats.IndexLookups()))
+	s.metrics.operators.Add(int64(res.Stats.TotalOperators()))
+	return res, nil
+}
+
+// enter admits a request unless the server is draining; every admitted
+// request is tracked so Drain can wait for it.
+func (s *Server) enter() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.drainSet {
+		return false
+	}
+	s.wg.Add(1)
+	s.metrics.inflight.Add(1)
+	return true
+}
+
+func (s *Server) leave() {
+	s.metrics.inflight.Add(-1)
+	s.wg.Done()
+}
+
+func (s *Server) draining() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	return s.drainSet
+}
+
+// Drain stops admitting requests and waits for the in-flight ones to finish,
+// or for the context to expire — whichever comes first.  It is idempotent;
+// wiring it before http.Server.Shutdown gives a clean two-phase stop: refuse
+// new work, finish accepted work, then close listeners.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.drainSet = true
+	s.drainMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("drain: %d request(s) still in flight: %w", s.metrics.inflight.Load(), ctx.Err())
+	}
+}
+
+// ServeHTTP routes the JSON API:
+//
+//	POST /v1/query      evaluate (or serve from cache)
+//	GET  /v1/scenarios  registered scenarios
+//	GET  /healthz       liveness (503 while draining)
+//	GET  /metrics       counters snapshot
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/v1/query":
+		s.handleQuery(w, r)
+	case r.URL.Path == "/v1/scenarios":
+		s.handleScenarios(w, r)
+	case r.URL.Path == "/healthz":
+		s.handleHealthz(w, r)
+	case r.URL.Path == "/metrics":
+		writeJSON(w, http.StatusOK, s.snapshotMetrics())
+	default:
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no route %s %s", r.Method, r.URL.Path))
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		return
+	}
+	resp, err := s.Do(r.Context(), req)
+	if err != nil {
+		status := http.StatusInternalServerError
+		var ae *apiError
+		switch {
+		case errors.As(err, &ae):
+			status = ae.status
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			// The client went away; the status code is for the log line only.
+			status = 499
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"scenarios": s.scenarioInfos()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func (s *Server) scenarioInfos() []ScenarioInfo {
+	names := s.registry.Names()
+	out := make([]ScenarioInfo, 0, len(names))
+	for _, name := range names {
+		sc, ok := s.registry.Get(name)
+		if !ok {
+			continue
+		}
+		out = append(out, ScenarioInfo{
+			Name:            sc.Name(),
+			Target:          sc.TargetLabel(),
+			Epoch:           sc.Epoch(),
+			Mappings:        len(sc.Mappings()),
+			Relations:       len(sc.DB().RelationNames()),
+			Rows:            sc.NumRows(),
+			WarmIndexBuilds: sc.WarmIndexBuilds(),
+		})
+	}
+	return out
+}
+
+func answersJSON(res *core.Result) []AnswerJSON {
+	out := make([]AnswerJSON, len(res.Answers))
+	for i, a := range res.Answers {
+		values := make([]any, len(a.Tuple))
+		for j, v := range a.Tuple {
+			values[j] = valueJSON(v)
+		}
+		out[i] = AnswerJSON{Values: values, Prob: a.Prob}
+	}
+	return out
+}
+
+func valueJSON(v engine.Value) any {
+	switch v.Kind {
+	case engine.KindString:
+		return v.Str
+	case engine.KindInt:
+		return v.Int
+	case engine.KindFloat:
+		return v.Float
+	default:
+		return nil
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]any{"error": msg, "status": status})
+}

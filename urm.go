@@ -68,6 +68,7 @@ import (
 	"github.com/probdb/urm/internal/match"
 	"github.com/probdb/urm/internal/query"
 	"github.com/probdb/urm/internal/schema"
+	"github.com/probdb/urm/internal/server"
 )
 
 // Schema-model types re-exported from the schema layer.
@@ -339,3 +340,46 @@ func (s *Scenario) Query(name, text string) (*Query, error) {
 
 // Evaluator returns an evaluator over the scenario's instance and mappings.
 func (s *Scenario) Evaluator() *Evaluator { return core.NewEvaluator(s.DB, s.Matching.Mappings) }
+
+// Query service types re-exported from the server layer.  The service turns
+// the library into a long-lived system: scenarios register once (paying index
+// warm-up at registration), and an HTTP JSON API answers queries through a
+// byte-budgeted answer cache with singleflight semantics — N concurrent
+// identical requests cost exactly one evaluation.  See DESIGN.md, "Service
+// layer".
+type (
+	// Registry holds named, epoch-versioned scenarios a server answers
+	// queries against.
+	Registry = server.Registry
+	// RegisteredScenario is one registry entry; mutate its data only through
+	// RegisteredScenario.AppendRow (or Bump), which invalidates cached
+	// answers by advancing the epoch.
+	RegisteredScenario = server.Scenario
+	// RegisterOptions tunes Registry.Register.
+	RegisterOptions = server.RegisterOptions
+	// Server is the query service: an http.Handler with admission control
+	// plus the transport-free Server.Do used in-process.
+	Server = server.Server
+	// ServerConfig tunes a Server (evaluation slots, request timeout, cache
+	// byte budget, per-evaluation parallelism).
+	ServerConfig = server.Config
+	// QueryRequest is the body of POST /v1/query.
+	QueryRequest = server.Request
+	// QueryResponse is the body of a successful POST /v1/query.
+	QueryResponse = server.Response
+)
+
+// NewRegistry returns an empty scenario registry.
+func NewRegistry() *Registry { return server.NewRegistry() }
+
+// NewServer builds a query server over the registry.
+func NewServer(reg *Registry, cfg ServerConfig) *Server { return server.New(reg, cfg) }
+
+// Register adds the scenario to a registry under the given name, optionally
+// warming every base-relation index so no request pays first-build latency.
+func (s *Scenario) Register(ctx context.Context, reg *Registry, name string, opts RegisterOptions) (*RegisteredScenario, error) {
+	if opts.TargetLabel == "" {
+		opts.TargetLabel = s.Target
+	}
+	return reg.Register(ctx, name, s.TargetSchema, s.DB, s.Matching.Mappings, opts)
+}
