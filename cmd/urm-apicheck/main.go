@@ -1,0 +1,268 @@
+// Command urm-apicheck guards the public API surface of the urm package: it
+// extracts every exported declaration (types, funcs, methods, consts, vars)
+// from the package source and diffs it against the committed golden file
+// API.txt.
+//
+//	urm-apicheck          # fail if any committed surface line disappeared
+//	urm-apicheck -write   # regenerate API.txt from the current source
+//
+// The check is asymmetric by design, in the spirit of apidiff: *removals*
+// (and signature changes, which read as a removal plus an addition) fail,
+// because they break downstream callers; *additions* only print a reminder to
+// refresh the golden file.  CI runs the check on every change, so the public
+// surface can grow but never silently shrink.
+//
+// The extraction is syntactic (go/parser over the package directory, no type
+// checking), which keeps the tool std-lib-only and independent of build
+// state.  Lines are the canonical single-line rendering of each declaration,
+// sorted, one per line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "urm-apicheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("urm-apicheck", flag.ContinueOnError)
+	var (
+		dir    = fs.String("dir", ".", "package directory to extract the surface from")
+		golden = fs.String("golden", "API.txt", "golden surface file")
+		write  = fs.Bool("write", false, "regenerate the golden file instead of checking")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected trailing arguments: %q", fs.Args())
+	}
+
+	lines, err := surface(*dir)
+	if err != nil {
+		return err
+	}
+	content := strings.Join(lines, "\n") + "\n"
+
+	if *write {
+		if err := os.WriteFile(*golden, []byte(content), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d exported declarations)\n", *golden, len(lines))
+		return nil
+	}
+
+	want, err := os.ReadFile(*golden)
+	if err != nil {
+		return fmt.Errorf("%w (run `urm-apicheck -write` to create the golden file)", err)
+	}
+	wantSet := make(map[string]bool)
+	for _, l := range strings.Split(strings.TrimSpace(string(want)), "\n") {
+		if l = strings.TrimSpace(l); l != "" {
+			wantSet[l] = true
+		}
+	}
+	haveSet := make(map[string]bool, len(lines))
+	for _, l := range lines {
+		haveSet[l] = true
+	}
+
+	var removed, added []string
+	for l := range wantSet {
+		if !haveSet[l] {
+			removed = append(removed, l)
+		}
+	}
+	for _, l := range lines {
+		if !wantSet[l] {
+			added = append(added, l)
+		}
+	}
+	sort.Strings(removed)
+	sort.Strings(added)
+
+	for _, l := range added {
+		fmt.Printf("new:     %s\n", l)
+	}
+	if len(added) > 0 {
+		fmt.Printf("%d addition(s); run `go run ./cmd/urm-apicheck -write` to record them\n", len(added))
+	}
+	if len(removed) > 0 {
+		for _, l := range removed {
+			fmt.Printf("REMOVED: %s\n", l)
+		}
+		return fmt.Errorf("%d exported declaration(s) removed from the public surface", len(removed))
+	}
+	fmt.Printf("api-surface: ok (%d exported declarations, %d new)\n", len(lines), len(added))
+	return nil
+}
+
+// surface extracts the sorted exported-declaration lines of the package in dir.
+func surface(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lines = append(lines, declLines(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines, nil
+}
+
+// declLines renders the exported parts of one top-level declaration.
+func declLines(fset *token.FileSet, decl ast.Decl) []string {
+	var out []string
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if d.Recv != nil && !exportedRecv(d.Recv) {
+			return nil
+		}
+		clone := *d
+		clone.Body = nil
+		clone.Doc = nil
+		out = append(out, render(fset, &clone))
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				out = append(out, typeLines(fset, s)...)
+			case *ast.ValueSpec:
+				kw := "var"
+				if d.Tok == token.CONST {
+					kw = "const"
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						out = append(out, kw+" "+name.Name)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// typeLines renders one exported type.  Struct and interface bodies are not
+// recorded wholesale — that would turn every unexported-field edit into a
+// spurious "removal" — only their exported members are, one line each, so the
+// gate still catches a dropped field or interface method:
+//
+//	type Session struct
+//	field Session.Name string     (only if the field were exported)
+//	type Plan interface
+//	method Plan.Signature() string
+//
+// Aliases and other type literals render in full: their right-hand side IS
+// the public contract.
+func typeLines(fset *token.FileSet, s *ast.TypeSpec) []string {
+	name := s.Name.Name
+	if s.Assign != token.NoPos { // alias: the target is the surface
+		return []string{"type " + name + " = " + render(fset, s.Type)}
+	}
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		out := []string{"type " + name + " struct"}
+		for _, f := range t.Fields.List {
+			if len(f.Names) == 0 { // embedded
+				if id := baseIdent(f.Type); id != nil && id.IsExported() {
+					out = append(out, "field "+name+"."+id.Name+" (embedded)")
+				}
+				continue
+			}
+			for _, fn := range f.Names {
+				if fn.IsExported() {
+					out = append(out, "field "+name+"."+fn.Name+" "+render(fset, f.Type))
+				}
+			}
+		}
+		return out
+	case *ast.InterfaceType:
+		out := []string{"type " + name + " interface"}
+		for _, m := range t.Methods.List {
+			for _, mn := range m.Names {
+				if mn.IsExported() {
+					out = append(out, "method "+name+"."+mn.Name+" "+render(fset, m.Type))
+				}
+			}
+		}
+		return out
+	default:
+		sc := *s
+		sc.Doc, sc.Comment = nil, nil
+		return []string{"type " + render(fset, &sc)}
+	}
+}
+
+// baseIdent unwraps pointers/selectors down to the identifying name of an
+// embedded field's type.
+func baseIdent(t ast.Expr) *ast.Ident {
+	for {
+		switch e := t.(type) {
+		case *ast.StarExpr:
+			t = e.X
+		case *ast.SelectorExpr:
+			return e.Sel
+		case *ast.Ident:
+			return e
+		default:
+			return nil
+		}
+	}
+}
+
+// exportedRecv reports whether a method receiver's base type is exported.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) != 1 {
+		return false
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+var spaceRe = regexp.MustCompile(`\s+`)
+
+// render prints the node and collapses it onto one line.
+func render(fset *token.FileSet, node any) string {
+	var b strings.Builder
+	if err := printer.Fprint(&b, fset, node); err != nil {
+		return fmt.Sprintf("<render error: %v>", err)
+	}
+	return spaceRe.ReplaceAllString(b.String(), " ")
+}

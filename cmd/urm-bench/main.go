@@ -173,6 +173,20 @@ func writeSnapshot(dir string, out *os.File) error {
 		fmt.Fprintf(out, "  %-9s naive %8.3fms  engine %8.3fms  speedup %.2fx\n",
 			name, float64(ob.NaiveNsOp)/1e6, float64(ob.EngineNsOp)/1e6, ob.Speedup)
 	}
+	methods := make([]string, 0, len(snap.Methods))
+	for name := range snap.Methods {
+		methods = append(methods, name)
+	}
+	sort.Strings(methods)
+	fmt.Fprintln(out, "prepared re-execution vs cold Evaluate (h=100 workload):")
+	for _, name := range methods {
+		mb := snap.Methods[name]
+		if mb.PreparedSpeedup == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "  %-9s cold %8.3fms  prepared %8.3fms  speedup %.2fx\n",
+			name, mb.ColdMs, mb.PreparedMs, mb.PreparedSpeedup)
+	}
 	fmt.Fprintf(out, "wrote %s\n", path)
 	return nil
 }

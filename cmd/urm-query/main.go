@@ -10,12 +10,19 @@
 //	urm-query -query "SELECT orderNum FROM PO WHERE telephone = '335-1736'"
 //	urm-query -workload 4 -topk 5
 //	urm-query -workload 2 -method basic -parallel 8
+//	urm-query -workload 1 -repeat 5           # prepared once, executed 5 times
+//
+// With -repeat the query is prepared once through the session API —
+// reformulation and plan compilation happen on the first run only — so later
+// runs show the prepared-execution speedup.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	urm "github.com/probdb/urm"
 )
@@ -40,6 +47,8 @@ func run(args []string) error {
 		text     = fs.String("query", "", "ad-hoc query in the library's SQL subset")
 		topk     = fs.Int("topk", 0, "if positive, run the probabilistic top-k algorithm with this k")
 		parallel = fs.Int("parallel", 0, "evaluation worker goroutines (0 = all cores, 1 = sequential)")
+		repeat   = fs.Int("repeat", 1, "execute the query this many times; the query is prepared once, so repeats skip reformulation and plan compilation")
+		stream   = fs.Bool("stream", false, "stream answers through the Rows cursor instead of materializing the result")
 		limit    = fs.Int("limit", 20, "maximum number of answers to print")
 		verbose  = fs.Bool("v", false, "print evaluation statistics")
 		noindex  = fs.Bool("noindex", false, "disable the shared base-relation index subsystem (A/B comparison; answers are identical)")
@@ -51,8 +60,20 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("unexpected trailing arguments: %q", fs.Args())
 	}
-	if *workload == 0 && *text == "" {
+
+	// Reject conflicting or nonsensical flag combinations up front, before
+	// paying scenario generation.
+	switch {
+	case *workload == 0 && *text == "":
 		return fmt.Errorf("provide -workload <1-10> or -query \"<sql>\"")
+	case *workload != 0 && *text != "":
+		return fmt.Errorf("-workload and -query are mutually exclusive; pass one")
+	case *repeat < 1:
+		return fmt.Errorf("-repeat must be >= 1, got %d", *repeat)
+	case *topk < 0:
+		return fmt.Errorf("-topk must be >= 0, got %d", *topk)
+	case *noindex && *repeat > 1:
+		return fmt.Errorf("-noindex with -repeat compares nothing: the A/B toggle is per-process, so repeats would all run unindexed; run the tool twice instead")
 	}
 
 	m, err := urm.ParseMethod(*method)
@@ -78,6 +99,12 @@ func run(args []string) error {
 		scenario.DB.SetIndexing(false)
 	}
 
+	sess, err := scenario.NewSession(
+		urm.WithMethod(m), urm.WithStrategy(s), urm.WithParallelism(*parallel))
+	if err != nil {
+		return err
+	}
+
 	var q *urm.Query
 	if *workload > 0 {
 		q, err = scenario.WorkloadQuery(*workload)
@@ -90,18 +117,67 @@ func run(args []string) error {
 	fmt.Printf("query: %s\n", q)
 	fmt.Printf("mappings: %d (o-ratio %.2f)\n\n", len(scenario.Mappings()), urm.ORatio(scenario.Mappings()))
 
-	var res *urm.Result
-	opts := urm.Options{Method: m, Strategy: s, Parallelism: *parallel}
-	if *topk > 0 {
-		res, err = urm.EvaluateTopK(q, scenario.Mappings(), scenario.DB, *topk, opts)
-	} else {
-		res, err = urm.Evaluate(q, scenario.Mappings(), scenario.DB, opts)
-	}
+	// Prepare once; every -repeat execution reuses the compiled front half.
+	pq, err := sess.PrepareQuery(q)
 	if err != nil {
 		return err
 	}
+	var opts []urm.Option
+	if *topk > 0 {
+		opts = append(opts, urm.WithTopK(*topk))
+	}
 
-	printResult(res, *limit, *verbose)
+	ctx := context.Background()
+	for run := 1; run <= *repeat; run++ {
+		if *repeat > 1 {
+			fmt.Printf("--- run %d/%d ---\n", run, *repeat)
+		}
+		if *stream {
+			if err := streamResult(ctx, pq, opts, *limit, *verbose); err != nil {
+				return err
+			}
+			continue
+		}
+		res, err := pq.Execute(ctx, opts...)
+		if err != nil {
+			return err
+		}
+		printResult(res, *limit, *verbose)
+	}
+	return nil
+}
+
+// streamResult drives the Rows cursor, printing up to limit answers as they
+// arrive.
+func streamResult(ctx context.Context, pq *urm.PreparedQuery, opts []urm.Option, limit int, verbose bool) error {
+	start := time.Now()
+	rows, err := pq.Stream(ctx, opts...)
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	fmt.Printf("streaming %d answers   empty-probability: %.3f   time-to-cursor: %.3fs\n",
+		rows.Len(), rows.EmptyProb(), time.Since(start).Seconds())
+	if cols := rows.Columns(); len(cols) > 0 {
+		fmt.Printf("columns: %v\n", cols)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+		if n <= limit {
+			a := rows.Answer()
+			fmt.Printf("  %3d. %-40s  p=%.4f\n", n, a.Tuple.String(), a.Prob)
+		}
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	if n > limit {
+		fmt.Printf("  ... (%d more)\n", n-limit)
+	}
+	if verbose {
+		printStats(rows.Result())
+	}
 	return nil
 }
 
@@ -123,11 +199,15 @@ func printResult(res *urm.Result, limit int, verbose bool) {
 		fmt.Printf("  ... (%d more)\n", len(res.Answers)-n)
 	}
 	if verbose {
-		fmt.Printf("\nrewritten queries: %d   executed queries: %d   partitions: %d\n",
-			res.RewrittenQueries, res.ExecutedQueries, res.Partitions)
-		fmt.Printf("operators: %v\n", res.Stats.Operators())
-		fmt.Printf("index: %d builds, %d lookups\n", res.Stats.IndexBuilds(), res.Stats.IndexLookups())
-		fmt.Printf("phases: rewrite %.3fs, execute %.3fs, aggregate %.3fs\n",
-			res.RewriteTime.Seconds(), res.ExecTime.Seconds(), res.AggregateTime.Seconds())
+		printStats(res)
 	}
+}
+
+func printStats(res *urm.Result) {
+	fmt.Printf("\nrewritten queries: %d   executed queries: %d   partitions: %d\n",
+		res.RewrittenQueries, res.ExecutedQueries, res.Partitions)
+	fmt.Printf("operators: %v\n", res.Stats.Operators())
+	fmt.Printf("index: %d builds, %d lookups\n", res.Stats.IndexBuilds(), res.Stats.IndexLookups())
+	fmt.Printf("phases: rewrite %.3fs, execute %.3fs, aggregate %.3fs\n",
+		res.RewriteTime.Seconds(), res.ExecTime.Seconds(), res.AggregateTime.Seconds())
 }

@@ -1,6 +1,8 @@
 // Command urm-serve runs the query service: it generates (or is pointed at)
 // scenarios, registers them with warm base-relation indexes, and serves the
-// HTTP JSON API with admission control, an answer cache and graceful drain.
+// HTTP JSON API with admission control, an answer cache, a per-scenario
+// prepared-query cache (answer-cache misses skip parse/reformulate/compile;
+// see /metrics prepared_builds vs prepared_reuses) and graceful drain.
 //
 // Usage:
 //

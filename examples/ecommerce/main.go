@@ -2,14 +2,18 @@
 // order target schema (Excel, as shipped with COMA++) is matched against a
 // TPC-H-style source database, the uncertain matching is expanded into 100
 // possible mappings, and the paper's workload queries are answered
-// probabilistically with the different evaluation algorithms.
+// probabilistically through one session with the different evaluation
+// algorithms.
 //
 // Run with:
 //
 //	go run ./examples/ecommerce
+//	go run ./examples/ecommerce -size 2 -mappings 10   # quick run (CI)
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -17,11 +21,16 @@ import (
 )
 
 func main() {
-	fmt.Println("building the Excel purchase-order scenario (TPC-H source, 100 possible mappings)...")
+	mappings := flag.Int("mappings", 100, "number of possible mappings h")
+	sizeMB := flag.Float64("size", 40, "source instance scale in MB")
+	flag.Parse()
+
+	ctx := context.Background()
+	fmt.Printf("building the Excel purchase-order scenario (TPC-H source, %d possible mappings)...\n", *mappings)
 	scenario, err := urm.NewScenario(urm.ScenarioOptions{
 		Target:   "Excel",
-		Mappings: 100,
-		SizeMB:   40,
+		Mappings: *mappings,
+		SizeMB:   *sizeMB,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -32,6 +41,13 @@ func main() {
 	fmt.Printf("matching: %d correspondences, %d possible mappings, o-ratio %.2f\n\n",
 		len(scenario.Matching.Correspondences), len(scenario.Mappings()), urm.ORatio(scenario.Mappings()))
 
+	// One session serves every query below: it owns the prepared-query cache,
+	// and the instance's base-relation indexes are shared across evaluations.
+	sess, err := scenario.NewSession(urm.WithMethod(urm.OSharing))
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Q1 of the paper: purchase orders placed by Mary with a given phone
 	// number and priority.  Depending on the mapping, "telephone" may be the
 	// customer phone or the order contact phone, and "invoiceTo" may be the
@@ -41,34 +57,41 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("Q1:", q1)
-	res, err := scenario.Evaluator().Evaluate(q1, urm.Options{Method: urm.OSharing})
+	pq1, err := sess.PrepareQuery(q1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pq1.Execute(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	printAnswers(res, 10)
 
-	// An ad-hoc query written directly against the target schema.
-	adhoc, err := scenario.Query("high-priority",
+	// An ad-hoc query written directly against the target schema, via the
+	// one-shot session convenience.
+	res, err = sess.Execute(ctx,
 		"SELECT orderNum FROM PO WHERE priority = 2 AND deliverToStreet = '1 Central Road'")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nad-hoc:", adhoc)
-	res, err = scenario.Evaluator().Evaluate(adhoc, urm.Options{Method: urm.OSharing})
-	if err != nil {
-		log.Fatal(err)
-	}
+	fmt.Println("\nad-hoc: SELECT orderNum FROM PO WHERE priority = 2 AND deliverToStreet = '1 Central Road'")
 	printAnswers(res, 10)
 
 	// Compare the evaluation algorithms on Q2 (a Cartesian product query).
+	// The query is prepared once; each method re-executes the same compiled
+	// front half.
 	q2, err := scenario.WorkloadQuery(2)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nmethod comparison on Q2:", q2)
+	pq2, err := sess.PrepareQuery(q2)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("  %-10s %10s %10s %12s %10s\n", "method", "answers", "rewrites", "operators", "time")
 	for _, method := range []urm.Method{urm.Basic, urm.EBasic, urm.EMQO, urm.QSharing, urm.OSharing} {
-		r, err := scenario.Evaluator().Evaluate(q2, urm.Options{Method: method})
+		r, err := pq2.Execute(ctx, urm.WithMethod(method))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -55,19 +56,25 @@ func main() {
 	customers.MustAppend(urm.Tuple{urm.Int(3), urm.String("Cindy"), urm.String("456"), urm.String("789"), urm.String("557"), urm.String("aaa"), urm.String("aaa")})
 	db.AddRelation(customers)
 
-	// Step 3: ask a probabilistic query on the *target* schema.  Which address
-	// belongs to the person with phone number 123?  The answer depends on
-	// which mapping is correct, so every answer carries a probability.
-	q, err := urm.ParseQuery("q0", target, "SELECT addr FROM Person WHERE phone = '123'")
+	// Step 3: open a session — the long-lived face of the library — and ask a
+	// probabilistic query on the *target* schema.  Which address belongs to
+	// the person with phone number 123?  The answer depends on which mapping
+	// is correct, so every answer carries a probability.
+	ctx := context.Background()
+	sess, err := urm.NewSession(target, db, matching.Mappings)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := urm.Evaluate(q, matching.Mappings, db, urm.Options{Method: urm.OSharing})
+	pq, err := sess.Prepare("SELECT addr FROM Person WHERE phone = '123'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pq.Execute(ctx, urm.WithMethod(urm.OSharing))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("\n%s\n", q)
+	fmt.Printf("\n%s\n", pq.Query())
 	for _, a := range res.Answers {
 		fmt.Printf("  %-10s probability %.3f\n", a.Tuple, a.Prob)
 	}
@@ -75,16 +82,33 @@ func main() {
 		fmt.Printf("  (no answer with probability %.3f)\n", res.EmptyProb)
 	}
 
-	// Step 4: the same query under every evaluation method returns the same
-	// probabilistic answers; the methods differ only in how much work they
-	// share across mappings.
+	// Step 4: the same prepared query under every evaluation method returns
+	// the same probabilistic answers; the methods differ only in how much
+	// work they share across mappings.  The query was prepared once — each
+	// Execute pays only execution and aggregation.
 	fmt.Println("\nmethod comparison (same answers, different effort):")
 	for _, method := range []urm.Method{urm.Basic, urm.EBasic, urm.QSharing, urm.OSharing} {
-		r, err := urm.Evaluate(q, matching.Mappings, db, urm.Options{Method: method})
+		r, err := pq.Execute(ctx, urm.WithMethod(method))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %-10s answers=%d  executed-operators=%d  time=%s\n",
 			r.Method, len(r.Answers), r.Stats.TotalOperators(), r.TotalTime)
+	}
+
+	// Step 5: stream instead of materializing — the Rows cursor yields
+	// answers in canonical order without building the answer slice.
+	rows, err := pq.Stream(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	fmt.Println("\nstreamed answers:")
+	for rows.Next() {
+		a := rows.Answer()
+		fmt.Printf("  %-10s probability %.3f\n", a.Tuple, a.Prob)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
 	}
 }

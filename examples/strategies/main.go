@@ -7,9 +7,12 @@
 // Run with:
 //
 //	go run ./examples/strategies
+//	go run ./examples/strategies -size 2 -mappings 10   # quick run (CI)
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -17,10 +20,15 @@ import (
 )
 
 func main() {
+	mappings := flag.Int("mappings", 100, "number of possible mappings h")
+	sizeMB := flag.Float64("size", 30, "source instance scale in MB")
+	flag.Parse()
+
+	ctx := context.Background()
 	scenario, err := urm.NewScenario(urm.ScenarioOptions{
 		Target:   "Excel",
-		Mappings: 100,
-		SizeMB:   30,
+		Mappings: *mappings,
+		SizeMB:   *sizeMB,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -32,16 +40,22 @@ func main() {
 	fmt.Println("query:", q)
 	fmt.Printf("mappings: %d (o-ratio %.2f)\n\n", len(scenario.Mappings()), urm.ORatio(scenario.Mappings()))
 
+	sess, err := scenario.NewSession(urm.WithMethod(urm.OSharing))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pq, err := sess.PrepareQuery(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	operatorCount := func(r *urm.Result) int {
 		return r.Stats.TotalOperators() - r.Stats.Operators()["scan"]
 	}
 
 	fmt.Printf("%-10s %12s %20s %10s\n", "strategy", "answers", "source operators", "time")
 	for _, strat := range []urm.Strategy{urm.Random, urm.SNF, urm.SEF} {
-		res, err := urm.Evaluate(q, scenario.Mappings(), scenario.DB, urm.Options{
-			Method:   urm.OSharing,
-			Strategy: strat,
-		})
+		res, err := pq.Execute(ctx, urm.WithStrategy(strat))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -51,7 +65,7 @@ func main() {
 	// e-MQO executes the minimal number of source operators (its global plan
 	// shares every common subexpression) but pays a heavy planning cost; the
 	// paper uses it as the operator-count yardstick in Table IV.
-	emqo, err := urm.Evaluate(q, scenario.Mappings(), scenario.DB, urm.Options{Method: urm.EMQO})
+	emqo, err := pq.Execute(ctx, urm.WithMethod(urm.EMQO))
 	if err != nil {
 		log.Fatal(err)
 	}

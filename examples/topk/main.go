@@ -6,9 +6,12 @@
 // Run with:
 //
 //	go run ./examples/topk
+//	go run ./examples/topk -size 2 -mappings 10   # quick run (CI)
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
@@ -16,11 +19,20 @@ import (
 )
 
 func main() {
+	mappings := flag.Int("mappings", 100, "number of possible mappings h")
+	sizeMB := flag.Float64("size", 40, "source instance scale in MB")
+	flag.Parse()
+
+	ctx := context.Background()
 	scenario, err := urm.NewScenario(urm.ScenarioOptions{
 		Target:   "Paragon",
-		Mappings: 100,
-		SizeMB:   40,
+		Mappings: *mappings,
+		SizeMB:   *sizeMB,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := scenario.NewSession()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,8 +46,15 @@ func main() {
 	}
 	fmt.Println("query:", q)
 
+	// The query is prepared once; the full evaluation and every top-k run
+	// below reuse the compiled front half.
+	pq, err := sess.PrepareQuery(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Full o-sharing evaluation: exact probabilities for every answer.
-	full, err := scenario.Evaluator().Evaluate(q, urm.Options{Method: urm.OSharing})
+	full, err := pq.Execute(ctx, urm.WithMethod(urm.OSharing))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +72,7 @@ func main() {
 	// sufficient to identify the top answers.
 	fmt.Println("\ntop-k evaluation:")
 	for _, k := range []int{1, 2, 5, 10} {
-		res, err := urm.EvaluateTopK(q, scenario.Mappings(), scenario.DB, k, urm.Options{})
+		res, err := pq.Execute(ctx, urm.WithTopK(k))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -22,11 +22,24 @@ func ReadSnapshot(path string) (*EngineSnapshot, error) {
 	return &snap, nil
 }
 
+// preparedSpeedupFloor and preparedSpeedupMinMethods gate the session API's
+// amortization: re-executing a prepared query must be at least
+// preparedSpeedupFloor× faster than a cold Evaluate for at least
+// preparedSpeedupMinMethods of the five methods.  Not all five, because for
+// execution-dominated methods (o-sharing's u-trace) the front half is
+// legitimately a small share of the request.
+const (
+	preparedSpeedupFloor      = 1.3
+	preparedSpeedupMinMethods = 3
+)
+
 // CheckRegression validates an engine snapshot against the perf floor every
 // change must preserve: each operator pair's live implementation must be at
-// least as fast as its reference (speedup >= 1.0).  It returns an error
-// naming every operator below the floor, so the CI bench-regression gate can
-// fail with the full picture in one run.
+// least as fast as its reference (speedup >= 1.0), and — when the snapshot
+// carries prepared-pair measurements — prepared re-execution must beat cold
+// evaluation by the prepared floor on enough methods.  It returns an error
+// naming every measurement below its floor, so the CI bench-regression gate
+// can fail with the full picture in one run.
 func CheckRegression(snap *EngineSnapshot) error {
 	if len(snap.Operators) == 0 {
 		return fmt.Errorf("snapshot contains no operator measurements")
@@ -44,6 +57,38 @@ func CheckRegression(snap *EngineSnapshot) error {
 	}
 	if len(bad) > 0 {
 		return fmt.Errorf("operator speedup below 1.0: %s", strings.Join(bad, ", "))
+	}
+	return checkPreparedSpeedups(snap)
+}
+
+// checkPreparedSpeedups applies the prepared-re-execution floor.  Snapshots
+// without prepared measurements (none of the methods carries a pair) pass, so
+// older snapshots and serve-only merges stay valid.
+func checkPreparedSpeedups(snap *EngineSnapshot) error {
+	measured, fast := 0, 0
+	var speeds []string
+	names := make([]string, 0, len(snap.Methods))
+	for name := range snap.Methods {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mb := snap.Methods[name]
+		if mb.PreparedSpeedup == 0 {
+			continue
+		}
+		measured++
+		if mb.PreparedSpeedup >= preparedSpeedupFloor {
+			fast++
+		}
+		speeds = append(speeds, fmt.Sprintf("%s %.2fx", name, mb.PreparedSpeedup))
+	}
+	if measured == 0 {
+		return nil
+	}
+	if fast < preparedSpeedupMinMethods {
+		return fmt.Errorf("prepared re-execution >= %.1fx on %d/%d methods, need %d: %s",
+			preparedSpeedupFloor, fast, measured, preparedSpeedupMinMethods, strings.Join(speeds, ", "))
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"github.com/probdb/urm/internal/core"
+	"github.com/probdb/urm/internal/datagen"
 	"github.com/probdb/urm/internal/engine"
 )
 
@@ -25,12 +26,22 @@ type OperatorBench struct {
 // IndexBuilds/IndexLookups surface the shared base-relation index subsystem's
 // work for the run: how many per-column indexes were constructed versus how
 // many operators were served from one.
+//
+// ColdMs/PreparedMs compare one-shot evaluation (parse-validated query,
+// reformulation through every mapping, plan compilation, execution) against
+// re-executing a prepared query (execution and aggregation only), both
+// measured under the Go benchmark harness.  PreparedSpeedup = ColdMs /
+// PreparedMs is what the session API's amortization buys per request.
 type MethodBench struct {
 	TotalMs      float64 `json:"total_ms"`
 	Operators    int     `json:"operators"`
 	Answers      int     `json:"answers"`
 	IndexBuilds  int     `json:"index_builds"`
 	IndexLookups int     `json:"index_lookups"`
+
+	ColdMs          float64 `json:"cold_ms,omitempty"`
+	PreparedMs      float64 `json:"prepared_ms,omitempty"`
+	PreparedSpeedup float64 `json:"prepared_speedup,omitempty"`
 }
 
 // EngineSnapshot is the machine-readable perf snapshot urm-bench -json emits
@@ -244,8 +255,13 @@ func Snapshot() (*EngineSnapshot, error) {
 		snap.Operators[c.name] = ob
 	}
 
-	// End-to-end per-method timings on the default benchmark query.
-	r := NewRunner(Config{Mappings: 24, SizeMB: 8, Seed: 42})
+	// End-to-end per-method timings on the default benchmark query, plus the
+	// cold-versus-prepared pair: how much of each method's per-request cost
+	// the session API's prepare-once amortizes away.
+	// Mappings is the *maximum* h any measurement below asks for: the
+	// per-method timings use a renormalised 24-mapping prefix, the prepared
+	// pair the full paper-scale 100.
+	r := NewRunner(Config{Mappings: preparedBenchMappings, SizeMB: 8, Seed: 42})
 	for _, m := range []core.Method{
 		core.MethodBasic, core.MethodEBasic, core.MethodEMQO,
 		core.MethodQSharing, core.MethodOSharing,
@@ -254,15 +270,90 @@ func Snapshot() (*EngineSnapshot, error) {
 		if err != nil {
 			return nil, fmt.Errorf("snapshot %s: %w", m, err)
 		}
-		snap.Methods[m.String()] = MethodBench{
+		mb := MethodBench{
 			TotalMs:      float64(res.TotalTime.Microseconds()) / 1000,
 			Operators:    res.Stats.TotalOperators(),
 			Answers:      len(res.Answers),
 			IndexBuilds:  res.Stats.IndexBuilds(),
 			IndexLookups: res.Stats.IndexLookups(),
 		}
+		cold, prepared, err := r.preparedPair(preparedBenchQuery, m, preparedBenchMappings, preparedBenchSizeMB)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot %s prepared pair: %w", m, err)
+		}
+		mb.ColdMs = float64(cold) / 1e6
+		mb.PreparedMs = float64(prepared) / 1e6
+		if prepared > 0 {
+			mb.PreparedSpeedup = float64(cold) / float64(prepared)
+		}
+		snap.Methods[m.String()] = mb
 	}
 	return snap, nil
+}
+
+// The prepared-versus-cold pair runs the paper's Q1 — a selection chain the
+// shared indexes answer with point probes — at the paper's mapping scale on a
+// small instance: with h=100 and microsecond executions the front half
+// (reformulate through every mapping, optimize, compile — and for e-MQO the
+// Θ(Q³) global-plan search) is a large share of each request, which is
+// exactly the serving regime the session API targets (many mappings, indexed
+// point queries behind the answer cache).
+const (
+	preparedBenchQuery    = 1
+	preparedBenchMappings = 100
+	preparedBenchSizeMB   = 4
+)
+
+// preparedPair measures one workload query under the method twice: cold
+// (a fresh one-shot Evaluate per iteration) and prepared (re-executing one
+// prepared query), returning ns/op for each.
+func (r *Runner) preparedPair(queryID int, m core.Method, h int, sizeMB float64) (coldNs, preparedNs int64, err error) {
+	target, err := datagen.QueryTarget(queryID)
+	if err != nil {
+		return 0, 0, err
+	}
+	ds, maps, err := r.dataset(target, sizeMB, h)
+	if err != nil {
+		return 0, 0, err
+	}
+	q, err := datagen.WorkloadQuery(queryID)
+	if err != nil {
+		return 0, 0, err
+	}
+	opts := core.Options{Method: m, Parallelism: 1}
+	ev := core.NewEvaluator(ds.DB, maps)
+
+	prep, err := ev.Prepare(q)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Warm the front half (and the shared base-relation indexes) so both
+	// sides measure steady state: cold still pays reformulation and plan
+	// compilation every iteration, prepared only execution.
+	if _, err := prep.Execute(opts); err != nil {
+		return 0, 0, err
+	}
+
+	var firstErr error
+	run := func(fn func() error) int64 {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := fn(); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					b.Fatal(err)
+				}
+			}
+		})
+		return res.NsPerOp()
+	}
+	coldNs = run(func() error { _, err := ev.Evaluate(q, opts); return err })
+	preparedNs = run(func() error { _, err := prep.Execute(opts); return err })
+	if firstErr != nil {
+		return 0, 0, firstErr
+	}
+	return coldNs, preparedNs, nil
 }
 
 // JSON renders the snapshot with stable indentation.

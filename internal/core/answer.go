@@ -182,36 +182,48 @@ func (g *aggregator) finalize(res *Result) {
 	res.AggregateTime += time.Since(start)
 }
 
-// answers returns the aggregated answers sorted by descending probability.
-// The canonical-key tie-break keeps the order deterministic; keys are
-// computed once per answer here rather than inside the comparator.
-func (g *aggregator) answers() []Answer {
-	out := make([]Answer, len(g.order))
+// sortedEntries returns the aggregated entries in canonical answer order:
+// descending probability, ties broken by canonical tuple key.  Keys are
+// computed once per entry here rather than inside the comparator.  Both the
+// materialized path (answers) and the streaming Cursor consume this order, so
+// streamed and materialized results are identical answer for answer.
+func (g *aggregator) sortedEntries() []*aggEntry {
+	out := make([]*aggEntry, len(g.order))
 	keys := make([]string, len(g.order))
 	for i, e := range g.order {
-		out[i] = Answer{Tuple: e.tuple, Prob: e.prob}
+		out[i] = e
 		keys[i] = e.tuple.Key()
 	}
-	sort.Sort(&answersByProb{answers: out, keys: keys})
+	sort.Sort(&entriesByProb{entries: out, keys: keys})
 	return out
 }
 
-// answersByProb sorts answers by descending probability, ties broken by the
+// answers returns the aggregated answers sorted by descending probability.
+func (g *aggregator) answers() []Answer {
+	entries := g.sortedEntries()
+	out := make([]Answer, len(entries))
+	for i, e := range entries {
+		out[i] = Answer{Tuple: e.tuple, Prob: e.prob}
+	}
+	return out
+}
+
+// entriesByProb sorts entries by descending probability, ties broken by the
 // cached canonical tuple key.
-type answersByProb struct {
-	answers []Answer
+type entriesByProb struct {
+	entries []*aggEntry
 	keys    []string
 }
 
-func (s *answersByProb) Len() int { return len(s.answers) }
-func (s *answersByProb) Less(i, j int) bool {
-	if s.answers[i].Prob != s.answers[j].Prob {
-		return s.answers[i].Prob > s.answers[j].Prob
+func (s *entriesByProb) Len() int { return len(s.entries) }
+func (s *entriesByProb) Less(i, j int) bool {
+	if s.entries[i].prob != s.entries[j].prob {
+		return s.entries[i].prob > s.entries[j].prob
 	}
 	return s.keys[i] < s.keys[j]
 }
-func (s *answersByProb) Swap(i, j int) {
-	s.answers[i], s.answers[j] = s.answers[j], s.answers[i]
+func (s *entriesByProb) Swap(i, j int) {
+	s.entries[i], s.entries[j] = s.entries[j], s.entries[i]
 	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 

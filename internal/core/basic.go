@@ -148,17 +148,19 @@ type planCluster struct {
 }
 
 // clusterPlans buckets per-mapping plans by signature, summing the mapping
-// probabilities, and feeds the probability mass of non-covering mappings (nil
-// plans) to the aggregator.  Cluster order is the first-seen mapping order.
-func clusterPlans(plans []engine.Plan, maps schema.MappingSet, agg *aggregator, res *Result) (map[string]*planCluster, []string) {
-	clusters := make(map[string]*planCluster)
-	var order []string
+// probabilities.  Cluster order is the first-seen mapping order.  It also
+// returns the total probability mass of non-covering mappings (nil plans) —
+// destined for the empty answer — and the number of covering mappings (the
+// RewrittenQueries count).  Pure bookkeeping with no side effects, so the
+// prepared-query path can run it once and replay the outputs per execution.
+func clusterPlans(plans []engine.Plan, maps schema.MappingSet) (clusters map[string]*planCluster, order []string, emptyProb float64, rewritten int) {
+	clusters = make(map[string]*planCluster)
 	for i, plan := range plans {
 		if plan == nil {
-			agg.addEmpty(maps[i].Prob)
+			emptyProb += maps[i].Prob
 			continue
 		}
-		res.RewrittenQueries++
+		rewritten++
 		sig := plan.Signature()
 		c, ok := clusters[sig]
 		if !ok {
@@ -168,7 +170,35 @@ func clusterPlans(plans []engine.Plan, maps schema.MappingSet, agg *aggregator, 
 		}
 		c.prob += maps[i].Prob
 	}
-	return clusters, order
+	return clusters, order, emptyProb, rewritten
+}
+
+// executeClusters executes each distinct source plan once on the worker pool
+// and aggregates its answers under the cluster's total probability, in cluster
+// order (e-basic's phase 2, shared by the prepared re-execution path).
+func executeClusters(ec *exec.Context, db *engine.Instance, clusters map[string]*planCluster, order []string, label string, res *Result, agg *aggregator) error {
+	return exec.Map(ec, len(order),
+		func(ctx context.Context, i int) (*mappingRun, error) {
+			run := &mappingRun{stats: engine.NewStats()}
+			execStart := time.Now()
+			ex := &engine.Executor{DB: db, Stats: run.stats, Indexes: db.Indexes()}
+			rel, err := ex.ExecuteContext(ctx, clusters[order[i]].plan)
+			run.exec = time.Since(execStart)
+			if err != nil {
+				return nil, fmt.Errorf("%s: executing source query: %w", label, err)
+			}
+			run.rel = rel
+			return run, nil
+		},
+		func(i int, run *mappingRun) error {
+			res.ExecTime += run.exec
+			res.Stats.Add(run.stats)
+			res.ExecutedQueries++
+			aggStart := time.Now()
+			agg.addRelation(run.rel, clusters[order[i]].prob)
+			res.AggregateTime += time.Since(aggStart)
+			return nil
+		})
 }
 
 // EBasic clusters the mappings' source queries by signature so that each
@@ -194,34 +224,14 @@ func EBasic(ec *exec.Context, q *query.Query, maps schema.MappingSet, db *engine
 	if err != nil {
 		return nil, err
 	}
-	clusters, order := clusterPlans(plans, maps, agg, res)
+	clusters, order, emptyProb, rewritten := clusterPlans(plans, maps)
+	agg.addEmpty(emptyProb)
+	res.RewrittenQueries = rewritten
 	res.RewriteTime = time.Since(rewriteStart)
 	res.Partitions = len(order)
 
 	// Phase 2: execute each distinct source query once.
-	err = exec.Map(ec, len(order),
-		func(ctx context.Context, i int) (*mappingRun, error) {
-			run := &mappingRun{stats: engine.NewStats()}
-			execStart := time.Now()
-			ex := &engine.Executor{DB: db, Stats: run.stats, Indexes: db.Indexes()}
-			rel, err := ex.ExecuteContext(ctx, clusters[order[i]].plan)
-			run.exec = time.Since(execStart)
-			if err != nil {
-				return nil, fmt.Errorf("e-basic: executing source query: %w", err)
-			}
-			run.rel = rel
-			return run, nil
-		},
-		func(i int, run *mappingRun) error {
-			res.ExecTime += run.exec
-			res.Stats.Add(run.stats)
-			res.ExecutedQueries++
-			aggStart := time.Now()
-			agg.addRelation(run.rel, clusters[order[i]].prob)
-			res.AggregateTime += time.Since(aggStart)
-			return nil
-		})
-	if err != nil {
+	if err := executeClusters(ec, db, clusters, order, "e-basic", res, agg); err != nil {
 		return nil, err
 	}
 

@@ -41,7 +41,9 @@ func EMQO(ec *exec.Context, q *query.Query, maps schema.MappingSet, db *engine.I
 	if err != nil {
 		return nil, err
 	}
-	clusters, order := clusterPlans(rawPlans, maps, agg, res)
+	clusters, order, emptyProb, rewritten := clusterPlans(rawPlans, maps)
+	agg.addEmpty(emptyProb)
+	res.RewrittenQueries = rewritten
 	res.Partitions = len(order)
 
 	// Phase 2: multiple-query optimisation over the distinct plans.  The
@@ -64,12 +66,25 @@ func EMQO(ec *exec.Context, q *query.Query, maps schema.MappingSet, db *engine.I
 	}
 	res.RewriteTime = time.Since(rewriteStart)
 
-	// Phase 3: execute the global plan on the worker pool with the shared
-	// subexpression cache.
+	// Phase 3: execute the global plan.
+	if err := executeGlobal(ec, db, global, probs, res, agg); err != nil {
+		return nil, err
+	}
+	agg.finalize(res)
+	res.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// executeGlobal executes the MQO global plan on the worker pool with a fresh
+// shared-subexpression cache and aggregates each query's answers under its
+// cluster probability (e-MQO's phase 3, shared by the prepared re-execution
+// path — ExecuteParallel builds a new cache per call, so re-executions repeat
+// the exact same operator work).
+func executeGlobal(ec *exec.Context, db *engine.Instance, global *mqo.Plan, probs map[string]float64, res *Result, agg *aggregator) error {
 	execStart := time.Now()
 	rels, err := global.ExecuteParallel(ec, db, res.Stats)
 	if err != nil {
-		return nil, fmt.Errorf("e-MQO: %w", err)
+		return fmt.Errorf("e-MQO: %w", err)
 	}
 	res.ExecTime = time.Since(execStart)
 	res.ExecutedQueries = len(rels)
@@ -79,7 +94,5 @@ func EMQO(ec *exec.Context, q *query.Query, maps schema.MappingSet, db *engine.I
 		agg.addRelation(rel, probs[global.Queries[i].Signature()])
 	}
 	res.AggregateTime = time.Since(aggStart)
-	agg.finalize(res)
-	res.TotalTime = time.Since(start)
-	return res, nil
+	return nil
 }

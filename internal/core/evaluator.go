@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"github.com/probdb/urm/internal/engine"
@@ -9,6 +10,12 @@ import (
 	"github.com/probdb/urm/internal/query"
 	"github.com/probdb/urm/internal/schema"
 )
+
+// ErrBadOptions marks an Options value that fails validation (negative
+// parallelism, unknown method or strategy, non-positive top-k).  Errors
+// returned by Options.Validate and the evaluation entry points wrap it, so
+// callers can test with errors.Is.
+var ErrBadOptions = errors.New("invalid evaluation options")
 
 // Method enumerates the evaluation algorithms described in the paper.
 type Method int
@@ -133,6 +140,27 @@ type Options struct {
 	Parallelism int
 }
 
+// Validate checks the options for values no evaluation can honour: a negative
+// parallelism (0 means GOMAXPROCS, 1 sequential; below that is a caller bug,
+// not a request for "less than sequential"), an unknown method or an unknown
+// strategy.  Returned errors wrap ErrBadOptions.
+func (o Options) Validate() error {
+	if o.Parallelism < 0 {
+		return fmt.Errorf("%w: negative parallelism %d", ErrBadOptions, o.Parallelism)
+	}
+	switch o.Method {
+	case MethodBasic, MethodEBasic, MethodEMQO, MethodQSharing, MethodOSharing:
+	default:
+		return fmt.Errorf("%w: unknown method %v", ErrBadOptions, o.Method)
+	}
+	switch o.Strategy {
+	case StrategySEF, StrategySNF, StrategyRandom:
+	default:
+		return fmt.Errorf("%w: unknown strategy %v", ErrBadOptions, o.Strategy)
+	}
+	return nil
+}
+
 // Evaluator evaluates probabilistic target queries over a set of possible
 // mappings and a source instance.
 //
@@ -165,6 +193,9 @@ func (e *Evaluator) Evaluate(q *query.Query, opts Options) (*Result, error) {
 // opts.Parallelism worker goroutines; answers do not depend on the setting.
 func (e *Evaluator) EvaluateContext(ctx context.Context, q *query.Query, opts Options) (*Result, error) {
 	if err := validateInputs(q, e.Maps, e.DB); err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	ec := exec.NewContext(ctx, opts.Parallelism)
@@ -200,6 +231,12 @@ func (e *Evaluator) EvaluateTopK(q *query.Query, k int, opts Options) (*Result, 
 func (e *Evaluator) EvaluateTopKContext(ctx context.Context, q *query.Query, k int, opts Options) (*Result, error) {
 	if err := validateInputs(q, e.Maps, e.DB); err != nil {
 		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: top-k requires k >= 1, got %d", ErrBadOptions, k)
 	}
 	ec := exec.NewContext(ctx, 1)
 	if err := ec.Err(); err != nil {

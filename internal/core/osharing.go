@@ -84,21 +84,28 @@ func (s *collectSink) onEmpty(prob float64) bool {
 	return false
 }
 
-// runOSharing drives Algorithm 2 for either o-sharing or top-k (which differ
-// only in the sink).  It fills the rewrite/exec timing and partition fields of
-// res.  Top-k callers pass a sequential context: early termination depends on
-// the visit order, so only the plain collecting sink may run parallel.
-func runOSharing(ec *exec.Context, q *query.Query, maps schema.MappingSet, db *engine.Instance, opts OSharingOptions, res *Result, sink resultSink) error {
+// osharingPrep is the precomputed front half of an o-sharing (or top-k)
+// evaluation: the normalized target query and the representative mappings of
+// the top-level partition tree (Steps 1–2 of Algorithm 2).  Everything in it
+// is read-only during the u-trace traversal, so one prep may back any number
+// of concurrent executions.
+type osharingPrep struct {
+	nq   *normalizedQuery
+	reps schema.MappingSet
+}
+
+// prepareOSharing computes the o-sharing front half: it normalizes the query
+// into the operator/fragment form e-units manipulate and partitions the
+// mapping set, cloning one representative per partition with the partition's
+// total probability.
+func prepareOSharing(q *query.Query, maps schema.MappingSet) (*osharingPrep, error) {
 	nq, err := normalizeQuery(q)
 	if err != nil {
-		return fmt.Errorf("o-sharing: %w", err)
+		return nil, err
 	}
-
-	// Steps 1–2: representative mappings M' via the partition tree.
-	rewriteStart := time.Now()
 	parts, err := PartitionMappings(q, maps)
 	if err != nil {
-		return fmt.Errorf("o-sharing: %w", err)
+		return nil, err
 	}
 	reps := make(schema.MappingSet, 0, len(parts))
 	for _, p := range parts {
@@ -109,15 +116,36 @@ func runOSharing(ec *exec.Context, q *query.Query, maps schema.MappingSet, db *e
 		rep.Prob = p.Prob
 		reps = append(reps, rep)
 	}
-	res.Partitions = len(reps)
+	return &osharingPrep{nq: nq, reps: reps}, nil
+}
+
+// runOSharing drives Algorithm 2 for either o-sharing or top-k (which differ
+// only in the sink).  It fills the rewrite/exec timing and partition fields of
+// res.  Top-k callers pass a sequential context: early termination depends on
+// the visit order, so only the plain collecting sink may run parallel.
+func runOSharing(ec *exec.Context, q *query.Query, maps schema.MappingSet, db *engine.Instance, opts OSharingOptions, res *Result, sink resultSink) error {
+	// Steps 1–2: normalization and representative mappings M'.
+	rewriteStart := time.Now()
+	prep, err := prepareOSharing(q, maps)
+	if err != nil {
+		return fmt.Errorf("o-sharing: %w", err)
+	}
 	res.RewriteTime = time.Since(rewriteStart)
+	return runOSharingPrepared(ec, prep, db, opts, res, sink)
+}
+
+// runOSharingPrepared is runOSharing with the front half already computed: it
+// only explores the u-trace (Steps 3–4).  Prepared re-executions enter here,
+// paying no normalization or partitioning cost.
+func runOSharingPrepared(ec *exec.Context, prep *osharingPrep, db *engine.Instance, opts OSharingOptions, res *Result, sink resultSink) error {
+	res.Partitions = len(prep.reps)
 
 	seed := opts.RandomSeed
 	if seed == 0 {
 		seed = 1
 	}
 	osh := &osharer{
-		nq:       nq,
+		nq:       prep.nq,
 		db:       db,
 		ec:       ec,
 		stats:    res.Stats,
@@ -128,9 +156,9 @@ func runOSharing(ec *exec.Context, q *query.Query, maps schema.MappingSet, db *e
 
 	// Step 3: initial e-unit covering the whole query and all representatives.
 	execStart := time.Now()
-	u1 := newEUnit(nq, reps)
+	u1 := newEUnit(prep.nq, prep.reps)
 	// Step 4: recursively expand the u-trace.
-	_, err = osh.runQT(u1, seed)
+	_, err := osh.runQT(u1, seed)
 	res.ExecTime = time.Since(execStart)
 	if err != nil {
 		return fmt.Errorf("o-sharing: %w", err)

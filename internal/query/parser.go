@@ -1,6 +1,7 @@
 package query
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -9,6 +10,12 @@ import (
 	"github.com/probdb/urm/internal/engine"
 	"github.com/probdb/urm/internal/schema"
 )
+
+// ErrBadQuery marks a query text that does not parse or validate against the
+// target schema.  Every error Parse returns wraps it, so callers (the facade,
+// the query service) can classify failures with errors.Is instead of matching
+// message strings.
+var ErrBadQuery = errors.New("bad query")
 
 // Parse parses a small SQL subset into a target Query.  The supported grammar
 // covers the paper's workload (Table III):
@@ -26,10 +33,10 @@ func Parse(name string, target *schema.Schema, text string) (*Query, error) {
 	p := &parser{lexer: newLexer(text)}
 	q, err := p.parseQuery(name, target)
 	if err != nil {
-		return nil, fmt.Errorf("parse %q: %w", text, err)
+		return nil, fmt.Errorf("%w: parse %q: %v", ErrBadQuery, text, err)
 	}
 	if err := q.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
 	}
 	return q, nil
 }

@@ -5,17 +5,19 @@ import "sync/atomic"
 // serverMetrics are the server-level counters exposed by /metrics.  All
 // fields are atomics: the request path updates them without locking.
 type serverMetrics struct {
-	requests     atomic.Int64
-	rejected     atomic.Int64 // 429: no evaluation slot
-	unavailable  atomic.Int64 // 503: draining
-	timeouts     atomic.Int64 // 504: request deadline exceeded
-	badRequests  atomic.Int64 // 4xx other than overload
-	evaluations  atomic.Int64 // evaluations actually run (cache misses)
-	evalErrors   atomic.Int64
-	indexBuilds  atomic.Int64 // summed from per-evaluation engine stats
-	indexLookups atomic.Int64
-	operators    atomic.Int64
-	inflight     atomic.Int64 // requests currently being served
+	requests       atomic.Int64
+	rejected       atomic.Int64 // 429: no evaluation slot
+	unavailable    atomic.Int64 // 503: draining
+	timeouts       atomic.Int64 // 504: request deadline exceeded
+	badRequests    atomic.Int64 // 4xx other than overload
+	evaluations    atomic.Int64 // evaluations actually run (cache misses)
+	evalErrors     atomic.Int64
+	preparedBuilds atomic.Int64 // prepared-query cache misses: parse+reformulate+compile paid
+	preparedReuses atomic.Int64 // prepared-query cache hits: straight to execution
+	indexBuilds    atomic.Int64 // summed from per-evaluation engine stats
+	indexLookups   atomic.Int64
+	operators      atomic.Int64
+	inflight       atomic.Int64 // requests currently being served
 }
 
 // Metrics is the JSON snapshot served by GET /metrics and embedded in the
@@ -30,6 +32,12 @@ type Metrics struct {
 
 	Evaluations int64 `json:"evaluations"`
 	EvalErrors  int64 `json:"eval_errors"`
+
+	// PreparedBuilds/PreparedReuses count prepared-query cache misses versus
+	// hits: a reuse skips parse, reformulation and plan compilation even when
+	// the answer cache misses.
+	PreparedBuilds int64 `json:"prepared_builds"`
+	PreparedReuses int64 `json:"prepared_reuses"`
 
 	// IndexBuilds/IndexLookups aggregate engine.Stats.IndexBuilds/IndexLookups
 	// over every evaluation the server ran: how often the shared base-relation
@@ -57,19 +65,21 @@ type ScenarioInfo struct {
 
 func (s *Server) snapshotMetrics() Metrics {
 	return Metrics{
-		Requests:     s.metrics.requests.Load(),
-		Rejected:     s.metrics.rejected.Load(),
-		Unavailable:  s.metrics.unavailable.Load(),
-		Timeouts:     s.metrics.timeouts.Load(),
-		BadRequests:  s.metrics.badRequests.Load(),
-		Inflight:     s.metrics.inflight.Load(),
-		Evaluations:  s.metrics.evaluations.Load(),
-		EvalErrors:   s.metrics.evalErrors.Load(),
-		IndexBuilds:  s.metrics.indexBuilds.Load(),
-		IndexLookups: s.metrics.indexLookups.Load(),
-		Operators:    s.metrics.operators.Load(),
-		Cache:        s.cache.Metrics(),
-		Draining:     s.draining(),
-		Scenarios:    s.scenarioInfos(),
+		Requests:       s.metrics.requests.Load(),
+		Rejected:       s.metrics.rejected.Load(),
+		Unavailable:    s.metrics.unavailable.Load(),
+		Timeouts:       s.metrics.timeouts.Load(),
+		BadRequests:    s.metrics.badRequests.Load(),
+		Inflight:       s.metrics.inflight.Load(),
+		Evaluations:    s.metrics.evaluations.Load(),
+		EvalErrors:     s.metrics.evalErrors.Load(),
+		PreparedBuilds: s.metrics.preparedBuilds.Load(),
+		PreparedReuses: s.metrics.preparedReuses.Load(),
+		IndexBuilds:    s.metrics.indexBuilds.Load(),
+		IndexLookups:   s.metrics.indexLookups.Load(),
+		Operators:      s.metrics.operators.Load(),
+		Cache:          s.cache.Metrics(),
+		Draining:       s.draining(),
+		Scenarios:      s.scenarioInfos(),
 	}
 }

@@ -54,8 +54,31 @@ type Scenario struct {
 	// in-flight evaluations ahead of it.
 	mu sync.RWMutex
 
+	// prepMu guards the prepared-query cache: compiled front halves keyed by
+	// raw request text and by canonical SQL, both scoped to the epoch they
+	// were built under.  A hit on the raw text skips even the parse; a hit on
+	// the canonical form (a differently spelled but equivalent text) skips
+	// reformulation and plan compilation.
+	prepMu  sync.Mutex
+	prepped map[string]*preparedEntry // raw query text -> entry
+	byCanon map[string]*preparedEntry // canonical SQL -> entry
+
 	warmBuilds int
 }
+
+// preparedEntry is one compiled query: the front half (reformulations, plans,
+// partitions) of every evaluation method, valid for one (scenario, epoch).
+type preparedEntry struct {
+	epoch     uint64
+	canonical string
+	prep      *core.Prepared
+}
+
+// preparedCacheCap bounds the prepared-query cache.  The cache is a
+// performance aid, not an accounting system: when an ad-hoc workload pushes
+// past the cap, both maps are flushed wholesale — re-preparing is milliseconds
+// — rather than maintaining LRU chains on the hot path.
+const preparedCacheCap = 1024
 
 // Name returns the registry key of the scenario.
 func (s *Scenario) Name() string { return s.name }
@@ -100,9 +123,8 @@ func (s *Scenario) AppendRow(relation string, t engine.Tuple) error {
 }
 
 // Evaluate runs one evaluation while holding the scenario's evaluation lock
-// as a reader, so AppendRow cannot mutate relation data mid-scan.  This is
-// the evaluation path the server uses; Evaluator() remains available for
-// callers that manage mutation exclusion themselves.
+// as a reader, so AppendRow cannot mutate relation data mid-scan.  Evaluator()
+// remains available for callers that manage mutation exclusion themselves.
 func (s *Scenario) Evaluate(ctx context.Context, q *query.Query, topK int, opts core.Options) (*core.Result, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -111,6 +133,68 @@ func (s *Scenario) Evaluate(ctx context.Context, q *query.Query, topK int, opts 
 		return ev.EvaluateTopKContext(ctx, q, topK, opts)
 	}
 	return ev.EvaluateContext(ctx, q, opts)
+}
+
+// Prepare returns the compiled form of the query text at the current epoch,
+// parsing, reformulating through every mapping and compiling plans only on
+// first sight of the text.  reused reports whether a cached entry was served
+// (by raw text, skipping even the parse, or by canonical SQL).  Entries from
+// older epochs are rebuilt, so a prepared execution never mixes plans with a
+// mapping set or schema the epoch bump left behind; a Prepare racing a bump
+// behaves like the answer cache — it keys under the epoch it read.
+func (s *Scenario) Prepare(text string) (prep *core.Prepared, canonical string, reused bool, err error) {
+	epoch := s.Epoch()
+	s.prepMu.Lock()
+	if e, ok := s.prepped[text]; ok && e.epoch == epoch {
+		s.prepMu.Unlock()
+		return e.prep, e.canonical, true, nil
+	}
+	s.prepMu.Unlock()
+
+	// Parse outside the lock; the per-method reformulation inside
+	// core.Prepared is lazy, so building the entry itself is cheap.
+	q, err := query.Parse("q", s.target, text)
+	if err != nil {
+		return nil, "", false, err
+	}
+	canonical = q.Fingerprint()
+
+	s.prepMu.Lock()
+	defer s.prepMu.Unlock()
+	if e, ok := s.byCanon[canonical]; ok && e.epoch == epoch {
+		s.rememberLocked(text, e)
+		return e.prep, e.canonical, true, nil
+	}
+	p, err := core.NewEvaluator(s.db, s.maps).Prepare(q)
+	if err != nil {
+		return nil, "", false, err
+	}
+	e := &preparedEntry{epoch: epoch, canonical: canonical, prep: p}
+	s.rememberLocked(text, e)
+	return e.prep, e.canonical, false, nil
+}
+
+// rememberLocked stores the entry under both keys, flushing the cache
+// wholesale at the cap.  Callers hold prepMu.
+func (s *Scenario) rememberLocked(text string, e *preparedEntry) {
+	if s.prepped == nil || len(s.prepped) >= preparedCacheCap {
+		s.prepped = make(map[string]*preparedEntry)
+		s.byCanon = make(map[string]*preparedEntry)
+	}
+	s.prepped[text] = e
+	s.byCanon[e.canonical] = e
+}
+
+// EvaluatePrepared runs a prepared query while holding the scenario's
+// evaluation lock as a reader, so AppendRow cannot mutate relation data
+// mid-scan.  This is the evaluation path the server uses.
+func (s *Scenario) EvaluatePrepared(ctx context.Context, prep *core.Prepared, topK int, opts core.Options) (*core.Result, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if topK > 0 {
+		return prep.ExecuteTopKContext(ctx, topK, opts)
+	}
+	return prep.ExecuteContext(ctx, opts)
 }
 
 // Parse parses an ad-hoc query against the scenario's target schema.

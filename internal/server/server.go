@@ -136,24 +136,36 @@ type Response struct {
 	Result *core.Result `json:"-"`
 }
 
-// apiError carries an HTTP status through the Do path.
+// Typed sentinel errors of the request path.  The facade re-exports them;
+// errors returned by Do wrap them, so callers classify failures with
+// errors.Is instead of matching message strings or HTTP statuses.
+var (
+	// ErrOverloaded is returned (and mapped to 429) when no evaluation slot
+	// frees up within Config.QueueWait.
+	ErrOverloaded = errors.New("server overloaded: no evaluation slot available")
+	// ErrUnknownScenario is returned (and mapped to 404) when the request
+	// names a scenario the registry does not hold.
+	ErrUnknownScenario = errors.New("unknown scenario")
+	// ErrDraining is returned (and mapped to 503) once Drain has begun.
+	ErrDraining = errors.New("server is draining")
+)
+
+// apiError carries an HTTP status through the Do path while keeping the
+// underlying error (and any sentinel it wraps) reachable through errors.Is.
 type apiError struct {
 	status int
-	msg    string
+	err    error
 }
 
-func (e *apiError) Error() string { return e.msg }
+func (e *apiError) Error() string { return e.err.Error() }
+func (e *apiError) Unwrap() error { return e.err }
+
+// apiErr tags an error with an HTTP status.
+func apiErr(status int, err error) error { return &apiError{status: status, err: err} }
 
 func errBadRequest(format string, args ...any) error {
-	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+	return &apiError{status: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
 }
-
-// ErrOverloaded is returned (and mapped to 429) when no evaluation slot frees
-// up within Config.QueueWait.
-var ErrOverloaded = &apiError{status: http.StatusTooManyRequests, msg: "server overloaded: no evaluation slot available"}
-
-// ErrDraining is returned (and mapped to 503) once Drain has begun.
-var ErrDraining = &apiError{status: http.StatusServiceUnavailable, msg: "server is draining"}
 
 // Do answers one request.  It is the transport-free request path: admission,
 // parsing, cache lookup with singleflight, evaluation under the request
@@ -162,7 +174,7 @@ func (s *Server) Do(ctx context.Context, req Request) (*Response, error) {
 	s.metrics.requests.Add(1)
 	if !s.enter() {
 		s.metrics.unavailable.Add(1)
-		return nil, ErrDraining
+		return nil, apiErr(http.StatusServiceUnavailable, ErrDraining)
 	}
 	defer s.leave()
 
@@ -188,33 +200,41 @@ func (s *Server) do(ctx context.Context, req Request) (*Response, error) {
 	}
 	sc, ok := s.registry.Get(req.Scenario)
 	if !ok {
-		return nil, &apiError{status: http.StatusNotFound, msg: fmt.Sprintf("unknown scenario %q", req.Scenario)}
+		return nil, apiErr(http.StatusNotFound, fmt.Errorf("%w: %q", ErrUnknownScenario, req.Scenario))
 	}
 	if strings.TrimSpace(req.Query) == "" {
-		return nil, errBadRequest("missing query")
+		return nil, apiErr(http.StatusBadRequest, fmt.Errorf("%w: missing query", query.ErrBadQuery))
 	}
 	method := core.MethodOSharing
 	if req.Method != "" {
 		var err error
 		if method, err = core.ParseMethod(req.Method); err != nil {
-			return nil, errBadRequest("%v", err)
+			return nil, errBadRequest("%w: %v", core.ErrBadOptions, err)
 		}
 	}
 	strategy := core.StrategySEF
 	if req.Strategy != "" {
 		var err error
 		if strategy, err = core.ParseStrategy(req.Strategy); err != nil {
-			return nil, errBadRequest("%v", err)
+			return nil, errBadRequest("%w: %v", core.ErrBadOptions, err)
 		}
 	}
 	if req.TopK < 0 {
-		return nil, errBadRequest("topk must be >= 0, got %d", req.TopK)
+		return nil, errBadRequest("%w: topk must be >= 0, got %d", core.ErrBadOptions, req.TopK)
 	}
-	q, err := sc.Parse("q", req.Query)
+	// The prepared-query cache makes answer-cache *misses* cheap too: the
+	// first sight of (epoch, query text) parses, reformulates through every
+	// mapping and compiles plans; every later request — even with a cold
+	// answer cache — skips straight to execution.
+	prep, canonical, reused, err := sc.Prepare(req.Query)
 	if err != nil {
-		return nil, errBadRequest("%v", err)
+		return nil, apiErr(http.StatusBadRequest, err)
 	}
-	canonical := q.Fingerprint()
+	if reused {
+		s.metrics.preparedReuses.Add(1)
+	} else {
+		s.metrics.preparedBuilds.Add(1)
+	}
 
 	timeout := s.cfg.RequestTimeout
 	if req.TimeoutMS > 0 {
@@ -239,7 +259,7 @@ func (s *Server) do(ctx context.Context, req Request) (*Response, error) {
 		TopK:     req.TopK,
 	}
 	res, outcome, err := s.cache.GetOrCompute(ctx, key, func() (*core.Result, error) {
-		return s.evaluate(ctx, sc, q, method, strategy, req.TopK)
+		return s.evaluate(ctx, sc, prep, method, strategy, req.TopK)
 	})
 	if err != nil {
 		return nil, err
@@ -264,19 +284,19 @@ func (s *Server) do(ctx context.Context, req Request) (*Response, error) {
 // evaluate runs one evaluation under admission control: it acquires a slot
 // (waiting at most QueueWait) and threads the request context into the
 // evaluation runtime, so a deadline aborts mid-operator.
-func (s *Server) evaluate(ctx context.Context, sc *Scenario, q *query.Query, method core.Method, strategy core.Strategy, topK int) (*core.Result, error) {
+func (s *Server) evaluate(ctx context.Context, sc *Scenario, prep *core.Prepared, method core.Method, strategy core.Strategy, topK int) (*core.Result, error) {
 	select {
 	case s.slots <- struct{}{}:
 	default:
 		if s.cfg.QueueWait <= 0 {
-			return nil, ErrOverloaded
+			return nil, apiErr(http.StatusTooManyRequests, ErrOverloaded)
 		}
 		timer := time.NewTimer(s.cfg.QueueWait)
 		defer timer.Stop()
 		select {
 		case s.slots <- struct{}{}:
 		case <-timer.C:
-			return nil, ErrOverloaded
+			return nil, apiErr(http.StatusTooManyRequests, ErrOverloaded)
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
@@ -285,7 +305,7 @@ func (s *Server) evaluate(ctx context.Context, sc *Scenario, q *query.Query, met
 
 	s.metrics.evaluations.Add(1)
 	opts := core.Options{Method: method, Strategy: strategy, Parallelism: s.cfg.Parallelism}
-	res, err := sc.Evaluate(ctx, q, topK, opts)
+	res, err := sc.EvaluatePrepared(ctx, prep, topK, opts)
 	if err != nil {
 		s.metrics.evalErrors.Add(1)
 		return nil, err

@@ -25,6 +25,11 @@
 //
 // # Quick start
 //
+// The session API is the front door: a Session binds a target schema, a
+// source instance and the possible mappings; Prepare compiles a query once
+// (parse, reformulate through every mapping, optimize, compile plans) and
+// Execute/Stream run it any number of times:
+//
 //	source := urm.NewSchema("Source")
 //	// ... add relations ...
 //	target := urm.NewSchema("Target")
@@ -34,24 +39,36 @@
 //	db := urm.NewInstance("db")
 //	// ... load relations ...
 //
-//	q, _ := urm.ParseQuery("q0", target, "SELECT addr FROM Person WHERE phone = '123'")
-//	ev := urm.NewEvaluator(db, matching.Mappings)
-//	res, _ := ev.Evaluate(q, urm.Options{Method: urm.OSharing})
+//	sess, _ := urm.NewSession(target, db, matching.Mappings)
+//	pq, _ := sess.Prepare("SELECT addr FROM Person WHERE phone = '123'")
+//	res, _ := pq.Execute(ctx, urm.WithMethod(urm.OSharing))
 //	for _, a := range res.Answers {
 //	    fmt.Println(a.Tuple, a.Prob)
 //	}
 //
+// Large answer sets can be streamed instead of materialized:
+//
+//	rows, _ := pq.Stream(ctx, urm.WithParallelism(8))
+//	defer rows.Close()
+//	for rows.Next() {
+//	    a := rows.Answer()
+//	    ...
+//	}
+//
+// Evaluation behaviour is tuned with functional options — WithMethod,
+// WithStrategy, WithParallelism, WithTopK, WithRandomSeed — passed to
+// NewSession (defaults) or per call.
+//
 // # Concurrency
 //
-// Evaluation runs on a bounded worker pool.  Options.Parallelism sets the
-// worker count (0 = GOMAXPROCS, 1 = sequential); results are identical at any
-// setting.  EvaluateContext accepts a context.Context whose cancellation or
-// deadline aborts the evaluation promptly:
+// Evaluation runs on a bounded worker pool.  WithParallelism sets the worker
+// count (0 = GOMAXPROCS, 1 = sequential); results are identical at any
+// setting.  Execute and Stream take a context.Context whose cancellation or
+// deadline aborts the evaluation promptly.
 //
-//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
-//	defer cancel()
-//	res, err := urm.EvaluateContext(ctx, q, matching.Mappings, db,
-//	    urm.Options{Method: urm.QSharing, Parallelism: 8})
+// The pre-session entry points (NewEvaluator, Evaluate, EvaluateContext,
+// EvaluateTopK, EvaluateTopKContext) remain as deprecated wrappers for one
+// release; see the README migration table.
 //
 // See the examples directory for complete programs and DESIGN.md for the
 // layer map (schema → match → query → engine → core) and where the evaluation
@@ -220,10 +237,18 @@ func ParseQuery(name string, target *Schema, text string) (*Query, error) {
 }
 
 // NewEvaluator builds an evaluator over a source instance and a mapping set.
+//
+// Deprecated: use NewSession, which additionally owns the prepared-query
+// cache so repeated queries skip reformulation and plan compilation.
 func NewEvaluator(db *Instance, maps MappingSet) *Evaluator { return core.NewEvaluator(db, maps) }
 
 // Evaluate is a convenience for one-off evaluation: it runs the query over the
 // mappings and instance with the given options.
+//
+// Deprecated: use Session.Execute (or Prepare + PreparedQuery.Execute when the
+// query runs more than once).  Evaluate pays the full front half — parse-time
+// validation, reformulation through every mapping, plan compilation — on
+// every call.
 func Evaluate(q *Query, maps MappingSet, db *Instance, opts Options) (*Result, error) {
 	return core.NewEvaluator(db, maps).Evaluate(q, opts)
 }
@@ -232,11 +257,15 @@ func Evaluate(q *Query, maps MappingSet, db *Instance, opts Options) (*Result, e
 // letting its deadline pass) aborts the evaluation promptly with the context's
 // error.  Work fans out over opts.Parallelism worker goroutines; the answers
 // do not depend on the setting.
+//
+// Deprecated: use Session.Execute, which takes a context directly.
 func EvaluateContext(ctx context.Context, q *Query, maps MappingSet, db *Instance, opts Options) (*Result, error) {
 	return core.NewEvaluator(db, maps).EvaluateContext(ctx, q, opts)
 }
 
 // EvaluateTopK runs the probabilistic top-k algorithm of Section VII.
+//
+// Deprecated: use Session.Execute with WithTopK(k).
 func EvaluateTopK(q *Query, maps MappingSet, db *Instance, k int, opts Options) (*Result, error) {
 	return core.NewEvaluator(db, maps).EvaluateTopK(q, k, opts)
 }
@@ -244,6 +273,8 @@ func EvaluateTopK(q *Query, maps MappingSet, db *Instance, k int, opts Options) 
 // EvaluateTopKContext is EvaluateTopK under a context.  The top-k traversal is
 // inherently sequential, so opts.Parallelism is ignored, but cancellation and
 // deadlines are honoured.
+//
+// Deprecated: use Session.Execute with WithTopK(k).
 func EvaluateTopKContext(ctx context.Context, q *Query, maps MappingSet, db *Instance, k int, opts Options) (*Result, error) {
 	return core.NewEvaluator(db, maps).EvaluateTopKContext(ctx, q, k, opts)
 }
@@ -339,6 +370,8 @@ func (s *Scenario) Query(name, text string) (*Query, error) {
 }
 
 // Evaluator returns an evaluator over the scenario's instance and mappings.
+//
+// Deprecated: use Scenario.NewSession, which caches prepared queries.
 func (s *Scenario) Evaluator() *Evaluator { return core.NewEvaluator(s.DB, s.Matching.Mappings) }
 
 // Query service types re-exported from the server layer.  The service turns
