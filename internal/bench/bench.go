@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/probdb/urm/internal/core"
 	"github.com/probdb/urm/internal/datagen"
 	"github.com/probdb/urm/internal/exec"
 	"github.com/probdb/urm/internal/schema"
@@ -48,6 +49,11 @@ type Config struct {
 	// paper's single-threaded comparisons; pass -parallel to urm-bench to
 	// measure the concurrent runtime.
 	Parallelism int
+	// BatchSize is the engine batch-size override (urm-bench -batch): 0 runs
+	// the engine's default vectorized batch size, a positive value overrides
+	// the rows per batch, and a negative value measures the tuple-at-a-time
+	// fallback pipeline.
+	BatchSize int
 }
 
 // DefaultConfig returns the configuration used by cmd/urm-bench when no flags
@@ -179,7 +185,17 @@ func (r *Runner) Config() Config { return r.cfg }
 // execContext returns the evaluation runtime context used by experiments that
 // call the core algorithms directly.
 func (r *Runner) execContext() *exec.Context {
-	return exec.NewContext(context.Background(), r.cfg.Parallelism)
+	ec := exec.NewContext(context.Background(), r.cfg.Parallelism)
+	if r.cfg.BatchSize != 0 {
+		ec = ec.WithBatch(r.cfg.BatchSize)
+	}
+	return ec
+}
+
+// options returns the core evaluation options for the given method under the
+// runner's configuration.
+func (r *Runner) options(method core.Method) core.Options {
+	return core.Options{Method: method, Parallelism: r.cfg.Parallelism, BatchSize: r.cfg.BatchSize}
 }
 
 func (r *Runner) maxMappings() int {

@@ -75,7 +75,7 @@ func (r *Runner) evaluate(queryID int, method core.Method, h int, sizeMB float64
 	if err != nil {
 		return nil, err
 	}
-	return core.NewEvaluator(ds.DB, maps).Evaluate(q, core.Options{Method: method, Parallelism: r.cfg.Parallelism})
+	return core.NewEvaluator(ds.DB, maps).Evaluate(q, r.options(method))
 }
 
 // evaluateTime returns the mean total evaluation time of a query/method pair.
@@ -246,7 +246,7 @@ func (r *Runner) runCustomQuery(build func() (*query.Query, error), method core.
 		if err != nil {
 			return 0, err
 		}
-		res, err := core.NewEvaluator(ds.DB, maps).Evaluate(q, core.Options{Method: method, Parallelism: r.cfg.Parallelism})
+		res, err := core.NewEvaluator(ds.DB, maps).Evaluate(q, r.options(method))
 		if err != nil {
 			return 0, err
 		}

@@ -60,6 +60,25 @@ type EngineSnapshot struct {
 	// cached latency and throughput through the HTTP layer.  Omitted until a
 	// serve run has been merged into the snapshot.
 	Serve *ServeBench `json:"serve,omitempty"`
+	// Multicore is the partitioned hash-join build measurement, taken with
+	// GOMAXPROCS forced to 4: a large-build join executed with Workers=4
+	// versus Workers=1.  The regression gate enforces its speedup only when
+	// the recording machine actually had multiple CPUs (NumCPU >= 2), so
+	// snapshots taken on single-core boxes stay valid while CI's multi-core
+	// runners gate the parallel build.
+	Multicore *MulticoreBench `json:"gomaxprocs_4,omitempty"`
+}
+
+// MulticoreBench records the partitioned-build join pair: the same plan with
+// the build split across 4 workers versus built sequentially.
+type MulticoreBench struct {
+	NumCPU       int     `json:"num_cpu"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	BuildRows    int     `json:"build_rows"`
+	Workers      int     `json:"workers"`
+	SequentialNs int64   `json:"sequential_ns_per_op"`
+	ParallelNs   int64   `json:"parallel_ns_per_op"`
+	Speedup      float64 `json:"speedup"`
 }
 
 // snapshotRows is the input size for the operator measurements.
@@ -135,120 +154,137 @@ func Snapshot() (*EngineSnapshot, error) {
 		Methods:    make(map[string]MethodBench),
 	}
 
-	rel := snapshotRelation("L", snapshotRows)
-	joinLeft := snapshotKeyedRelation("L", snapshotRows, 1)
-	joinRight := snapshotKeyedRelation("R", snapshotRows/4, 4)
-	pred := engine.And(
-		&engine.ConstPredicate{Column: "L.score", Op: engine.OpGt, Value: engine.F(50)},
-		&engine.ConstPredicate{Column: "L.tag", Op: engine.OpNe, Value: engine.S("tag-13")},
-	)
-	pipelineDB := engine.NewInstance("D")
-	pipelineBase := snapshotRelation("T", snapshotRows)
-	pipelineDB.AddRelation(pipelineBase)
-	pipelinePlan := &engine.ProjectPlan{
-		Columns: []string{"T.id"},
-		Child: &engine.SelectPlan{
-			Pred: &engine.ConstPredicate{Column: "T.score", Op: engine.OpGt, Value: engine.F(50)},
-			Child: &engine.SelectPlan{
-				Pred:  &engine.ConstPredicate{Column: "T.tag", Op: engine.OpNe, Value: engine.S("tag-13")},
-				Child: &engine.ScanPlan{Relation: "T"},
-			},
-		},
-	}
-
-	// Index subsystem pairs: a selective (~0.5%) constant-equality selection
-	// served from the shared per-column index versus the full scan+filter
-	// pipeline, and h identical joins probing the shared build versus h
-	// independent builds.
-	idxDB := engine.NewInstance("DX")
-	idxDB.AddRelation(snapshotRelation("T", snapshotRows))
-	idxSelPlan := &engine.SelectPlan{
-		Pred:  &engine.ConstPredicate{Column: "T.id", Op: engine.OpEq, Value: engine.I(7)},
-		Child: &engine.ScanPlan{Relation: "T"},
-	}
-	joinDB := engine.NewInstance("DJ")
-	joinDB.AddRelation(snapshotKeyedRelation("L", snapshotRows, 1))
-	joinDB.AddRelation(snapshotKeyedRelation("R", snapshotRows/4, 4))
-	idxJoinPlan := &engine.JoinPlan{
-		LeftCol: "L.id", RightCol: "R.id",
-		Left:  &engine.ScanPlan{Relation: "L"},
-		Right: &engine.ScanPlan{Relation: "R"},
-	}
 	execPlan := func(db *engine.Instance, plan engine.Plan, indexes *engine.IndexCache) error {
 		ex := &engine.Executor{DB: db, Stats: engine.NewStats(), Indexes: indexes}
 		_, err := ex.ExecuteContext(ctx, plan)
 		return err
 	}
-	// Warm the shared indexes so the pairs measure steady-state lookups, not
-	// the one-time builds.
-	if err := execPlan(idxDB, idxSelPlan, idxDB.Indexes()); err != nil {
-		return nil, err
-	}
-	if err := execPlan(joinDB, idxJoinPlan, joinDB.Indexes()); err != nil {
-		return nil, err
+	selectPred := func() engine.Predicate {
+		return engine.And(
+			&engine.ConstPredicate{Column: "L.score", Op: engine.OpGt, Value: engine.F(50)},
+			&engine.ConstPredicate{Column: "L.tag", Op: engine.OpNe, Value: engine.S("tag-13")},
+		)
 	}
 
+	// Every pair builds its fixtures inside its own setup closure, so the only
+	// live heap during a measurement is that pair's own input — a fixture for
+	// a later pair must not tax an earlier pair's GC cycles.  The explicit GC
+	// between pairs returns the previous fixtures before the next timing run.
 	type opCase struct {
 		name  string
 		rows  int
-		naive func() error
-		live  func() error
+		setup func() (naive, live func() error, err error)
 	}
 	cases := []opCase{
-		{"select", snapshotRows,
-			func() error { _, err := engine.NaiveSelect(ctx, rel, pred, nil); return err },
-			func() error { _, err := engine.Select(ctx, rel, pred, nil); return err }},
-		{"project", snapshotRows,
-			func() error { _, err := engine.NaiveProject(ctx, rel, []string{"L.score", "L.id"}, nil); return err },
-			func() error { _, err := engine.Project(ctx, rel, []string{"L.score", "L.id"}, nil); return err }},
-		{"hashjoin", snapshotRows + snapshotRows/4,
-			func() error {
-				_, err := engine.NaiveHashJoin(ctx, joinLeft, joinRight, "L.id", "R.id", nil)
-				return err
-			},
-			func() error {
-				_, err := engine.HashJoin(ctx, joinLeft, joinRight, "L.id", "R.id", nil)
-				return err
-			}},
-		{"distinct", snapshotRows,
-			func() error { _, err := engine.NaiveDistinct(ctx, rel, nil); return err },
-			func() error { _, err := engine.Distinct(ctx, rel, nil); return err }},
-		{"aggregate", snapshotRows,
-			func() error { _, err := engine.NaiveAggregate(ctx, rel, engine.AggSum, "L.score", nil); return err },
-			func() error { _, err := engine.Aggregate(ctx, rel, engine.AggSum, "L.score", nil); return err }},
-		{"pipeline", snapshotRows,
-			func() error {
-				_, err := engine.NaiveExecute(ctx, pipelineDB, pipelinePlan, engine.NewStats())
-				return err
-			},
-			func() error {
-				ex := &engine.Executor{DB: pipelineDB, Stats: engine.NewStats()}
-				_, err := ex.ExecuteContext(ctx, pipelinePlan)
-				return err
-			}},
-		{"index-lookup", snapshotRows,
-			func() error { return execPlan(idxDB, idxSelPlan, nil) },
-			func() error { return execPlan(idxDB, idxSelPlan, idxDB.Indexes()) }},
-		{"shared-join-build", snapshotRows + snapshotRows/4,
-			func() error {
-				for q := 0; q < snapshotSharedH; q++ {
-					if err := execPlan(joinDB, idxJoinPlan, nil); err != nil {
-						return err
+		{"select", snapshotRows, func() (func() error, func() error, error) {
+			rel := snapshotRelation("L", snapshotRows)
+			pred := selectPred()
+			return func() error { _, err := engine.NaiveSelect(ctx, rel, pred, nil); return err },
+				func() error { _, err := engine.Select(ctx, rel, pred, nil); return err }, nil
+		}},
+		{"project", snapshotRows, func() (func() error, func() error, error) {
+			rel := snapshotRelation("L", snapshotRows)
+			cols := []string{"L.score", "L.id"}
+			return func() error { _, err := engine.NaiveProject(ctx, rel, cols, nil); return err },
+				func() error { _, err := engine.Project(ctx, rel, cols, nil); return err }, nil
+		}},
+		{"hashjoin", snapshotRows + snapshotRows/4, func() (func() error, func() error, error) {
+			joinLeft := snapshotKeyedRelation("L", snapshotRows, 1)
+			joinRight := snapshotKeyedRelation("R", snapshotRows/4, 4)
+			return func() error {
+					_, err := engine.NaiveHashJoin(ctx, joinLeft, joinRight, "L.id", "R.id", nil)
+					return err
+				}, func() error {
+					_, err := engine.HashJoin(ctx, joinLeft, joinRight, "L.id", "R.id", nil)
+					return err
+				}, nil
+		}},
+		{"distinct", snapshotRows, func() (func() error, func() error, error) {
+			rel := snapshotRelation("L", snapshotRows)
+			return func() error { _, err := engine.NaiveDistinct(ctx, rel, nil); return err },
+				func() error { _, err := engine.Distinct(ctx, rel, nil); return err }, nil
+		}},
+		{"aggregate", snapshotRows, func() (func() error, func() error, error) {
+			rel := snapshotRelation("L", snapshotRows)
+			return func() error { _, err := engine.NaiveAggregate(ctx, rel, engine.AggSum, "L.score", nil); return err },
+				func() error { _, err := engine.Aggregate(ctx, rel, engine.AggSum, "L.score", nil); return err }, nil
+		}},
+		{"pipeline", snapshotRows, func() (func() error, func() error, error) {
+			pipelineDB := engine.NewInstance("D")
+			pipelineDB.AddRelation(snapshotRelation("T", snapshotRows))
+			pipelinePlan := &engine.ProjectPlan{
+				Columns: []string{"T.id"},
+				Child: &engine.SelectPlan{
+					Pred: &engine.ConstPredicate{Column: "T.score", Op: engine.OpGt, Value: engine.F(50)},
+					Child: &engine.SelectPlan{
+						Pred:  &engine.ConstPredicate{Column: "T.tag", Op: engine.OpNe, Value: engine.S("tag-13")},
+						Child: &engine.ScanPlan{Relation: "T"},
+					},
+				},
+			}
+			return func() error {
+					_, err := engine.NaiveExecute(ctx, pipelineDB, pipelinePlan, engine.NewStats())
+					return err
+				}, func() error {
+					ex := &engine.Executor{DB: pipelineDB, Stats: engine.NewStats()}
+					_, err := ex.ExecuteContext(ctx, pipelinePlan)
+					return err
+				}, nil
+		}},
+		// Index subsystem pairs: a selective (~0.5%) constant-equality
+		// selection served from the shared per-column index versus the full
+		// scan+filter pipeline, and h identical joins probing the shared build
+		// versus h independent builds.  The setups warm the shared indexes so
+		// the pairs measure steady-state lookups, not the one-time builds.
+		{"index-lookup", snapshotRows, func() (func() error, func() error, error) {
+			idxDB := engine.NewInstance("DX")
+			idxDB.AddRelation(snapshotRelation("T", snapshotRows))
+			idxSelPlan := &engine.SelectPlan{
+				Pred:  &engine.ConstPredicate{Column: "T.id", Op: engine.OpEq, Value: engine.I(7)},
+				Child: &engine.ScanPlan{Relation: "T"},
+			}
+			if err := execPlan(idxDB, idxSelPlan, idxDB.Indexes()); err != nil {
+				return nil, nil, err
+			}
+			return func() error { return execPlan(idxDB, idxSelPlan, nil) },
+				func() error { return execPlan(idxDB, idxSelPlan, idxDB.Indexes()) }, nil
+		}},
+		{"shared-join-build", snapshotRows + snapshotRows/4, func() (func() error, func() error, error) {
+			joinDB := engine.NewInstance("DJ")
+			joinDB.AddRelation(snapshotKeyedRelation("L", snapshotRows, 1))
+			joinDB.AddRelation(snapshotKeyedRelation("R", snapshotRows/4, 4))
+			idxJoinPlan := &engine.JoinPlan{
+				LeftCol: "L.id", RightCol: "R.id",
+				Left:  &engine.ScanPlan{Relation: "L"},
+				Right: &engine.ScanPlan{Relation: "R"},
+			}
+			if err := execPlan(joinDB, idxJoinPlan, joinDB.Indexes()); err != nil {
+				return nil, nil, err
+			}
+			return func() error {
+					for q := 0; q < snapshotSharedH; q++ {
+						if err := execPlan(joinDB, idxJoinPlan, nil); err != nil {
+							return err
+						}
 					}
-				}
-				return nil
-			},
-			func() error {
-				for q := 0; q < snapshotSharedH; q++ {
-					if err := execPlan(joinDB, idxJoinPlan, joinDB.Indexes()); err != nil {
-						return err
+					return nil
+				}, func() error {
+					for q := 0; q < snapshotSharedH; q++ {
+						if err := execPlan(joinDB, idxJoinPlan, joinDB.Indexes()); err != nil {
+							return err
+						}
 					}
-				}
-				return nil
-			}},
+					return nil
+				}, nil
+		}},
 	}
 	for _, c := range cases {
-		ob, err := measurePair(c.rows, c.naive, c.live)
+		naive, live, err := c.setup()
+		if err != nil {
+			return nil, fmt.Errorf("snapshot %s: %w", c.name, err)
+		}
+		runtime.GC()
+		ob, err := measurePair(c.rows, naive, live)
 		if err != nil {
 			return nil, fmt.Errorf("snapshot %s: %w", c.name, err)
 		}
@@ -288,7 +324,56 @@ func Snapshot() (*EngineSnapshot, error) {
 		}
 		snap.Methods[m.String()] = mb
 	}
+
+	mc, err := measureMulticore(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot multicore: %w", err)
+	}
+	snap.Multicore = mc
 	return snap, nil
+}
+
+// multicoreBuildRows sizes the partitioned-build pair's build side: large
+// enough to clear the engine's partitioned-build threshold several times over,
+// so the measurement is dominated by the build phase the workers split.
+const multicoreBuildRows = 200000
+
+// measureMulticore benchmarks the partitioned hash-join build with GOMAXPROCS
+// forced to 4 (restored afterwards): one join whose build side is
+// multicoreBuildRows rows, executed with Workers=4 versus Workers=1.  On a
+// single-core machine the numbers are still recorded — the regression gate
+// skips the speedup floor when NumCPU < 2.
+func measureMulticore(ctx context.Context) (*MulticoreBench, error) {
+	const workers = 4
+	prev := runtime.GOMAXPROCS(workers)
+	defer runtime.GOMAXPROCS(prev)
+
+	db := engine.NewInstance("DM")
+	db.AddRelation(snapshotKeyedRelation("P", 2000, 1))
+	db.AddRelation(snapshotKeyedRelation("B", multicoreBuildRows, 3))
+	plan := &engine.JoinPlan{
+		LeftCol: "P.id", RightCol: "B.id",
+		Left:  &engine.ScanPlan{Relation: "P"},
+		Right: &engine.ScanPlan{Relation: "B"},
+	}
+	exec := func(w int) error {
+		ex := &engine.Executor{DB: db, Stats: engine.NewStats(), Workers: w}
+		_, err := ex.ExecuteContext(ctx, plan)
+		return err
+	}
+	ob, err := measurePair(multicoreBuildRows, func() error { return exec(1) }, func() error { return exec(workers) })
+	if err != nil {
+		return nil, err
+	}
+	return &MulticoreBench{
+		NumCPU:       runtime.NumCPU(),
+		GOMAXPROCS:   workers,
+		BuildRows:    multicoreBuildRows,
+		Workers:      workers,
+		SequentialNs: ob.NaiveNsOp,
+		ParallelNs:   ob.EngineNsOp,
+		Speedup:      ob.Speedup,
+	}, nil
 }
 
 // The prepared-versus-cold pair runs the paper's Q1 — a selection chain the

@@ -138,6 +138,12 @@ type Options struct {
 	// probabilities, same order — at every setting; parallelism is purely a
 	// performance knob.
 	Parallelism int
+	// BatchSize tunes the engine's vectorized batch pipeline: 0 (the default)
+	// uses the engine's own batch size, a positive value sets the rows per
+	// batch, and a negative value falls back to the tuple-at-a-time pipeline.
+	// Like Parallelism it is purely a performance knob — answers and operator
+	// statistics are identical at every setting.
+	BatchSize int
 }
 
 // Validate checks the options for values no evaluation can honour: a negative
@@ -199,6 +205,9 @@ func (e *Evaluator) EvaluateContext(ctx context.Context, q *query.Query, opts Op
 		return nil, err
 	}
 	ec := exec.NewContext(ctx, opts.Parallelism)
+	if opts.BatchSize != 0 {
+		ec = ec.WithBatch(opts.BatchSize)
+	}
 	if err := ec.Err(); err != nil {
 		return nil, err
 	}
@@ -239,6 +248,9 @@ func (e *Evaluator) EvaluateTopKContext(ctx context.Context, q *query.Query, k i
 		return nil, fmt.Errorf("%w: top-k requires k >= 1, got %d", ErrBadOptions, k)
 	}
 	ec := exec.NewContext(ctx, 1)
+	if opts.BatchSize != 0 {
+		ec = ec.WithBatch(opts.BatchSize)
+	}
 	if err := ec.Err(); err != nil {
 		return nil, err
 	}

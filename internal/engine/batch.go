@@ -1,0 +1,893 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+)
+
+// This file is the vectorized batch pipeline, the batch-at-a-time counterpart
+// of the RowSource pipeline in source.go.  Operators exchange ~1024-row
+// batches — a window of row tuples plus a selection vector — instead of one
+// tuple per interface call, so the hot per-row work (predicate comparisons,
+// key hashing, column gathers) runs in tight loops with no per-row dispatch.
+// Output tuples are carved from the same flat value arenas as the tuple
+// pipeline, and every operator records the same logical statistics and
+// produces rows in the same order, so results are bit-identical to both the
+// RowSource pipeline and the naive reference at any batch size.
+
+// DefaultBatchSize is the number of rows per vector batch when the executor
+// does not override it.  Large enough to amortize per-batch bookkeeping to
+// noise, small enough that a batch's working set stays cache-resident.
+const DefaultBatchSize = 1024
+
+// Batch is one unit of vectorized data flow: a window of rows and a selection
+// vector of live row indices.  A nil Sel means every row is live.  Batches
+// handed out by a BatchSource are valid only until the source's next
+// NextBatch call — operators reuse their row and selection buffers — but the
+// Tuple headers may be copied out freely: the values they point at live in
+// base relations or value arenas and are never overwritten.
+type Batch struct {
+	Rows []Tuple
+	Sel  []int32
+}
+
+// NumRows returns the number of live rows in the batch.
+func (b *Batch) NumRows() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return len(b.Rows)
+}
+
+// BatchSource is the batch pipeline's pull iterator.  NextBatch returns
+// (batch, true, nil) for each non-empty batch, (nil, false, nil) at
+// exhaustion, and (nil, false, err) on failure (including cancellation).
+// Sources never emit empty batches: a selection that empties mid-pipeline
+// advances to the next input batch instead.
+type BatchSource interface {
+	// Name is the relation name a materialization of this source carries.
+	Name() string
+	// Columns is the output column layout, fixed for the stream's life.
+	Columns() []string
+	// NextBatch pulls the next batch of live rows.
+	NextBatch() (*Batch, bool, error)
+}
+
+// MaterializeBatches drains the source into a Relation, copying the live row
+// headers out of each batch before pulling the next.
+func MaterializeBatches(src BatchSource) (*Relation, error) {
+	out := &Relation{Name: src.Name(), Columns: src.Columns()}
+	for {
+		b, ok, err := src.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		if b.Sel == nil {
+			out.Rows = append(out.Rows, b.Rows...)
+		} else {
+			for _, i := range b.Sel {
+				out.Rows = append(out.Rows, b.Rows[i])
+			}
+		}
+	}
+}
+
+// batchScan windows a materialized row list into batches — the leaf of every
+// batch pipeline, serving both base-relation scans (record=true, one "scan"
+// recorded at exhaustion, exactly like scanSource) and already-materialized
+// inputs (record=false, like matSource).  Row windows alias the backing
+// slice; nothing is copied.
+type batchScan struct {
+	ctx    context.Context
+	name   string
+	cols   []string
+	rows   []Tuple
+	size   int
+	stats  *Stats
+	record bool
+
+	i    int
+	nbat int
+	out  Batch
+	done bool
+}
+
+func (s *batchScan) Name() string      { return s.name }
+func (s *batchScan) Columns() []string { return s.cols }
+
+func (s *batchScan) NextBatch() (*Batch, bool, error) {
+	if err := canceled(s.ctx); err != nil {
+		return nil, false, err
+	}
+	if s.i >= len(s.rows) {
+		if !s.done {
+			s.done = true
+			if s.record {
+				s.stats.record(OpKindScan, 0, len(s.rows))
+			}
+			s.stats.recordBatches(s.nbat)
+		}
+		return nil, false, nil
+	}
+	hi := s.i + s.size
+	if hi > len(s.rows) {
+		hi = len(s.rows)
+	}
+	s.out = Batch{Rows: s.rows[s.i:hi]}
+	s.i = hi
+	s.nbat++
+	return &s.out, true, nil
+}
+
+// batchFilter fuses a selection: each input batch's selection vector is
+// compacted through the vectorized predicate into the filter's own buffer.
+// Batches whose selection empties are skipped entirely, so downstream
+// operators never see them.
+type batchFilter struct {
+	ctx   context.Context
+	src   BatchSource
+	pred  vecPredicate
+	stats *Stats
+
+	selbuf   []int32
+	in, out  int
+	nbat     int
+	recorded bool
+	outb     Batch
+}
+
+func (s *batchFilter) Name() string      { return s.src.Name() }
+func (s *batchFilter) Columns() []string { return s.src.Columns() }
+
+func (s *batchFilter) NextBatch() (*Batch, bool, error) {
+	for {
+		b, ok, err := s.src.NextBatch()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			if !s.recorded {
+				s.recorded = true
+				s.stats.record(OpKindSelect, s.in, s.out)
+				s.stats.recordBatches(s.nbat)
+			}
+			return nil, false, nil
+		}
+		if err := canceled(s.ctx); err != nil {
+			return nil, false, err
+		}
+		s.in += b.NumRows()
+		sel, err := s.pred.filterSel(b.Rows, b.Sel, s.selbuf[:0])
+		if err != nil {
+			return nil, false, err
+		}
+		s.selbuf = sel
+		if len(sel) == 0 {
+			continue // selection emptied: advance to the next input batch
+		}
+		s.out += len(sel)
+		s.nbat++
+		s.outb = Batch{Rows: b.Rows, Sel: sel}
+		return &s.outb, true, nil
+	}
+}
+
+// batchProject gathers the projected columns of each batch into fresh tuples
+// carved as one flat arena block per batch, emitting a dense batch (no
+// selection vector).
+type batchProject struct {
+	ctx   context.Context
+	src   BatchSource
+	name  string
+	cols  []string
+	idx   []int
+	stats *Stats
+	arena valueArena
+
+	outRows  []Tuple
+	n        int
+	nbat     int
+	recorded bool
+	outb     Batch
+}
+
+func (s *batchProject) Name() string      { return s.name }
+func (s *batchProject) Columns() []string { return s.cols }
+
+func (s *batchProject) NextBatch() (*Batch, bool, error) {
+	b, ok, err := s.src.NextBatch()
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		if !s.recorded {
+			s.recorded = true
+			s.stats.record(OpKindProject, s.n, s.n)
+			s.stats.recordBatches(s.nbat)
+		}
+		return nil, false, nil
+	}
+	if err := canceled(s.ctx); err != nil {
+		return nil, false, err
+	}
+	m := b.NumRows()
+	if cap(s.outRows) < m {
+		s.outRows = make([]Tuple, m)
+	}
+	out := s.outRows[:m]
+	k := len(s.idx)
+	switch {
+	case k == 0:
+		for r := range out {
+			out[r] = Tuple{}
+		}
+	case contiguousIdx(s.idx):
+		// Contiguous runs (every single-column projection) move no values:
+		// each output tuple is a capacity-clamped window of its input row,
+		// on the immutable-tuple contract projectRows documents.
+		j0, j1 := s.idx[0], s.idx[0]+k
+		if b.Sel == nil {
+			for r := range b.Rows {
+				out[r] = b.Rows[r][j0:j1:j1]
+			}
+		} else {
+			for r, i := range b.Sel {
+				out[r] = b.Rows[i][j0:j1:j1]
+			}
+		}
+	default:
+		flat := s.arena.tuple(k * m)
+		off := 0
+		if b.Sel == nil {
+			for r := range b.Rows {
+				row := b.Rows[r]
+				t := Tuple(flat[off : off+k : off+k])
+				for c, j := range s.idx {
+					t[c] = row[j]
+				}
+				out[r] = t
+				off += k
+			}
+		} else {
+			for r, i := range b.Sel {
+				row := b.Rows[i]
+				t := Tuple(flat[off : off+k : off+k])
+				for c, j := range s.idx {
+					t[c] = row[j]
+				}
+				out[r] = t
+				off += k
+			}
+		}
+	}
+	s.n += m
+	s.nbat++
+	s.outb = Batch{Rows: out}
+	return &s.outb, true, nil
+}
+
+// batchProduct is the Cartesian product: the right input is drained and
+// buffered (the product's pipeline-breaking side), then each left batch's
+// live rows pair with every right row, filling output batches of up to size
+// rows.  The current left batch stays valid across emitted output batches
+// because the left child is only pulled again once the batch is consumed.
+type batchProduct struct {
+	ctx         context.Context
+	left, right BatchSource
+	name        string
+	cols        []string
+	size        int
+	stats       *Stats
+	arena       valueArena
+
+	started bool
+	rrows   []Tuple
+	lb      *Batch
+	li      int // dense position within lb
+	ri      int // next right row for the current left row
+	leftIn  int
+	out     int
+	nbat    int
+	outRows []Tuple
+	outb    Batch
+	done    bool
+}
+
+func (s *batchProduct) Name() string      { return s.name }
+func (s *batchProduct) Columns() []string { return s.cols }
+
+func (s *batchProduct) finish() (*Batch, bool, error) {
+	if !s.done {
+		s.done = true
+		s.stats.record(OpKindProduct, s.leftIn+len(s.rrows), s.out)
+		s.stats.recordBatches(s.nbat)
+	}
+	return nil, false, nil
+}
+
+// liveRow returns the dense index i's row of batch b.
+func liveRow(b *Batch, i int) Tuple {
+	if b.Sel != nil {
+		return b.Rows[b.Sel[i]]
+	}
+	return b.Rows[i]
+}
+
+func (s *batchProduct) NextBatch() (*Batch, bool, error) {
+	if err := canceled(s.ctx); err != nil {
+		return nil, false, err
+	}
+	if s.done {
+		return nil, false, nil
+	}
+	if !s.started {
+		s.started = true
+		if err := drainBatches(s.right, &s.rrows); err != nil {
+			return nil, false, err
+		}
+	}
+	if cap(s.outRows) < s.size {
+		s.outRows = make([]Tuple, 0, s.size)
+	}
+	out := s.outRows[:0]
+	for len(out) < s.size {
+		if s.lb == nil {
+			b, ok, err := s.left.NextBatch()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				if len(out) == 0 {
+					return s.finish()
+				}
+				break
+			}
+			s.leftIn += b.NumRows()
+			if len(s.rrows) == 0 {
+				continue // left rows still count as input; nothing to emit
+			}
+			s.lb, s.li, s.ri = b, 0, 0
+		}
+		out = append(out, s.arena.concat(liveRow(s.lb, s.li), s.rrows[s.ri]))
+		s.ri++
+		if s.ri == len(s.rrows) {
+			s.ri = 0
+			s.li++
+			if s.li == s.lb.NumRows() {
+				s.lb = nil
+			}
+		}
+	}
+	s.out += len(out)
+	s.nbat++
+	s.outb = Batch{Rows: out}
+	return &s.outb, true, nil
+}
+
+// drainBatches appends every live row header of the source into *rows.
+// sizeHinter is implemented by batch sources that can bound their output row
+// count before producing anything.  A scan knows its exact count and filters
+// and projections cannot grow their input, so the hint is an upper bound —
+// drainBatches turns it into one exact-capacity allocation instead of
+// geometric append growth (and the growth's copied-then-discarded garbage).
+type sizeHinter interface{ sizeHint() int }
+
+func (s *batchScan) sizeHint() int    { return len(s.rows) }
+func (s *batchFilter) sizeHint() int  { return sourceSizeHint(s.src) }
+func (s *batchProject) sizeHint() int { return sourceSizeHint(s.src) }
+
+// sourceSizeHint returns src's output row bound, or -1 when unknown.
+func sourceSizeHint(src BatchSource) int {
+	if h, ok := src.(sizeHinter); ok {
+		return h.sizeHint()
+	}
+	return -1
+}
+
+func drainBatches(src BatchSource, rows *[]Tuple) error {
+	if *rows == nil {
+		if n := sourceSizeHint(src); n > 0 {
+			*rows = make([]Tuple, 0, n)
+		}
+	}
+	for {
+		b, ok, err := src.NextBatch()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if b.Sel == nil {
+			*rows = append(*rows, b.Rows...)
+		} else {
+			for _, i := range b.Sel {
+				*rows = append(*rows, b.Rows[i])
+			}
+		}
+	}
+}
+
+// batchJoin is the equi-join: the right input is drained into a hash index —
+// built partitioned across the worker pool when the build side is large
+// enough — and left batches probe it with their key hashes precomputed in one
+// tight loop per batch.  Chains preserve build-row order, so output order is
+// identical to the tuple pipeline's.
+type batchJoin struct {
+	ctx         context.Context
+	left, right BatchSource
+	li, ri      int
+	name        string
+	cols        []string
+	size        int
+	workers     int
+	stats       *Stats
+	arena       valueArena
+
+	started bool
+	build   *hashIndex
+	lb      *Batch
+	pi      int // dense position of the NEXT probe row within lb
+	hashes  []uint64
+	cur     Tuple
+	curHash uint64
+	chain   int32
+	leftIn  int
+	out     int
+	nbat    int
+	outRows []Tuple
+	outb    Batch
+	done    bool
+}
+
+func (s *batchJoin) Name() string      { return s.name }
+func (s *batchJoin) Columns() []string { return s.cols }
+
+// hashLeftBatch precomputes the probe-key hashes of the batch's live rows —
+// the interleaved batch FNV-1a pass feeding the shared bucket chains.
+func (s *batchJoin) hashLeftBatch(b *Batch) {
+	m := b.NumRows()
+	if cap(s.hashes) < m {
+		s.hashes = make([]uint64, m)
+	}
+	h := s.hashes[:m]
+	if b.Sel == nil {
+		hashColumn(b.Rows, s.li, h)
+	} else {
+		hashColumnSel(b.Rows, s.li, b.Sel, h)
+	}
+	s.hashes = h
+}
+
+func (s *batchJoin) NextBatch() (*Batch, bool, error) {
+	if err := canceled(s.ctx); err != nil {
+		return nil, false, err
+	}
+	if s.done {
+		return nil, false, nil
+	}
+	if !s.started {
+		s.started = true
+		var rrows []Tuple
+		if err := drainBatches(s.right, &rrows); err != nil {
+			return nil, false, err
+		}
+		build, err := buildColumnHashIndexPar(s.ctx, rrows, s.ri, s.workers, s.stats)
+		if err != nil {
+			return nil, false, err
+		}
+		s.build = build
+	}
+	if cap(s.outRows) < s.size {
+		s.outRows = make([]Tuple, 0, s.size)
+	}
+	out := s.outRows[:0]
+	build := s.build
+	for len(out) < s.size {
+		if s.chain != 0 {
+			j := s.chain
+			s.chain = build.next[j-1]
+			if build.hashes[j-1] != s.curHash {
+				continue // bucket collision: different hash entirely
+			}
+			rr := build.rows[j-1]
+			if !rr[s.ri].EqualKey(s.cur[s.li]) {
+				continue // hash collision, not an actual match
+			}
+			out = append(out, s.arena.concat(s.cur, rr))
+			continue
+		}
+		if s.lb == nil || s.pi >= s.lb.NumRows() {
+			b, ok, err := s.left.NextBatch()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				if len(out) == 0 {
+					if !s.done {
+						s.done = true
+						s.stats.record(OpKindJoin, s.leftIn+len(build.rows), s.out)
+						s.stats.recordBatches(s.nbat)
+					}
+					return nil, false, nil
+				}
+				s.lb = nil
+				break
+			}
+			s.leftIn += b.NumRows()
+			s.hashLeftBatch(b)
+			s.lb, s.pi = b, 0
+		}
+		s.cur = liveRow(s.lb, s.pi)
+		s.curHash = s.hashes[s.pi]
+		s.pi++
+		s.chain = build.lookup(s.curHash)
+	}
+	s.out += len(out)
+	s.nbat++
+	s.outb = Batch{Rows: out}
+	return &s.outb, true, nil
+}
+
+// batchSharedJoin is batchJoin with the instance's shared per-column index as
+// the build table: the build side is a bare or constant-filtered base scan,
+// its filters evaluated per probed candidate (the levels), exactly like
+// sharedJoinSource — one shared build instead of one per query.
+type batchSharedJoin struct {
+	ctx    context.Context
+	cache  *IndexCache
+	left   BatchSource
+	li     int
+	base   *Relation
+	ri     int
+	name   string
+	cols   []string
+	size   int
+	stats  *Stats
+	arena  valueArena
+	levels []selectLevel
+
+	started bool
+	build   *hashIndex
+	lb      *Batch
+	pi      int
+	hashes  []uint64
+	cur     Tuple
+	curHash uint64
+	chain   int32
+	leftIn  int
+	out     int
+	nbat    int
+	outRows []Tuple
+	outb    Batch
+	done    bool
+}
+
+func (s *batchSharedJoin) Name() string      { return s.name }
+func (s *batchSharedJoin) Columns() []string { return s.cols }
+
+func (s *batchSharedJoin) hashLeftBatch(b *Batch) {
+	m := b.NumRows()
+	if cap(s.hashes) < m {
+		s.hashes = make([]uint64, m)
+	}
+	h := s.hashes[:m]
+	if b.Sel == nil {
+		hashColumn(b.Rows, s.li, h)
+	} else {
+		hashColumnSel(b.Rows, s.li, b.Sel, h)
+	}
+	s.hashes = h
+}
+
+func (s *batchSharedJoin) NextBatch() (*Batch, bool, error) {
+	if err := canceled(s.ctx); err != nil {
+		return nil, false, err
+	}
+	if s.done {
+		return nil, false, nil
+	}
+	if !s.started {
+		s.started = true
+		build, err := s.cache.columnIndex(s.ctx, s.base, s.ri, s.stats)
+		if err != nil {
+			return nil, false, err
+		}
+		s.stats.recordIndexLookup()
+		s.build = build
+	}
+	if cap(s.outRows) < s.size {
+		s.outRows = make([]Tuple, 0, s.size)
+	}
+	out := s.outRows[:0]
+	build := s.build
+	for len(out) < s.size {
+		if s.chain != 0 {
+			j := s.chain
+			s.chain = build.next[j-1]
+			if build.hashes[j-1] != s.curHash {
+				continue // bucket collision: different hash entirely
+			}
+			rr := build.rows[j-1]
+			if !rr[s.ri].EqualKey(s.cur[s.li]) {
+				continue // hash collision: not an actual match
+			}
+			keep, err := evalLevels(s.levels, rr)
+			if err != nil {
+				return nil, false, err
+			}
+			if !keep {
+				continue // filtered out of the build side
+			}
+			out = append(out, s.arena.concat(s.cur, rr))
+			continue
+		}
+		if s.lb == nil || s.pi >= s.lb.NumRows() {
+			b, ok, err := s.left.NextBatch()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				if len(out) == 0 {
+					if !s.done {
+						s.done = true
+						recordLevels(s.levels, s.stats)
+						// The build side was never read: only probe rows count.
+						s.stats.record(OpKindJoin, s.leftIn, s.out)
+						s.stats.recordBatches(s.nbat)
+					}
+					return nil, false, nil
+				}
+				s.lb = nil
+				break
+			}
+			s.leftIn += b.NumRows()
+			s.hashLeftBatch(b)
+			s.lb, s.pi = b, 0
+		}
+		s.cur = liveRow(s.lb, s.pi)
+		s.curHash = s.hashes[s.pi]
+		s.pi++
+		s.chain = build.lookup(s.curHash)
+	}
+	s.out += len(out)
+	s.nbat++
+	s.outb = Batch{Rows: out}
+	return &s.outb, true, nil
+}
+
+// batchDistinct hashes each batch's live tuples in one pass and keeps
+// first-seen rows via the shared TupleSet, emitting the survivors as a
+// selection over the input batch.  Stored row headers stay valid because
+// tuple values live in arenas or base relations.
+type batchDistinct struct {
+	ctx   context.Context
+	src   BatchSource
+	seen  *TupleSet
+	stats *Stats
+
+	selbuf   []int32
+	hashbuf  []uint64
+	in, out  int
+	nbat     int
+	recorded bool
+	outb     Batch
+}
+
+func (s *batchDistinct) Name() string      { return s.src.Name() }
+func (s *batchDistinct) Columns() []string { return s.src.Columns() }
+
+func (s *batchDistinct) NextBatch() (*Batch, bool, error) {
+	for {
+		b, ok, err := s.src.NextBatch()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			if !s.recorded {
+				s.recorded = true
+				s.stats.record(OpKindDistinct, s.in, s.out)
+				s.stats.recordBatches(s.nbat)
+			}
+			return nil, false, nil
+		}
+		if err := canceled(s.ctx); err != nil {
+			return nil, false, err
+		}
+		m := b.NumRows()
+		s.in += m
+		if cap(s.hashbuf) < m {
+			s.hashbuf = make([]uint64, m)
+		}
+		hashes := s.hashbuf[:m]
+		if b.Sel == nil {
+			for i := range b.Rows {
+				hashes[i] = b.Rows[i].Hash64()
+			}
+		} else {
+			for k, i := range b.Sel {
+				hashes[k] = b.Rows[i].Hash64()
+			}
+		}
+		sel := s.selbuf[:0]
+		if b.Sel == nil {
+			for i := range b.Rows {
+				if s.seen.AddHashed(hashes[i], b.Rows[i]) {
+					sel = append(sel, int32(i))
+				}
+			}
+		} else {
+			for k, i := range b.Sel {
+				if s.seen.AddHashed(hashes[k], b.Rows[i]) {
+					sel = append(sel, i)
+				}
+			}
+		}
+		s.selbuf = sel
+		if len(sel) == 0 {
+			continue
+		}
+		s.out += len(sel)
+		s.nbat++
+		s.outb = Batch{Rows: b.Rows, Sel: sel}
+		return &s.outb, true, nil
+	}
+}
+
+// batchAgg drains its input through the aggregate accumulator's batch fast
+// path and emits the single result row.  Accumulation order is input order,
+// so float summation is bit-identical to every other execution mode.
+type batchAgg struct {
+	ctx   context.Context
+	src   BatchSource
+	acc   aggAccumulator
+	stats *Stats
+
+	nbat    int
+	emitted bool
+	outb    Batch
+}
+
+func newBatchAgg(ctx context.Context, src BatchSource, fn AggFunc, column string, stats *Stats) (*batchAgg, error) {
+	if err := validAggFunc(fn); err != nil {
+		return nil, err
+	}
+	idx := -1
+	if fn != AggCount {
+		idx = lookupColumn(src.Columns(), column)
+		if idx < 0 {
+			return nil, fmt.Errorf("aggregate %s: column %q not found in %v", fn, column, src.Columns())
+		}
+	}
+	return &batchAgg{
+		ctx: ctx, src: src, stats: stats,
+		acc: aggAccumulator{fn: fn, idx: idx, column: column},
+	}, nil
+}
+
+func (s *batchAgg) Name() string { return s.src.Name() }
+
+func (s *batchAgg) Columns() []string {
+	return []string{aggOutputColumn(s.acc.fn, s.acc.column)}
+}
+
+func (s *batchAgg) NextBatch() (*Batch, bool, error) {
+	if s.emitted {
+		s.stats.recordBatches(s.nbat)
+		s.nbat = 0
+		return nil, false, nil
+	}
+	for {
+		b, ok, err := s.src.NextBatch()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			break
+		}
+		if err := canceled(s.ctx); err != nil {
+			return nil, false, err
+		}
+		if err := s.acc.addSel(s.ctx, b.Rows, b.Sel); err != nil {
+			return nil, false, err
+		}
+	}
+	s.emitted = true
+	s.nbat++
+	s.stats.record(OpKindAggregate, s.acc.n, 1)
+	s.outb = Batch{Rows: []Tuple{s.acc.result()}}
+	return &s.outb, true, nil
+}
+
+// rowsToBatches adapts a RowSource into the batch pipeline — the retained
+// incremental-migration path.  Index-served sources (indexScanSource) stay
+// row-at-a-time behind this adapter; the wrapped source records its own
+// operator statistics.
+type rowsToBatches struct {
+	src   RowSource
+	size  int
+	stats *Stats
+
+	buf  []Tuple
+	nbat int
+	done bool
+	outb Batch
+}
+
+func (s *rowsToBatches) Name() string      { return s.src.Name() }
+func (s *rowsToBatches) Columns() []string { return s.src.Columns() }
+
+func (s *rowsToBatches) NextBatch() (*Batch, bool, error) {
+	if s.done {
+		return nil, false, nil
+	}
+	if s.buf == nil {
+		s.buf = make([]Tuple, 0, s.size)
+	}
+	buf := s.buf[:0]
+	for len(buf) < s.size {
+		row, ok, err := s.src.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			s.done = true
+			break
+		}
+		buf = append(buf, row)
+	}
+	s.buf = buf
+	if len(buf) == 0 {
+		s.stats.recordBatches(s.nbat)
+		return nil, false, nil
+	}
+	s.nbat++
+	if s.done {
+		// Exhausted mid-batch: the final recordBatches must still happen.
+		s.stats.recordBatches(s.nbat)
+		s.nbat = 0
+	}
+	s.outb = Batch{Rows: buf}
+	return &s.outb, true, nil
+}
+
+// batchesToRows adapts a BatchSource into a RowSource for consumers that still
+// iterate row at a time (tests, external integrations).  Row headers are
+// served straight from the current batch, which stays valid until the next
+// batch is pulled.
+type batchesToRows struct {
+	src BatchSource
+
+	b    *Batch
+	i    int // dense position within b
+	done bool
+}
+
+func (s *batchesToRows) Name() string      { return s.src.Name() }
+func (s *batchesToRows) Columns() []string { return s.src.Columns() }
+
+func (s *batchesToRows) Next() (Tuple, bool, error) {
+	for {
+		if s.b != nil && s.i < s.b.NumRows() {
+			row := liveRow(s.b, s.i)
+			s.i++
+			return row, true, nil
+		}
+		if s.done {
+			return nil, false, nil
+		}
+		b, ok, err := s.src.NextBatch()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			s.done = true
+			s.b = nil
+			return nil, false, nil
+		}
+		s.b, s.i = b, 0
+	}
+}

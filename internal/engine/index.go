@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+
+	"github.com/probdb/urm/internal/exec"
 )
 
 // This file is the engine's shared base-relation index subsystem.  The
@@ -27,15 +29,23 @@ import (
 // (an in-memory build side cannot reach 2^31 rows) and the collision rules
 // exist exactly once.
 //
+// Buckets are a flat power-of-two array indexed by hash&mask rather than a
+// map keyed by the exact hash: a probe is one masked load instead of a map
+// lookup, which is what makes the vectorized probe loops tight.  Each row's
+// full 64-bit hash is kept in hashes so chain walks can reject bucket-sharing
+// rows with one integer compare before the EqualKey check; rows whose keys
+// hash equally but are not EqualKey must still be skipped by the prober.
+//
 // Column indexes built by buildColumnHashIndex key each row by
 // rows[i][col].Hash64() and preserve row order inside every chain: rows are
 // inserted back to front, each prepended to its chain, so traversing a chain
-// yields rows in ascending row order.  Rows whose keys hash equally but are
-// not EqualKey must be skipped by the prober.
+// yields rows in ascending row order.
 type hashIndex struct {
-	heads map[uint64]int32
-	next  []int32
-	rows  []Tuple
+	heads  []int32 // bucket heads, len is a power of two (never empty)
+	mask   uint64  // len(heads) - 1
+	hashes []uint64
+	next   []int32
+	rows   []Tuple
 
 	// col is the keyed column position for column indexes; -1 when the index
 	// keys whole tuples (TupleSet).
@@ -48,51 +58,229 @@ type hashIndex struct {
 	hasNaN bool
 }
 
-// add appends t under hash h, prepending it to h's chain (the TupleSet path;
-// chain order does not matter for set membership).
+// newBuckets returns a zeroed bucket array sized to the smallest power of two
+// holding n rows at load factor <= 1 (at least one bucket, so lookups never
+// bounds-check against an empty array).
+func newBuckets(n int) []int32 {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return make([]int32, size)
+}
+
+// lookup returns the head of the bucket chain for hash h (0 = empty).
+func (x *hashIndex) lookup(h uint64) int32 { return x.heads[h&x.mask] }
+
+// add appends t under hash h, prepending it to its bucket chain (the TupleSet
+// path; chain order does not matter for set membership).  The bucket array
+// doubles when the load factor reaches 1.
 func (x *hashIndex) add(h uint64, t Tuple) {
-	x.next = append(x.next, x.heads[h])
+	if len(x.rows) >= len(x.heads) {
+		x.grow()
+	}
+	b := h & x.mask
+	x.next = append(x.next, x.heads[b])
 	x.rows = append(x.rows, t)
-	x.heads[h] = int32(len(x.rows))
+	x.hashes = append(x.hashes, h)
+	x.heads[b] = int32(len(x.rows))
+}
+
+// grow doubles the bucket array and rethreads every chain from the stored
+// hashes, back to front so chains stay in ascending row order.
+func (x *hashIndex) grow() {
+	heads := newBuckets(2 * len(x.heads))
+	mask := uint64(len(heads) - 1)
+	for i := len(x.rows) - 1; i >= 0; i-- {
+		b := x.hashes[i] & mask
+		x.next[i] = heads[b]
+		heads[b] = int32(i + 1)
+	}
+	x.heads, x.mask = heads, mask
 }
 
 // buildColumnHashIndex builds a hash index over the rows keyed by the given
 // column, recording the column's kind mask as it hashes.  The rows slice is
 // shared, not copied.
+//
+// The build is two passes: a blocked batch-hash pass (the interleaved FNV
+// kernel, with the kind/NaN scan riding on each cache-hot block) and a chain
+// pass that threads buckets back to front from the stored hashes so chains
+// stay in ascending row order — exactly the structure the old single fused
+// loop produced.
 func buildColumnHashIndex(ctx context.Context, rows []Tuple, col int) (*hashIndex, error) {
 	x := &hashIndex{
-		heads: make(map[uint64]int32, len(rows)),
-		next:  make([]int32, len(rows)),
-		rows:  rows,
-		col:   col,
+		heads:  newBuckets(len(rows)),
+		hashes: make([]uint64, len(rows)),
+		next:   make([]int32, len(rows)),
+		rows:   rows,
+		col:    col,
 	}
+	x.mask = uint64(len(x.heads) - 1)
+	kinds, hasNaN, err := hashRangeMeta(ctx, rows, col, 0, len(rows), x.hashes)
+	if err != nil {
+		return nil, err
+	}
+	x.kinds, x.hasNaN = kinds, hasNaN
 	for i := len(rows) - 1; i >= 0; i-- {
 		if err := canceledEvery(ctx, len(rows)-1-i); err != nil {
 			return nil, err
 		}
-		v := rows[i][col]
-		x.kinds |= 1 << uint(v.Kind)
-		if v.Kind == KindFloat && v.Float != v.Float {
-			x.hasNaN = true
-		}
-		h := v.Hash64()
-		x.next[i] = x.heads[h]
-		x.heads[h] = int32(i + 1)
+		b := x.hashes[i] & x.mask
+		x.next[i] = x.heads[b]
+		x.heads[b] = int32(i + 1)
 	}
+	return x, nil
+}
+
+// hashRangeMeta fills hashes[lo:hi] with the column hashes of rows[lo:hi],
+// block by block through the interleaved kernel, checking cancellation
+// between blocks, and returns the kind mask and NaN flag for the range.
+func hashRangeMeta(ctx context.Context, rows []Tuple, col, lo, hi int, hashes []uint64) (kindMask, bool, error) {
+	var kinds kindMask
+	hasNaN := false
+	for blo := lo; blo < hi; blo += checkInterval {
+		if err := canceled(ctx); err != nil {
+			return 0, false, err
+		}
+		bhi := blo + checkInterval
+		if bhi > hi {
+			bhi = hi
+		}
+		block := rows[blo:bhi]
+		hashColumn(block, col, hashes[blo:bhi])
+		for i := range block {
+			v := &block[i][col]
+			kinds |= 1 << uint(v.Kind)
+			if v.Kind == KindFloat && v.Float != v.Float {
+				hasNaN = true
+			}
+		}
+	}
+	return kinds, hasNaN, nil
+}
+
+// parallelBuildMinRows is the build-side size below which a partitioned build
+// is not worth the fan-out overhead and the sequential build runs instead.
+const parallelBuildMinRows = 32768
+
+// buildColumnHashIndexPar is buildColumnHashIndex with the build side split
+// across the worker pool: each worker hashes a contiguous row range and
+// threads local bucket chains for it, then the per-partition chains are
+// merged bucket by bucket in partition order.  Partitions cover ascending row
+// ranges and chains are threaded back to front within each, so the merged
+// chains are in ascending row order — the structure is identical to the
+// sequential build's, and probes cannot tell them apart.
+func buildColumnHashIndexPar(ctx context.Context, rows []Tuple, col, workers int, stats *Stats) (*hashIndex, error) {
+	if workers <= 1 || len(rows) < parallelBuildMinRows {
+		return buildColumnHashIndex(ctx, rows, col)
+	}
+	nparts := workers
+	x := &hashIndex{
+		heads:  newBuckets(len(rows)),
+		hashes: make([]uint64, len(rows)),
+		next:   make([]int32, len(rows)),
+		rows:   rows,
+		col:    col,
+	}
+	x.mask = uint64(len(x.heads) - 1)
+	nbuckets := len(x.heads)
+
+	// Phase 1: per-partition hash + local chains.  heads/tails are 1-based row
+	// indices into the shared arrays; next is written only at this partition's
+	// own row positions, so partitions never race.
+	partHeads := make([][]int32, nparts)
+	partTails := make([][]int32, nparts)
+	partKinds := make([]kindMask, nparts)
+	partNaN := make([]bool, nparts)
+	chunk := (len(rows) + nparts - 1) / nparts
+	ec := exec.NewContext(ctx, workers)
+	err := exec.ForEach(ec, nparts, func(ctx context.Context, p int) error {
+		lo, hi := p*chunk, (p+1)*chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		if lo >= hi {
+			return nil
+		}
+		heads := make([]int32, nbuckets)
+		tails := make([]int32, nbuckets)
+		kinds, nan, err := hashRangeMeta(ctx, rows, col, lo, hi, x.hashes)
+		if err != nil {
+			return err
+		}
+		for i := hi - 1; i >= lo; i-- {
+			if err := canceledEvery(ctx, hi-1-i); err != nil {
+				return err
+			}
+			b := x.hashes[i] & x.mask
+			x.next[i] = heads[b]
+			heads[b] = int32(i + 1)
+			if tails[b] == 0 {
+				tails[b] = int32(i + 1)
+			}
+		}
+		partHeads[p], partTails[p] = heads, tails
+		partKinds[p], partNaN[p] = kinds, nan
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for p := 0; p < nparts; p++ {
+		x.kinds |= partKinds[p]
+		x.hasNaN = x.hasNaN || partNaN[p]
+	}
+
+	// Phase 2: splice the per-partition chains.  Workers own disjoint bucket
+	// ranges, so the shared heads/next writes never race either.
+	bucketsPer := (nbuckets + nparts - 1) / nparts
+	err = exec.ForEach(ec, nparts, func(ctx context.Context, p int) error {
+		lo, hi := p*bucketsPer, (p+1)*bucketsPer
+		if hi > nbuckets {
+			hi = nbuckets
+		}
+		for b := lo; b < hi; b++ {
+			if err := canceledEvery(ctx, b-lo); err != nil {
+				return err
+			}
+			var head, tail int32
+			for q := 0; q < nparts; q++ {
+				if partHeads[q] == nil || partHeads[q][b] == 0 {
+					continue
+				}
+				if head == 0 {
+					head = partHeads[q][b]
+				} else {
+					x.next[tail-1] = partHeads[q][b]
+				}
+				tail = partTails[q][b]
+			}
+			x.heads[b] = head
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats.recordPartitionedBuild(nparts)
 	return x, nil
 }
 
 // probeMatches collects the 0-based indices of rows whose keyed column is
 // EqualKey to one of the probe values, in ascending row order.  visited counts
-// the chain entries examined (including hash collisions).
+// the chain entries examined (including hash and bucket collisions).
 func (x *hashIndex) probeMatches(ctx context.Context, probes []Value) (matches []int32, visited int, err error) {
 	for _, pv := range probes {
 		h := pv.Hash64()
-		for j := x.heads[h]; j != 0; j = x.next[j-1] {
+		for j := x.lookup(h); j != 0; j = x.next[j-1] {
 			if err := canceledEvery(ctx, visited); err != nil {
 				return nil, 0, err
 			}
 			visited++
+			if x.hashes[j-1] != h {
+				continue // bucket collision: different hash entirely
+			}
 			if x.rows[j-1][x.col].EqualKey(pv) {
 				matches = append(matches, j-1)
 			}
@@ -457,5 +645,5 @@ func IndexedSelect(ctx context.Context, rel *Relation, pred Predicate, stats *St
 // both paths, so the output is bit-identical to HashJoin.  A nil cache is the
 // plain HashJoin.
 func IndexedHashJoin(ctx context.Context, left, right *Relation, leftCol, rightCol string, stats *Stats, cache *IndexCache) (*Relation, error) {
-	return hashJoin(ctx, left, right, leftCol, rightCol, stats, cache)
+	return hashJoin(ctx, left, right, leftCol, rightCol, stats, cache, 0)
 }

@@ -40,23 +40,40 @@ func Select(ctx context.Context, rel *Relation, pred Predicate, stats *Stats) (*
 	if err := canceled(ctx); err != nil {
 		return nil, err
 	}
-	bp, err := bindRelPredicate(pred, rel)
+	vp, err := compileVecPredicate(pred, rel.ColumnIndex, rel.Columns)
 	if err != nil {
 		return nil, err
 	}
 	out := NewRelation(rel.Name, rel.Columns)
-	for i, row := range rel.Rows {
-		if i%checkInterval == checkInterval-1 {
+	rows := rel.Rows
+	// Filter the whole relation into one selection vector first (pointer-free,
+	// so it is nearly invisible to the GC), then allocate the output row list
+	// at its exact final size: no growth reallocations, no over-allocation.
+	sel := make([]int32, 0, len(rows))
+	var selbuf []int32
+	for lo := 0; lo < len(rows); lo += checkInterval {
+		if lo > 0 {
 			if err := canceled(ctx); err != nil {
 				return nil, err
 			}
 		}
-		ok, err := bp.eval(row)
+		hi := lo + checkInterval
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		blockSel, err := vp.filterSel(rows[lo:hi], nil, selbuf[:0])
 		if err != nil {
 			return nil, err
 		}
-		if ok {
-			out.Rows = append(out.Rows, row)
+		selbuf = blockSel
+		for _, i := range blockSel {
+			sel = append(sel, i+int32(lo))
+		}
+	}
+	if len(sel) > 0 {
+		out.Rows = make([]Tuple, len(sel))
+		for k, i := range sel {
+			out.Rows[k] = rows[i]
 		}
 	}
 	stats.record(OpKindSelect, len(rel.Rows), len(out.Rows))
@@ -81,22 +98,122 @@ func Project(ctx context.Context, rel *Relation, columns []string, stats *Stats)
 		outCols[i] = rel.Columns[j]
 	}
 	out := NewRelation(rel.Name, outCols)
-	out.Rows = make([]Tuple, 0, len(rel.Rows))
-	var arena valueArena
-	for i, row := range rel.Rows {
-		if i%checkInterval == checkInterval-1 {
-			if err := canceled(ctx); err != nil {
-				return nil, err
-			}
-		}
-		t := arena.tuple(len(idx))
-		for i, j := range idx {
-			t[i] = row[j]
-		}
-		out.Rows = append(out.Rows, t)
+	if err := projectRows(ctx, rel.Rows, idx, &out.Rows); err != nil {
+		return nil, err
 	}
 	stats.record(OpKindProject, len(rel.Rows), len(out.Rows))
 	return out, nil
+}
+
+// projectRows gathers the idx columns of every input row into *out, sized
+// exactly: one value slab and one row-header slab for the whole input, no
+// growth reallocations.  The one- and two-column widths — virtually every
+// projection the reformulated workloads produce — run specialized loops.
+//
+// When the requested columns are a contiguous run in source order (every
+// single-column projection is), no values move at all: each output tuple is a
+// capacity-clamped subslice of its input row.  Tuples are immutable once
+// built — the batch pipeline already aliases base-relation rows into batches
+// on the same contract — so sharing the value backing is observationally
+// identical to copying it.  The full slice expression pins cap to the window,
+// keeping any later append from writing into the source row's other columns.
+// contiguousIdx reports whether the projection indices are a contiguous
+// ascending run of source columns, the shape the zero-copy window path serves.
+func contiguousIdx(idx []int) bool {
+	for c := 1; c < len(idx); c++ {
+		if idx[c] != idx[0]+c {
+			return false
+		}
+	}
+	return len(idx) > 0
+}
+
+func projectRows(ctx context.Context, rows []Tuple, idx []int, out *[]Tuple) error {
+	n := len(rows)
+	if n == 0 {
+		return nil
+	}
+	k := len(idx)
+	// Reuse the caller's slice when it has the capacity — the batch executor
+	// hands back the drained (private) header slice so a root projection
+	// rewrites headers in place instead of allocating a second slab.  Headers
+	// are copied into locals before their slot is overwritten, and the value
+	// backing is never written, so dst may alias rows.
+	dst := *out
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]Tuple, n)
+	}
+	*out = dst
+	if k == 0 {
+		for i := range dst {
+			dst[i] = Tuple{}
+		}
+		return nil
+	}
+	if contiguousIdx(idx) {
+		j0, j1 := idx[0], idx[0]+k
+		for lo := 0; lo < n; lo += checkInterval {
+			if lo > 0 {
+				if err := canceled(ctx); err != nil {
+					return err
+				}
+			}
+			hi := lo + checkInterval
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				dst[i] = rows[i][j0:j1:j1]
+			}
+		}
+		return nil
+	}
+	flat := make([]Value, k*n)
+	for lo := 0; lo < n; lo += checkInterval {
+		if lo > 0 {
+			if err := canceled(ctx); err != nil {
+				return err
+			}
+		}
+		hi := lo + checkInterval
+		if hi > n {
+			hi = n
+		}
+		off := lo * k
+		switch k {
+		case 1:
+			j0 := idx[0]
+			for i := lo; i < hi; i++ {
+				t := Tuple(flat[off : off+1 : off+1])
+				t[0] = rows[i][j0]
+				dst[i] = t
+				off++
+			}
+		case 2:
+			j0, j1 := idx[0], idx[1]
+			for i := lo; i < hi; i++ {
+				t := Tuple(flat[off : off+2 : off+2])
+				row := rows[i]
+				t[0] = row[j0]
+				t[1] = row[j1]
+				dst[i] = t
+				off += 2
+			}
+		default:
+			for i := lo; i < hi; i++ {
+				row := rows[i]
+				t := Tuple(flat[off : off+k : off+k])
+				for c, j := range idx {
+					t[c] = row[j]
+				}
+				dst[i] = t
+				off += k
+			}
+		}
+	}
+	return nil
 }
 
 // Product returns the Cartesian product of two relations.  Column names are
@@ -133,14 +250,15 @@ func Product(ctx context.Context, left, right *Relation, stats *Stats) (*Relatio
 // probes compare candidate rows with EqualKey, so no key strings are ever
 // formatted.
 func HashJoin(ctx context.Context, left, right *Relation, leftCol, rightCol string, stats *Stats) (*Relation, error) {
-	return hashJoin(ctx, left, right, leftCol, rightCol, stats, nil)
+	return hashJoin(ctx, left, right, leftCol, rightCol, stats, nil, 0)
 }
 
 // hashJoin is the equi-join shared by HashJoin and IndexedHashJoin: when the
 // cache identifies the right side as an untouched base scan, the build table
 // is the instance's shared per-column index; otherwise it is built here from
-// the right rows.
-func hashJoin(ctx context.Context, left, right *Relation, leftCol, rightCol string, stats *Stats, cache *IndexCache) (*Relation, error) {
+// the right rows — partitioned across workers when the build side is large
+// enough (the built structure is byte-identical either way).
+func hashJoin(ctx context.Context, left, right *Relation, leftCol, rightCol string, stats *Stats, cache *IndexCache, workers int) (*Relation, error) {
 	if err := canceled(ctx); err != nil {
 		return nil, err
 	}
@@ -171,7 +289,7 @@ func hashJoin(ctx context.Context, left, right *Relation, leftCol, rightCol stri
 	}
 	if build == nil {
 		var err error
-		build, err = buildColumnHashIndex(ctx, right.Rows, ri)
+		build, err = buildColumnHashIndexPar(ctx, right.Rows, ri, workers, stats)
 		if err != nil {
 			return nil, err
 		}
@@ -189,25 +307,73 @@ func hashJoin(ctx context.Context, left, right *Relation, leftCol, rightCol stri
 }
 
 // probeJoin streams the left rows against the build index, appending joined
-// rows to out.  Chains preserve build-row order, so output order is identical
-// whether the index was built here or shared.
+// rows to out.  Probe-key hashes are precomputed one block at a time — the
+// same batch FNV-1a pass the batch pipeline's join runs — and chain entries
+// whose stored hash differs are rejected without touching the candidate row.
+// Chains preserve build-row order, so output order is identical whether the
+// index was built here or shared.
 func probeJoin(ctx context.Context, lrows []Tuple, li, ri int, build *hashIndex, out *Relation) error {
 	var arena valueArena
+	// Seed the output at the no-duplicate-keys estimate: at most one match per
+	// probe and at most one per build row, so the smaller side bounds the
+	// duplicate-free output.  Joins at or under it never reallocate; larger
+	// outputs fall back to geometric growth.  The arena is reserved to the
+	// same estimate, so the common foreign-key shape fills exactly one value
+	// slab instead of leaving a partially used chunk behind.
+	if len(lrows) > 0 && len(build.rows) > 0 {
+		seed := len(lrows)
+		if len(build.rows) < seed {
+			seed = len(build.rows)
+		}
+		out.Rows = make([]Tuple, 0, seed)
+		if w := len(lrows[0]) + len(build.rows[0]); w > 0 && seed <= (1<<31)/w {
+			arena.reserve(seed * w)
+		}
+	}
+	hashes := make([]uint64, DefaultBatchSize)
+	heads := make([]int32, DefaultBatchSize)
+	bnext, bhashes, brows := build.next, build.hashes, build.rows
 	probed := 0
-	for _, lr := range lrows {
-		v := lr[li]
-		for j := build.heads[v.Hash64()]; j != 0; j = build.next[j-1] {
-			probed++
-			if probed%checkInterval == 0 {
-				if err := canceled(ctx); err != nil {
-					return err
+	for lo := 0; lo < len(lrows); lo += DefaultBatchSize {
+		if err := canceled(ctx); err != nil {
+			return err
+		}
+		hi := lo + DefaultBatchSize
+		if hi > len(lrows) {
+			hi = len(lrows)
+		}
+		block := lrows[lo:hi]
+		hashColumn(block, li, hashes[:len(block)])
+		// Gather the bucket heads in their own pass: the masked loads are
+		// independent, so the out-of-order window overlaps their cache misses
+		// instead of serializing them behind each probe's chain walk.
+		for i := range block {
+			heads[i] = build.lookup(hashes[i])
+		}
+		for i := range block {
+			j := heads[i]
+			if j == 0 {
+				continue // empty bucket: no candidate shares the hash prefix
+			}
+			lr := block[i]
+			v := lr[li]
+			h := hashes[i]
+			for ; j != 0; j = bnext[j-1] {
+				probed++
+				if probed%checkInterval == 0 {
+					if err := canceled(ctx); err != nil {
+						return err
+					}
 				}
+				if bhashes[j-1] != h {
+					continue // bucket collision: different hash entirely
+				}
+				rr := brows[j-1]
+				if !rr[ri].EqualKey(v) {
+					continue // hash collision, not an actual match
+				}
+				out.Rows = append(out.Rows, arena.concat(lr, rr))
 			}
-			rr := build.rows[j-1]
-			if !rr[ri].EqualKey(v) {
-				continue // hash collision, not an actual match
-			}
-			out.Rows = append(out.Rows, arena.concat(lr, rr))
 		}
 	}
 	return nil
@@ -221,14 +387,27 @@ func Distinct(ctx context.Context, rel *Relation, stats *Stats) (*Relation, erro
 	}
 	out := NewRelation(rel.Name, rel.Columns)
 	seen := NewTupleSet(len(rel.Rows))
-	for i, row := range rel.Rows {
-		if i%checkInterval == checkInterval-1 {
+	rows := rel.Rows
+	hashes := make([]uint64, 0, DefaultBatchSize)
+	for lo := 0; lo < len(rows); lo += DefaultBatchSize {
+		if lo > 0 {
 			if err := canceled(ctx); err != nil {
 				return nil, err
 			}
 		}
-		if seen.Add(row) {
-			out.Rows = append(out.Rows, row)
+		hi := lo + DefaultBatchSize
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		block := rows[lo:hi]
+		hashes = hashes[:0]
+		for i := range block {
+			hashes = append(hashes, block[i].Hash64())
+		}
+		for i := range block {
+			if seen.AddHashed(hashes[i], block[i]) {
+				out.Rows = append(out.Rows, block[i])
+			}
 		}
 	}
 	stats.record(OpKindDistinct, len(rel.Rows), len(out.Rows))

@@ -174,6 +174,18 @@ type Executor struct {
 	// the build side is a bare or constant-filtered scan.  Answers are
 	// bit-identical with or without it.  nil disables index use.
 	Indexes *IndexCache
+	// Batch selects the execution pipeline for uncached plans: 0 runs the
+	// vectorized batch pipeline at DefaultBatchSize, a positive value runs it
+	// at that many rows per batch, and a negative value falls back to the
+	// tuple-at-a-time RowSource pipeline.  Purely a physical knob — answers
+	// and logical operator statistics are identical across all settings.
+	Batch int
+	// Workers caps the parallelism of partitioned hash-join builds in the
+	// batch pipeline.  Values below 2 (including 0, the default) build
+	// sequentially; builds are partitioned only when the build side is large
+	// enough to amortize the fan-out.  The built structure — and therefore
+	// every answer — is byte-identical to a sequential build.
+	Workers int
 }
 
 // NewExecutor returns an executor over the instance with a fresh Stats.
@@ -200,12 +212,14 @@ func (e *Executor) Execute(p Plan) (*Relation, error) {
 // periodically and the execution stops promptly with the context's error once
 // it is cancelled or its deadline passes.
 //
-// Without a cache the plan is compiled into a streaming RowSource pipeline:
-// scan→select→project chains are fused and produce no intermediate Relations;
-// only pipeline breakers (join build side, product inner side, distinct,
-// aggregate) buffer rows, and the root materializes the result.  With a cache
-// every node still materializes — the MQO substrate shares results per
-// sub-plan signature, which requires each signature's Relation to exist.
+// Without a cache the plan is compiled into a streaming pipeline — the
+// vectorized batch pipeline by default (see Batch), or the tuple-at-a-time
+// RowSource pipeline when Batch is negative.  Either way, scan→select→project
+// chains are fused and produce no intermediate Relations; only pipeline
+// breakers (join build side, product inner side, distinct, aggregate) buffer
+// rows, and the root materializes the result.  With a cache every node still
+// materializes — the MQO substrate shares results per sub-plan signature,
+// which requires each signature's Relation to exist.
 func (e *Executor) ExecuteContext(ctx context.Context, p Plan) (*Relation, error) {
 	if p == nil {
 		return nil, fmt.Errorf("execute: nil plan")
@@ -222,11 +236,91 @@ func (e *Executor) ExecuteContext(ctx context.Context, p Plan) (*Relation, error
 		}
 		return n.Rel, nil
 	}
-	src, err := e.compile(ctx, p)
+	if e.Batch < 0 {
+		src, err := e.compile(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		return Materialize(src)
+	}
+	if n, ok := p.(*ProjectPlan); ok {
+		// Root projection — the shape every reformulated query ends in —
+		// materializes fused: the child pipeline is drained to row headers and
+		// the column gather runs once at the exact output size, instead of
+		// carving per-batch tuples that the root would copy again.
+		return e.executeBatchProjectRoot(ctx, n)
+	}
+	src, err := e.compileBatch(ctx, p)
 	if err != nil {
 		return nil, err
 	}
-	return Materialize(src)
+	return MaterializeBatches(src)
+}
+
+// executeBatchProjectRoot compiles the projection's child as a batch pipeline
+// and gathers the projected columns straight into the result relation.  Column
+// resolution, error messages and recorded statistics are identical to the
+// batchProject operator's.
+func (e *Executor) executeBatchProjectRoot(ctx context.Context, n *ProjectPlan) (*Relation, error) {
+	child, err := e.compileBatch(ctx, n.Child)
+	if err != nil {
+		return nil, err
+	}
+	cols := child.Columns()
+	idx := make([]int, len(n.Columns))
+	outCols := make([]string, len(n.Columns))
+	for i, c := range n.Columns {
+		j := lookupColumn(cols, c)
+		if j < 0 {
+			return nil, fmt.Errorf("project: column %q not found in %v", c, cols)
+		}
+		idx[i] = j
+		outCols[i] = cols[j]
+	}
+	var rows []Tuple
+	if err := drainBatches(child, &rows); err != nil {
+		return nil, err
+	}
+	out := NewRelation(child.Name(), outCols)
+	if len(rows) > 0 && contiguousIdx(idx) {
+		// The drained headers are private to this call, so a contiguous
+		// projection allocates nothing at all: each header is rewritten in
+		// place into its capacity-clamped column window.
+		j0, j1 := idx[0], idx[0]+len(idx)
+		for lo := 0; lo < len(rows); lo += checkInterval {
+			if lo > 0 {
+				if err := canceled(ctx); err != nil {
+					return nil, err
+				}
+			}
+			hi := lo + checkInterval
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			for i := lo; i < hi; i++ {
+				rows[i] = rows[i][j0:j1:j1]
+			}
+		}
+		out.Rows = rows
+	} else {
+		// Non-contiguous projections still reuse the drained header slice as
+		// the destination: projectRows rewrites each header in place after
+		// gathering its values, so only the value slab is allocated.
+		out.Rows = rows
+		if err := projectRows(ctx, rows, idx, &out.Rows); err != nil {
+			return nil, err
+		}
+	}
+	e.Stats.record(OpKindProject, len(rows), len(out.Rows))
+	return out, nil
+}
+
+// batchSize resolves the executor's configured batch size.
+func (e *Executor) batchSize() int {
+	if e.Batch > 0 {
+		return e.Batch
+	}
+	return DefaultBatchSize
 }
 
 // compile lowers a plan node into a streaming row source.  Column references
@@ -339,6 +433,139 @@ func (e *Executor) compile(ctx context.Context, p Plan) (RowSource, error) {
 	}
 }
 
+// compileBatch lowers a plan node into the vectorized batch pipeline.  It
+// mirrors compile node for node — same column resolution order, same error
+// messages, same index-serving decisions — so the two pipelines accept exactly
+// the same plans and produce bit-identical results and operator statistics.
+// Index-served selections stay row-at-a-time behind the rowsToBatches adapter.
+func (e *Executor) compileBatch(ctx context.Context, p Plan) (BatchSource, error) {
+	switch n := p.(type) {
+	case *ScanPlan:
+		base := e.DB.Relation(n.Relation)
+		if base == nil {
+			return nil, fmt.Errorf("scan: unknown relation %q", n.Relation)
+		}
+		alias := n.Alias
+		if alias == "" {
+			alias = n.Relation
+		}
+		return &batchScan{
+			ctx: ctx, name: alias, cols: qualifiedScanColumns(base, alias),
+			rows: base.Rows, size: e.batchSize(), stats: e.Stats, record: true,
+		}, nil
+	case *MaterialPlan:
+		if n.Rel == nil {
+			return nil, fmt.Errorf("materialized plan %q has nil relation", n.Label)
+		}
+		return &batchScan{
+			ctx: ctx, name: n.Rel.Name, cols: n.Rel.Columns,
+			rows: n.Rel.Rows, size: e.batchSize(), stats: e.Stats,
+		}, nil
+	case *SelectPlan:
+		if e.Indexes != nil {
+			src, ok, err := e.compileIndexedSelect(ctx, n)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return &rowsToBatches{src: src, size: e.batchSize(), stats: e.Stats}, nil
+			}
+		}
+		child, err := e.compileBatch(ctx, n.Child)
+		if err != nil {
+			return nil, err
+		}
+		cols := child.Columns()
+		vp, err := compileVecPredicate(n.Pred, func(name string) int { return lookupColumn(cols, name) }, cols)
+		if err != nil {
+			return nil, err
+		}
+		return &batchFilter{ctx: ctx, src: child, pred: vp, stats: e.Stats}, nil
+	case *ProjectPlan:
+		child, err := e.compileBatch(ctx, n.Child)
+		if err != nil {
+			return nil, err
+		}
+		cols := child.Columns()
+		idx := make([]int, len(n.Columns))
+		outCols := make([]string, len(n.Columns))
+		for i, c := range n.Columns {
+			j := lookupColumn(cols, c)
+			if j < 0 {
+				return nil, fmt.Errorf("project: column %q not found in %v", c, cols)
+			}
+			idx[i] = j
+			outCols[i] = cols[j]
+		}
+		return &batchProject{ctx: ctx, src: child, name: child.Name(), cols: outCols, idx: idx, stats: e.Stats}, nil
+	case *ProductPlan:
+		left, err := e.compileBatch(ctx, n.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.compileBatch(ctx, n.Right)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]string, 0, len(left.Columns())+len(right.Columns()))
+		cols = append(cols, left.Columns()...)
+		cols = append(cols, right.Columns()...)
+		return &batchProduct{
+			ctx: ctx, left: left, right: right,
+			name: left.Name() + "x" + right.Name(), cols: cols,
+			size: e.batchSize(), stats: e.Stats,
+		}, nil
+	case *JoinPlan:
+		left, err := e.compileBatch(ctx, n.Left)
+		if err != nil {
+			return nil, err
+		}
+		if e.Indexes != nil {
+			src, ok, err := e.compileBatchSharedJoin(ctx, n, left)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				return src, nil
+			}
+		}
+		right, err := e.compileBatch(ctx, n.Right)
+		if err != nil {
+			return nil, err
+		}
+		li := lookupColumn(left.Columns(), n.LeftCol)
+		if li < 0 {
+			return nil, fmt.Errorf("join: column %q not found in %v", n.LeftCol, left.Columns())
+		}
+		ri := lookupColumn(right.Columns(), n.RightCol)
+		if ri < 0 {
+			return nil, fmt.Errorf("join: column %q not found in %v", n.RightCol, right.Columns())
+		}
+		cols := make([]string, 0, len(left.Columns())+len(right.Columns()))
+		cols = append(cols, left.Columns()...)
+		cols = append(cols, right.Columns()...)
+		return &batchJoin{
+			ctx: ctx, left: left, right: right, li: li, ri: ri,
+			name: left.Name() + "⋈" + right.Name(), cols: cols,
+			size: e.batchSize(), workers: e.Workers, stats: e.Stats,
+		}, nil
+	case *AggregatePlan:
+		child, err := e.compileBatch(ctx, n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return newBatchAgg(ctx, child, n.Func, n.Column, e.Stats)
+	case *DistinctPlan:
+		child, err := e.compileBatch(ctx, n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &batchDistinct{ctx: ctx, src: child, seen: NewTupleSet(64), stats: e.Stats}, nil
+	default:
+		return nil, fmt.Errorf("execute: unsupported plan node %T", p)
+	}
+}
+
 // executeMaterialized evaluates the plan node by node, materializing every
 // intermediate result.  It is the execution mode of cached (MQO) executors,
 // where each sub-plan signature's result must exist to be shared.
@@ -415,7 +642,7 @@ func (e *Executor) executeMaterialized(ctx context.Context, p Plan) (*Relation, 
 		if err != nil {
 			return nil, err
 		}
-		return HashJoin(ctx, left, right, n.LeftCol, n.RightCol, e.Stats)
+		return hashJoin(ctx, left, right, n.LeftCol, n.RightCol, e.Stats, nil, e.Workers)
 	case *AggregatePlan:
 		child, err := e.ExecuteContext(ctx, n.Child)
 		if err != nil {
@@ -544,12 +771,24 @@ func (e *Executor) compileIndexedSelect(ctx context.Context, top *SelectPlan) (R
 	}, true, nil
 }
 
-// compileSharedJoin lowers an equi-join whose build (right) side is a bare or
-// constant-filtered scan of a base relation into a join over the shared
-// per-column index: the build table is the instance's index and the build-side
-// constant filters run per probed candidate.  ok=false hands the join back to
-// the plain compiler.
-func (e *Executor) compileSharedJoin(ctx context.Context, n *JoinPlan, left RowSource) (RowSource, bool, error) {
+// sharedJoinParts is the bound shape of an index-served equi-join, shared by
+// the row and batch compilers.  The levels are freshly constructed per bind —
+// they carry per-execution row counts and must never be shared between
+// pipelines.
+type sharedJoinParts struct {
+	base   *Relation
+	alias  string
+	levels []selectLevel
+	li, ri int
+	cols   []string
+}
+
+// bindSharedJoin recognizes an equi-join whose build (right) side is a bare or
+// constant-filtered scan of a base relation and binds everything an
+// index-served join needs: the build-side constant filters as per-candidate
+// levels, the key column positions, and the joined column layout.  ok=false
+// hands the join back to the plain compiler.
+func (e *Executor) bindSharedJoin(n *JoinPlan, lcols []string) (*sharedJoinParts, bool, error) {
 	scan, stack, ok := constFilterStack(n.Right)
 	if !ok {
 		return nil, false, nil
@@ -571,20 +810,46 @@ func (e *Executor) compileSharedJoin(ctx context.Context, n *JoinPlan, left RowS
 		}
 		levels[i].residual = bp
 	}
-	li := lookupColumn(left.Columns(), n.LeftCol)
+	li := lookupColumn(lcols, n.LeftCol)
 	if li < 0 {
-		return nil, false, fmt.Errorf("join: column %q not found in %v", n.LeftCol, left.Columns())
+		return nil, false, fmt.Errorf("join: column %q not found in %v", n.LeftCol, lcols)
 	}
 	ri := lookupColumn(rcols, n.RightCol)
 	if ri < 0 {
 		return nil, false, fmt.Errorf("join: column %q not found in %v", n.RightCol, rcols)
 	}
-	cols := make([]string, 0, len(left.Columns())+len(rcols))
-	cols = append(cols, left.Columns()...)
+	cols := make([]string, 0, len(lcols)+len(rcols))
+	cols = append(cols, lcols...)
 	cols = append(cols, rcols...)
+	return &sharedJoinParts{base: base, alias: alias, levels: levels, li: li, ri: ri, cols: cols}, true, nil
+}
+
+// compileSharedJoin lowers an equi-join whose build (right) side is a bare or
+// constant-filtered scan of a base relation into a join over the shared
+// per-column index: the build table is the instance's index and the build-side
+// constant filters run per probed candidate.  ok=false hands the join back to
+// the plain compiler.
+func (e *Executor) compileSharedJoin(ctx context.Context, n *JoinPlan, left RowSource) (RowSource, bool, error) {
+	parts, ok, err := e.bindSharedJoin(n, left.Columns())
+	if !ok || err != nil {
+		return nil, false, err
+	}
 	return &sharedJoinSource{
-		ctx: ctx, cache: e.Indexes, left: left, li: li, base: base, ri: ri,
-		name: left.Name() + "⋈" + alias, cols: cols, stats: e.Stats, levels: levels,
+		ctx: ctx, cache: e.Indexes, left: left, li: parts.li, base: parts.base, ri: parts.ri,
+		name: left.Name() + "⋈" + parts.alias, cols: parts.cols, stats: e.Stats, levels: parts.levels,
+	}, true, nil
+}
+
+// compileBatchSharedJoin is compileSharedJoin's batch-pipeline twin.
+func (e *Executor) compileBatchSharedJoin(ctx context.Context, n *JoinPlan, left BatchSource) (BatchSource, bool, error) {
+	parts, ok, err := e.bindSharedJoin(n, left.Columns())
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	return &batchSharedJoin{
+		ctx: ctx, cache: e.Indexes, left: left, li: parts.li, base: parts.base, ri: parts.ri,
+		name: left.Name() + "⋈" + parts.alias, cols: parts.cols, size: e.batchSize(),
+		stats: e.Stats, levels: parts.levels,
 	}, true, nil
 }
 

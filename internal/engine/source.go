@@ -76,6 +76,15 @@ func (a *valueArena) concat(lr, rr Tuple) Tuple {
 	return t
 }
 
+// reserve sizes the arena's current chunk for at least n more values when the
+// caller can estimate its total output up front: an exact estimate means one
+// slab and no partially used chunk left behind as dead weight.
+func (a *valueArena) reserve(n int) {
+	if len(a.buf) < n {
+		a.buf = make([]Value, n)
+	}
+}
+
 // canceledEvery reports the context error on the first call and then once per
 // checkInterval calls, keeping cancellation prompt at negligible per-row cost.
 func canceledEvery(ctx context.Context, n int) error {
@@ -320,13 +329,14 @@ type joinSource struct {
 	stats       *Stats
 	arena       valueArena
 
-	started bool
-	build   *hashIndex
-	cur     Tuple // current probe row
-	chain   int32 // next build-chain position (1-based) for cur; 0 = exhausted
-	leftIn  int
-	out     int
-	done    bool
+	started   bool
+	build     *hashIndex
+	cur       Tuple  // current probe row
+	chain     int32  // next build-chain position (1-based) for cur; 0 = exhausted
+	chainHash uint64 // cur's key hash, to reject bucket collisions
+	leftIn    int
+	out       int
+	done      bool
 }
 
 func newJoinSource(ctx context.Context, left, right RowSource, li, ri int, stats *Stats) *joinSource {
@@ -364,10 +374,14 @@ func (s *joinSource) Next() (Tuple, bool, error) {
 	}
 	for {
 		for s.chain != 0 {
-			rr := s.build.rows[s.chain-1]
-			s.chain = s.build.next[s.chain-1]
+			j := s.chain
+			s.chain = s.build.next[j-1]
+			if s.build.hashes[j-1] != s.chainHash {
+				continue // bucket collision: different hash entirely
+			}
+			rr := s.build.rows[j-1]
 			if !rr[s.ri].EqualKey(s.cur[s.li]) {
-				continue // hash collision: not an actual match
+				continue // hash collision, not an actual match
 			}
 			if err := canceledEvery(s.ctx, s.out); err != nil {
 				return nil, false, err
@@ -391,7 +405,8 @@ func (s *joinSource) Next() (Tuple, bool, error) {
 		}
 		s.leftIn++
 		s.cur = row
-		s.chain = s.build.heads[row[s.li].Hash64()]
+		s.chainHash = row[s.li].Hash64()
+		s.chain = s.build.lookup(s.chainHash)
 	}
 }
 
@@ -493,9 +508,11 @@ func (a *aggAccumulator) add(row Tuple) error {
 
 // addAll folds a materialized row slice with per-function loops — same
 // semantics as add row by row (same accumulation order, same errors), without
-// paying a per-row dispatch.  The materialized Aggregate drives it.  The hot
-// loops accumulate into locals and read values through a pointer: a per-row
-// field store and a 48-byte Value copy per row are measurable at scan speed.
+// paying a per-row dispatch.  The materialized Aggregate and the batch
+// pipeline's full batches drive it.  The hot loops accumulate into locals,
+// read values through a pointer and run in checkInterval blocks so the inner
+// loop carries no per-row cancellation arithmetic: a per-row field store, a
+// 48-byte Value copy or a modulo per row are all measurable at scan speed.
 func (a *aggAccumulator) addAll(ctx context.Context, rows []Tuple) error {
 	switch a.fn {
 	case AggCount:
@@ -503,13 +520,82 @@ func (a *aggAccumulator) addAll(ctx context.Context, rows []Tuple) error {
 	case AggSum, AggAvg:
 		idx := a.idx
 		sum := a.sum
-		for i := range rows {
-			if i%checkInterval == checkInterval-1 {
+		for lo := 0; lo < len(rows); lo += checkInterval {
+			if lo > 0 {
 				if err := canceled(ctx); err != nil {
 					a.sum = sum
 					return err
 				}
 			}
+			hi := lo + checkInterval
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			for i := lo; i < hi; i++ {
+				v := &rows[i][idx]
+				switch v.Kind {
+				case KindFloat:
+					sum += v.Float
+				case KindInt:
+					sum += float64(v.Int)
+				default:
+					f, ok := v.AsFloat()
+					if !ok {
+						a.sum = sum
+						a.n += i + 1
+						return fmt.Errorf("aggregate %s: non-numeric value %v in column %q", a.fn, *v, a.column)
+					}
+					sum += f
+				}
+			}
+		}
+		a.sum = sum
+		a.n += len(rows)
+		a.numIn += len(rows)
+	case AggMin, AggMax:
+		idx := a.idx
+		for lo := 0; lo < len(rows); lo += checkInterval {
+			if lo > 0 {
+				if err := canceled(ctx); err != nil {
+					return err
+				}
+			}
+			hi := lo + checkInterval
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			for i := lo; i < hi; i++ {
+				v := rows[i][idx]
+				if a.n == 0 && i == 0 {
+					a.best = v
+				} else if cmp := v.Compare(a.best); (a.fn == AggMin && cmp < 0) || (a.fn == AggMax && cmp > 0) {
+					a.best = v
+				}
+			}
+		}
+		a.n += len(rows)
+	}
+	return nil
+}
+
+// addSel folds the live rows of one batch: the selection vector indexes into
+// rows exactly as the batch operators produced it, so accumulation order —
+// and therefore float summation — is identical to feeding the selected rows
+// one at a time.  A nil selection is the full batch (addAll).  Selection
+// vectors are bounded by the batch size, so the caller's per-batch
+// cancellation check keeps the selected path prompt; the full-batch path
+// re-checks per block in case the configured batch size is huge.
+func (a *aggAccumulator) addSel(ctx context.Context, rows []Tuple, sel []int32) error {
+	if sel == nil {
+		return a.addAll(ctx, rows)
+	}
+	switch a.fn {
+	case AggCount:
+		a.n += len(sel)
+	case AggSum, AggAvg:
+		idx := a.idx
+		sum := a.sum
+		for k, i := range sel {
 			v := &rows[i][idx]
 			switch v.Kind {
 			case KindFloat:
@@ -520,31 +606,26 @@ func (a *aggAccumulator) addAll(ctx context.Context, rows []Tuple) error {
 				f, ok := v.AsFloat()
 				if !ok {
 					a.sum = sum
-					a.n += i + 1
+					a.n += k + 1
 					return fmt.Errorf("aggregate %s: non-numeric value %v in column %q", a.fn, *v, a.column)
 				}
 				sum += f
 			}
 		}
 		a.sum = sum
-		a.n += len(rows)
-		a.numIn += len(rows)
+		a.n += len(sel)
+		a.numIn += len(sel)
 	case AggMin, AggMax:
 		idx := a.idx
-		for i := range rows {
-			if i%checkInterval == checkInterval-1 {
-				if err := canceled(ctx); err != nil {
-					return err
-				}
-			}
+		for k, i := range sel {
 			v := rows[i][idx]
-			if a.n == 0 && i == 0 {
+			if a.n == 0 && k == 0 {
 				a.best = v
 			} else if cmp := v.Compare(a.best); (a.fn == AggMin && cmp < 0) || (a.fn == AggMax && cmp > 0) {
 				a.best = v
 			}
 		}
-		a.n += len(rows)
+		a.n += len(sel)
 	}
 	return nil
 }
@@ -774,13 +855,14 @@ type sharedJoinSource struct {
 	arena  valueArena
 	levels []selectLevel
 
-	started bool
-	build   *hashIndex
-	cur     Tuple
-	chain   int32
-	leftIn  int
-	out     int
-	done    bool
+	started   bool
+	build     *hashIndex
+	cur       Tuple
+	chain     int32
+	chainHash uint64
+	leftIn    int
+	out       int
+	done      bool
 }
 
 func (s *sharedJoinSource) Name() string      { return s.name }
@@ -798,8 +880,12 @@ func (s *sharedJoinSource) Next() (Tuple, bool, error) {
 	}
 	for {
 		for s.chain != 0 {
-			rr := s.build.rows[s.chain-1]
-			s.chain = s.build.next[s.chain-1]
+			j := s.chain
+			s.chain = s.build.next[j-1]
+			if s.build.hashes[j-1] != s.chainHash {
+				continue // bucket collision: different hash entirely
+			}
+			rr := s.build.rows[j-1]
 			if !rr[s.ri].EqualKey(s.cur[s.li]) {
 				continue // hash collision: not an actual match
 			}
@@ -834,6 +920,7 @@ func (s *sharedJoinSource) Next() (Tuple, bool, error) {
 		}
 		s.leftIn++
 		s.cur = row
-		s.chain = s.build.heads[row[s.li].Hash64()]
+		s.chainHash = row[s.li].Hash64()
+		s.chain = s.build.lookup(s.chainHash)
 	}
 }

@@ -53,12 +53,26 @@ type Stats struct {
 	// served from an index still record their logical kind (select, join).
 	indexBuilds  atomic.Int64
 	indexLookups atomic.Int64
+
+	// Batch-engine counters.  They describe physical execution shape — how
+	// many vector batches flowed, how selective the selections were, how many
+	// hash-join builds ran partitioned — and are deliberately outside the
+	// logical operator totals, which stay identical across batch sizes and
+	// parallelism levels.
+	batches         atomic.Int64
+	selectRowsIn    atomic.Int64
+	selectRowsOut   atomic.Int64
+	partBuilds      atomic.Int64
+	maxBuildParts   atomic.Int64
 }
 
 // NewStats returns an empty statistics collector.
 func NewStats() *Stats { return &Stats{} }
 
 // record counts one executed operator with its input/output row counts.
+// Selections additionally feed the selectivity counters, so every path that
+// records a logical selection — naive, tuple-at-a-time, batch, index-served —
+// contributes to the same average.
 func (s *Stats) record(op OpKind, in, out int) {
 	if s == nil {
 		return
@@ -66,6 +80,33 @@ func (s *Stats) record(op OpKind, in, out int) {
 	s.ops[op].Add(1)
 	s.rowsRead.Add(int64(in))
 	s.rowsProduced.Add(int64(out))
+	if op == OpKindSelect {
+		s.selectRowsIn.Add(int64(in))
+		s.selectRowsOut.Add(int64(out))
+	}
+}
+
+// recordBatches counts vector batches emitted by batch-pipeline operators.
+func (s *Stats) recordBatches(n int) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.batches.Add(int64(n))
+}
+
+// recordPartitionedBuild counts one hash-join build that ran partitioned
+// across workers, remembering the largest partition count seen.
+func (s *Stats) recordPartitionedBuild(parts int) {
+	if s == nil {
+		return
+	}
+	s.partBuilds.Add(1)
+	for {
+		cur := s.maxBuildParts.Load()
+		if int64(parts) <= cur || s.maxBuildParts.CompareAndSwap(cur, int64(parts)) {
+			return
+		}
+	}
 }
 
 // RecordOp counts one executed operator of the given kind without row
@@ -109,6 +150,50 @@ func (s *Stats) IndexLookups() int {
 		return 0
 	}
 	return int(s.indexLookups.Load())
+}
+
+// Batches returns the number of vector batches produced by batch-pipeline
+// operators.  Zero under the tuple-at-a-time fallback.
+func (s *Stats) Batches() int {
+	if s == nil {
+		return 0
+	}
+	return int(s.batches.Load())
+}
+
+// SelectRowsIn returns the total rows that entered selection operators.
+func (s *Stats) SelectRowsIn() int {
+	if s == nil {
+		return 0
+	}
+	return int(s.selectRowsIn.Load())
+}
+
+// SelectRowsOut returns the total rows that survived selection operators.
+// SelectRowsOut/SelectRowsIn is the average selectivity across selections.
+func (s *Stats) SelectRowsOut() int {
+	if s == nil {
+		return 0
+	}
+	return int(s.selectRowsOut.Load())
+}
+
+// PartitionedBuilds returns the number of hash-join builds that ran
+// partitioned across workers.
+func (s *Stats) PartitionedBuilds() int {
+	if s == nil {
+		return 0
+	}
+	return int(s.partBuilds.Load())
+}
+
+// MaxBuildPartitions returns the largest partition count used by any
+// partitioned hash-join build, 0 when every build ran sequentially.
+func (s *Stats) MaxBuildPartitions() int {
+	if s == nil {
+		return 0
+	}
+	return int(s.maxBuildParts.Load())
 }
 
 // Count returns the number of executed operators of the given kind.
@@ -178,6 +263,18 @@ func (s *Stats) Add(o *Stats) {
 	s.rowsProduced.Add(o.rowsProduced.Load())
 	s.indexBuilds.Add(o.indexBuilds.Load())
 	s.indexLookups.Add(o.indexLookups.Load())
+	s.batches.Add(o.batches.Load())
+	s.selectRowsIn.Add(o.selectRowsIn.Load())
+	s.selectRowsOut.Add(o.selectRowsOut.Load())
+	s.partBuilds.Add(o.partBuilds.Load())
+	if m := o.maxBuildParts.Load(); m > 0 {
+		for {
+			cur := s.maxBuildParts.Load()
+			if m <= cur || s.maxBuildParts.CompareAndSwap(cur, m) {
+				break
+			}
+		}
+	}
 }
 
 // Reset clears the collector.
@@ -192,4 +289,9 @@ func (s *Stats) Reset() {
 	s.rowsProduced.Store(0)
 	s.indexBuilds.Store(0)
 	s.indexLookups.Store(0)
+	s.batches.Store(0)
+	s.selectRowsIn.Store(0)
+	s.selectRowsOut.Store(0)
+	s.partBuilds.Store(0)
+	s.maxBuildParts.Store(0)
 }

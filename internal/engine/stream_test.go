@@ -227,9 +227,14 @@ func randPlan(rng *rand.Rand) Plan {
 }
 
 // TestStreamingExecutorMatchesNaiveExecute compiles random plans through the
-// streaming pipeline and requires results and statistics identical to the
-// retained materialize-per-operator executor.
+// streaming pipeline — the vectorized batch pipeline at its default and at
+// adversarial batch sizes (1: every batch is a single row; 7: batches straddle
+// every operator boundary; 1024: one batch per small input), and the
+// tuple-at-a-time fallback (-1) — and requires results and statistics
+// identical to the retained materialize-per-operator executor at every
+// setting.
 func TestStreamingExecutorMatchesNaiveExecute(t *testing.T) {
+	batchSizes := []int{0, -1, 1, 7, 1024}
 	rng := rand.New(rand.NewSource(23))
 	for trial := 0; trial < 80; trial++ {
 		db := NewInstance("D")
@@ -240,18 +245,20 @@ func TestStreamingExecutorMatchesNaiveExecute(t *testing.T) {
 		naiveStats := NewStats()
 		want, err1 := NaiveExecute(bgCtx, db, plan, naiveStats)
 
-		ex := &Executor{DB: db, Stats: NewStats()}
-		got, err2 := ex.ExecuteContext(bgCtx, plan)
+		for _, bs := range batchSizes {
+			ex := &Executor{DB: db, Stats: NewStats(), Batch: bs}
+			got, err2 := ex.ExecuteContext(bgCtx, plan)
 
-		label := fmt.Sprintf("trial %d plan %s", trial, plan.Signature())
-		if (err1 == nil) != (err2 == nil) {
-			t.Fatalf("%s: naive err=%v, streaming err=%v", label, err1, err2)
+			label := fmt.Sprintf("trial %d batch %d plan %s", trial, bs, plan.Signature())
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("%s: naive err=%v, streaming err=%v", label, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			requireSameRelation(t, label, want, got)
+			requireSameStats(t, label, naiveStats, ex.Stats)
 		}
-		if err1 != nil {
-			continue
-		}
-		requireSameRelation(t, label, want, got)
-		requireSameStats(t, label, naiveStats, ex.Stats)
 	}
 }
 
@@ -276,22 +283,80 @@ func TestPipelineCancellation(t *testing.T) {
 		},
 	}
 
-	cancelled, cancel := context.WithCancel(context.Background())
-	cancel()
-	ex := &Executor{DB: db, Stats: NewStats()}
-	if _, err := ex.ExecuteContext(cancelled, plan); !errors.Is(err, context.Canceled) {
-		t.Fatalf("pre-cancelled execute err = %v, want context.Canceled", err)
-	}
+	// Batch 0 = default vectorized pipeline, -1 = tuple-at-a-time fallback,
+	// 64 = cancellation must surface between small batches.
+	for _, bs := range []int{0, -1, 64} {
+		cancelled, cancel := context.WithCancel(context.Background())
+		cancel()
+		ex := &Executor{DB: db, Stats: NewStats(), Batch: bs}
+		if _, err := ex.ExecuteContext(cancelled, plan); !errors.Is(err, context.Canceled) {
+			t.Fatalf("batch %d: pre-cancelled execute err = %v, want context.Canceled", bs, err)
+		}
 
-	ctx, cancelDeadline := context.WithTimeout(context.Background(), 5*time.Millisecond)
-	defer cancelDeadline()
-	start := time.Now()
-	_, err := (&Executor{DB: db, Stats: NewStats()}).ExecuteContext(ctx, plan)
-	if !errors.Is(err, context.DeadlineExceeded) {
-		t.Fatalf("mid-stream deadline err = %v, want context.DeadlineExceeded", err)
+		ctx, cancelDeadline := context.WithTimeout(context.Background(), 5*time.Millisecond)
+		start := time.Now()
+		_, err := (&Executor{DB: db, Stats: NewStats(), Batch: bs}).ExecuteContext(ctx, plan)
+		cancelDeadline()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("batch %d: mid-stream deadline err = %v, want context.DeadlineExceeded", bs, err)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Errorf("batch %d: cancellation took %v, want prompt abort", bs, elapsed)
+		}
 	}
-	if elapsed := time.Since(start); elapsed > 2*time.Second {
-		t.Errorf("cancellation took %v, want prompt abort", elapsed)
+}
+
+// TestBatchEdgeCases pins the batch pipeline's boundary behavior: empty
+// relations, a single row, inputs exactly at the batch size (the final batch is
+// full, then the source must still report exhaustion cleanly), and selection
+// vectors that empty out mid-pipeline must all agree with the naive reference
+// at every operator.
+func TestBatchEdgeCases(t *testing.T) {
+	sizedRelation := func(name string, cols []string, rows int) *Relation {
+		r := NewRelation(name, cols)
+		for i := 0; i < rows; i++ {
+			r.MustAppend(Tuple{I(int64(i)), S("s" + strconv.Itoa(i%3))})
+		}
+		return r
+	}
+	plans := []Plan{
+		&ScanPlan{Relation: "E"},
+		&SelectPlan{Pred: Eq("E.id", I(0)), Child: &ScanPlan{Relation: "E"}},
+		// σ[id = -1]: the selection vector goes empty in the first batch and
+		// stays empty; downstream operators must still stream to completion.
+		&ProjectPlan{Columns: []string{"E.tag"},
+			Child: &SelectPlan{Pred: Eq("E.id", I(-1)), Child: &ScanPlan{Relation: "E"}}},
+		&JoinPlan{LeftCol: "E.id", RightCol: "F.id",
+			Left: &ScanPlan{Relation: "E"}, Right: &ScanPlan{Relation: "F"}},
+		&DistinctPlan{Child: &ProjectPlan{Columns: []string{"E.tag"}, Child: &ScanPlan{Relation: "E"}}},
+		&AggregatePlan{Func: AggSum, Column: "E.id", Child: &ScanPlan{Relation: "E"}},
+		&ProductPlan{Left: &ScanPlan{Relation: "E"}, Right: &ScanPlan{Relation: "F"}},
+	}
+	const testBatch = 8
+	// Row counts hugging the batch-size boundaries for both the explicit test
+	// size and the default: empty, one, exactly one batch, one over, exactly
+	// one default batch.
+	for _, rows := range []int{0, 1, testBatch, testBatch + 1, DefaultBatchSize} {
+		db := NewInstance("edge")
+		db.AddRelation(sizedRelation("E", []string{"E.id", "E.tag"}, rows))
+		db.AddRelation(sizedRelation("F", []string{"F.id", "F.w"}, rows/2))
+		for pi, plan := range plans {
+			naiveStats := NewStats()
+			want, err := NaiveExecute(bgCtx, db, plan, naiveStats)
+			if err != nil {
+				t.Fatalf("rows %d plan %d: naive: %v", rows, pi, err)
+			}
+			for _, bs := range []int{0, testBatch, 1} {
+				ex := &Executor{DB: db, Stats: NewStats(), Batch: bs}
+				got, err := ex.ExecuteContext(bgCtx, plan)
+				if err != nil {
+					t.Fatalf("rows %d plan %d batch %d: %v", rows, pi, bs, err)
+				}
+				label := fmt.Sprintf("rows %d plan %d batch %d", rows, pi, bs)
+				requireSameRelation(t, label, want, got)
+				requireSameStats(t, label, naiveStats, ex.Stats)
+			}
+		}
 	}
 }
 

@@ -294,28 +294,33 @@ func (t Tuple) String() string {
 // TupleSet is a hash set of tuples under Key equality (Hash64/EqualKey),
 // backed by the engine's shared hashIndex bucket-chain structure: collisions
 // are resolved by scanning a chain of row indices, so membership never formats
-// values and never allocates a slice per bucket — storage is one map plus two
-// flat slices that grow geometrically.  Chain indices are int32: the set
-// silently assumes fewer than 2^31 tuples, which in-memory relations cannot
-// approach (2 billion rows of ≥48 bytes each would need >100 GB).  The zero
-// value is not usable; call NewTupleSet.
+// values and never allocates a slice per bucket — storage is flat slices that
+// grow geometrically, with the power-of-two bucket array doubling at load
+// factor 1.  Chain indices are int32: the set silently assumes fewer than
+// 2^31 tuples, which in-memory relations cannot approach (2 billion rows of
+// ≥48 bytes each would need >100 GB).  The zero value is not usable; call
+// NewTupleSet.
 type TupleSet struct {
 	idx hashIndex
 }
 
 // NewTupleSet returns an empty set sized for about n tuples.
 func NewTupleSet(n int) *TupleSet {
-	return &TupleSet{idx: hashIndex{heads: make(map[uint64]int32, n), col: -1}}
+	s := &TupleSet{idx: hashIndex{heads: newBuckets(n), col: -1}}
+	s.idx.mask = uint64(len(s.idx.heads) - 1)
+	return s
 }
 
 // Add inserts the tuple and reports whether it was not already present.
 func (s *TupleSet) Add(t Tuple) bool { return s.AddHashed(t.Hash64(), t) }
 
 // AddHashed is Add for callers that already computed the tuple's Hash64 —
-// the answer aggregators reuse one hash for dedup and bucket lookup.
+// the answer aggregators and batch operators reuse one hash for dedup and
+// bucket lookup.  Chain entries whose stored hash differs are bucket
+// collisions and are rejected without touching the tuple.
 func (s *TupleSet) AddHashed(h uint64, t Tuple) bool {
-	for j := s.idx.heads[h]; j != 0; j = s.idx.next[j-1] {
-		if s.idx.rows[j-1].EqualKey(t) {
+	for j := s.idx.lookup(h); j != 0; j = s.idx.next[j-1] {
+		if s.idx.hashes[j-1] == h && s.idx.rows[j-1].EqualKey(t) {
 			return false
 		}
 	}

@@ -1,0 +1,107 @@
+package engine
+
+import "math"
+
+// Batch FNV-1a hashing.
+//
+// Value.hash64 is a strict dependency chain: every round's multiply feeds the
+// next round's xor, so a single hash can never run faster than eight serial
+// multiplies.  Different values' chains are independent, though, and the batch
+// pipeline always has a block of keys in hand — so the kernels here interleave
+// four chains and let the CPU overlap their multiplies.  The arithmetic per
+// lane is exactly Value.hash64's: same seed, same kind tag, same byte order,
+// same NaN canonicalization.  Every dst element is bit-identical to calling
+// rows[i][col].Hash64(), which is what lets shared indexes, sequential builds
+// and partitioned builds stay interchangeable.
+//
+// Only int and float lanes qualify for the interleaved rounds: their payload
+// is always exactly eight bytes.  Strings (variable length) and nulls (no
+// payload rounds) drop the whole group of four to the scalar path.
+
+// fnvLane reduces an int or float value to its interleavable form: the seeded
+// hash after the kind tag round, and the 8-byte payload.  ok is false for
+// kinds without a fixed-width payload.
+func fnvLane(v *Value) (h, x uint64, ok bool) {
+	switch v.Kind {
+	case KindInt:
+		x = uint64(v.Int)
+	case KindFloat:
+		x = math.Float64bits(v.Float)
+		if v.Float != v.Float {
+			// Match Value.hash64: every NaN payload hashes like math.NaN().
+			x = math.Float64bits(math.NaN())
+		}
+	default:
+		return 0, 0, false
+	}
+	h = (fnvOffset64 ^ (uint64(v.Kind) + 1)) * fnvPrime64
+	return h, x, true
+}
+
+// hashColumn fills dst[i] with rows[i][col].Hash64() for every row, four
+// interleaved chains at a time.  dst must have len(rows) elements.
+func hashColumn(rows []Tuple, col int, dst []uint64) {
+	n := len(rows)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		h0, x0, ok0 := fnvLane(&rows[i][col])
+		h1, x1, ok1 := fnvLane(&rows[i+1][col])
+		h2, x2, ok2 := fnvLane(&rows[i+2][col])
+		h3, x3, ok3 := fnvLane(&rows[i+3][col])
+		if !(ok0 && ok1 && ok2 && ok3) {
+			dst[i] = rows[i][col].Hash64()
+			dst[i+1] = rows[i+1][col].Hash64()
+			dst[i+2] = rows[i+2][col].Hash64()
+			dst[i+3] = rows[i+3][col].Hash64()
+			continue
+		}
+		for r := 0; r < 8; r++ {
+			h0 = (h0 ^ (x0 & 0xff)) * fnvPrime64
+			h1 = (h1 ^ (x1 & 0xff)) * fnvPrime64
+			h2 = (h2 ^ (x2 & 0xff)) * fnvPrime64
+			h3 = (h3 ^ (x3 & 0xff)) * fnvPrime64
+			x0 >>= 8
+			x1 >>= 8
+			x2 >>= 8
+			x3 >>= 8
+		}
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = h0, h1, h2, h3
+	}
+	for ; i < n; i++ {
+		dst[i] = rows[i][col].Hash64()
+	}
+}
+
+// hashColumnSel is hashColumn over a selection vector: dst[k] receives
+// rows[sel[k]][col].Hash64().  dst must have len(sel) elements.
+func hashColumnSel(rows []Tuple, col int, sel []int32, dst []uint64) {
+	n := len(sel)
+	k := 0
+	for ; k+4 <= n; k += 4 {
+		h0, x0, ok0 := fnvLane(&rows[sel[k]][col])
+		h1, x1, ok1 := fnvLane(&rows[sel[k+1]][col])
+		h2, x2, ok2 := fnvLane(&rows[sel[k+2]][col])
+		h3, x3, ok3 := fnvLane(&rows[sel[k+3]][col])
+		if !(ok0 && ok1 && ok2 && ok3) {
+			dst[k] = rows[sel[k]][col].Hash64()
+			dst[k+1] = rows[sel[k+1]][col].Hash64()
+			dst[k+2] = rows[sel[k+2]][col].Hash64()
+			dst[k+3] = rows[sel[k+3]][col].Hash64()
+			continue
+		}
+		for r := 0; r < 8; r++ {
+			h0 = (h0 ^ (x0 & 0xff)) * fnvPrime64
+			h1 = (h1 ^ (x1 & 0xff)) * fnvPrime64
+			h2 = (h2 ^ (x2 & 0xff)) * fnvPrime64
+			h3 = (h3 ^ (x3 & 0xff)) * fnvPrime64
+			x0 >>= 8
+			x1 >>= 8
+			x2 >>= 8
+			x3 >>= 8
+		}
+		dst[k], dst[k+1], dst[k+2], dst[k+3] = h0, h1, h2, h3
+	}
+	for ; k < n; k++ {
+		dst[k] = rows[sel[k]][col].Hash64()
+	}
+}
