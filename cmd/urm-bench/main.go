@@ -195,8 +195,9 @@ func writeSnapshot(dir string, out *os.File) error {
 		return err
 	}
 	path := filepath.Join(dir, "BENCH_engine.json")
-	if prev, err := bench.ReadSnapshot(path); err == nil && prev.Serve != nil {
+	if prev, err := bench.ReadSnapshot(path); err == nil {
 		snap.Serve = prev.Serve
+		snap.QoS = prev.QoS
 	}
 	data, err := snap.JSON()
 	if err != nil {
@@ -238,14 +239,20 @@ func writeSnapshot(dir string, out *os.File) error {
 	return nil
 }
 
-// serveSnapshot runs the query-service benchmark and merges its section into
-// <dir>/BENCH_engine.json, preserving the operator and method measurements a
-// previous `urm-bench -json` run recorded (the file is created if absent —
-// note that `-check` requires operator pairs, so run `-json` too before
-// committing a fresh file).
+// serveSnapshot runs the query-service benchmark and the tenant-isolation
+// (QoS) benchmark and merges their sections into <dir>/BENCH_engine.json,
+// preserving the operator and method measurements a previous `urm-bench
+// -json` run recorded (the file is created if absent — note that `-check`
+// requires operator pairs, so run `-json` too before committing a fresh
+// file).
 func serveSnapshot(dir string, out *os.File) error {
 	fmt.Fprintln(out, "urm-bench: measuring query-service snapshot (takes ~10s)...")
 	sb, err := bench.ServeSnapshot()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "urm-bench: measuring tenant-isolation (QoS) snapshot (takes ~15s)...")
+	qb, err := bench.QoSSnapshot()
 	if err != nil {
 		return err
 	}
@@ -264,6 +271,7 @@ func serveSnapshot(dir string, out *os.File) error {
 		snap = &bench.EngineSnapshot{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	}
 	snap.Serve = sb
+	snap.QoS = qb
 	data, err := snap.JSON()
 	if err != nil {
 		return err
@@ -276,6 +284,14 @@ func serveSnapshot(dir string, out *os.File) error {
 		sb.Cached.Requests, sb.Cached.P50Ms, sb.Cached.P99Ms, sb.ThroughputRPS)
 	fmt.Fprintf(out, "  evaluations %d, cache hits %d, misses %d, index builds %d, lookups %d\n",
 		sb.Evaluations, sb.CacheHits, sb.CacheMisses, sb.IndexBuilds, sb.IndexLookups)
+	fmt.Fprintf(out, "qos (hostile tenant at %.0fx budget):\n", qb.OverBudget)
+	fmt.Fprintf(out, "  solo:      %3d/%3d ok  p50 %8.2fms  p99 %8.2fms\n",
+		qb.Solo.Succeeded, qb.Solo.Requests, qb.Solo.Latency.P50Ms, qb.Solo.Latency.P99Ms)
+	fmt.Fprintf(out, "  contended: %3d/%3d ok  p50 %8.2fms  p99 %8.2fms  (p99 ratio %.2fx, success ratio %.2fx)\n",
+		qb.Contended.Succeeded, qb.Contended.Requests, qb.Contended.Latency.P50Ms, qb.Contended.Latency.P99Ms,
+		qb.P99Ratio, qb.SuccessRatio)
+	fmt.Fprintf(out, "  hostile: %d attempts, %d admitted, %d rejected (server shed %d)\n",
+		qb.HostileAttempts, qb.HostileAdmitted, qb.HostileRejected, qb.ServerShedRateLimited)
 	fmt.Fprintf(out, "wrote %s\n", path)
 	return nil
 }

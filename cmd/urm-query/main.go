@@ -15,16 +15,30 @@
 // With -repeat the query is prepared once through the session API —
 // reformulation and plan compilation happen on the first run only — so later
 // runs show the prepared-execution speedup.
+//
+// Remote mode queries a running urm-serve instead of evaluating locally:
+//
+//	urm-query -url http://localhost:8080 -scenario excel \
+//	          -tenant alice -query "SELECT orderNum FROM PO WHERE telephone = '335-1736'"
+//
+// When the server sheds with 429, remote mode retries with jittered
+// exponential backoff honoring the server's Retry-After hint (-retries caps
+// the attempts).
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"time"
 
 	urm "github.com/probdb/urm"
+	"github.com/probdb/urm/internal/qos"
 )
 
 func main() {
@@ -52,6 +66,12 @@ func run(args []string) error {
 		limit    = fs.Int("limit", 20, "maximum number of answers to print")
 		verbose  = fs.Bool("v", false, "print evaluation statistics")
 		noindex  = fs.Bool("noindex", false, "disable the shared base-relation index subsystem (A/B comparison; answers are identical)")
+
+		url      = fs.String("url", "", "query a running urm-serve at this base URL instead of evaluating locally")
+		scenName = fs.String("scenario", "", "scenario name on the server (remote mode)")
+		tenant   = fs.String("tenant", "", "tenant identity sent as X-URM-Tenant (remote mode)")
+		priority = fs.String("priority", "", "admission class sent as X-URM-Priority: interactive or batch (remote mode)")
+		retries  = fs.Int("retries", 4, "maximum attempts when the server sheds with 429; backoff honors Retry-After (remote mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,7 +84,7 @@ func run(args []string) error {
 	// Reject conflicting or nonsensical flag combinations up front, before
 	// paying scenario generation.
 	switch {
-	case *workload == 0 && *text == "":
+	case *url == "" && *workload == 0 && *text == "":
 		return fmt.Errorf("provide -workload <1-10> or -query \"<sql>\"")
 	case *workload != 0 && *text != "":
 		return fmt.Errorf("-workload and -query are mutually exclusive; pass one")
@@ -74,6 +94,23 @@ func run(args []string) error {
 		return fmt.Errorf("-topk must be >= 0, got %d", *topk)
 	case *noindex && *repeat > 1:
 		return fmt.Errorf("-noindex with -repeat compares nothing: the A/B toggle is per-process, so repeats would all run unindexed; run the tool twice instead")
+	case *url == "" && (*scenName != "" || *tenant != "" || *priority != ""):
+		return fmt.Errorf("-scenario, -tenant and -priority apply to remote mode; pass -url")
+	}
+	if *url != "" {
+		// Remote mode: the server owns evaluation, so local-evaluation knobs
+		// conflict rather than silently doing nothing.
+		switch {
+		case *text == "":
+			return fmt.Errorf("remote mode needs -query (workload queries are generated from the local scenario)")
+		case *scenName == "":
+			return fmt.Errorf("remote mode needs -scenario <name>")
+		case *stream || *noindex || *parallel != 0:
+			return fmt.Errorf("-stream, -noindex and -parallel are local-evaluation flags; the server decides them")
+		case *retries < 1:
+			return fmt.Errorf("-retries must be >= 1, got %d", *retries)
+		}
+		return runRemote(*url, *scenName, *tenant, *priority, *text, *method, *strategy, *topk, *repeat, *retries, *limit)
 	}
 
 	m, err := urm.ParseMethod(*method)
@@ -218,4 +255,103 @@ func printStats(res *urm.Result) {
 	}
 	fmt.Printf("phases: rewrite %.3fs, execute %.3fs, aggregate %.3fs\n",
 		res.RewriteTime.Seconds(), res.ExecTime.Seconds(), res.AggregateTime.Seconds())
+}
+
+// runRemote sends the query to a urm-serve instance, retrying 429 sheds with
+// jittered exponential backoff that honors the server's Retry-After hint.
+func runRemote(baseURL, scenario, tenant, priority, text, method, strategy string, topk, repeat, retries, limit int) error {
+	ctx := context.Background()
+	for run := 1; run <= repeat; run++ {
+		if repeat > 1 {
+			fmt.Printf("--- run %d/%d ---\n", run, repeat)
+		}
+		var resp urm.QueryResponse
+		start := time.Now()
+		err := qos.Retry(ctx, qos.Backoff{Attempts: retries}, func(ctx context.Context) (time.Duration, bool, error) {
+			return postQuery(ctx, baseURL, tenant, priority, urm.QueryRequest{
+				Scenario: scenario,
+				Query:    text,
+				Method:   method,
+				Strategy: strategy,
+				TopK:     topk,
+			}, &resp)
+		})
+		if err != nil {
+			return err
+		}
+		printRemote(&resp, time.Since(start), limit)
+	}
+	return nil
+}
+
+// postQuery performs one POST /v1/query attempt, shaped for qos.Retry: a 429
+// reports the server's Retry-After hint and is retryable, everything else is
+// terminal.
+func postQuery(ctx context.Context, baseURL, tenant, priority string, reqBody urm.QueryRequest, out *urm.QueryResponse) (time.Duration, bool, error) {
+	payload, err := json.Marshal(reqBody)
+	if err != nil {
+		return 0, false, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/query", bytes.NewReader(payload))
+	if err != nil {
+		return 0, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-URM-Tenant", tenant)
+	}
+	if priority != "" {
+		req.Header.Set("X-URM-Priority", priority)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		return 0, false, json.NewDecoder(resp.Body).Decode(out)
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var errBody struct {
+		Error        string  `json:"error"`
+		RetryAfterMS float64 `json:"retry_after_ms"`
+	}
+	_ = json.Unmarshal(body, &errBody)
+	msg := errBody.Error
+	if msg == "" {
+		msg = string(body)
+	}
+	err = fmt.Errorf("server: %s (status %d)", msg, resp.StatusCode)
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return time.Duration(errBody.RetryAfterMS * float64(time.Millisecond)), true, err
+	}
+	return 0, false, err
+}
+
+func printRemote(resp *urm.QueryResponse, elapsed time.Duration, limit int) {
+	origin := "evaluated"
+	switch {
+	case resp.Stale:
+		origin = fmt.Sprintf("STALE (epoch %d)", resp.Epoch)
+	case resp.Cached:
+		origin = "cached"
+	case resp.Coalesced:
+		origin = "coalesced"
+	}
+	fmt.Printf("method: %s   answers: %d   empty-probability: %.3f   %s   round-trip: %.3fs\n",
+		resp.Method, len(resp.Answers), resp.EmptyProb, origin, elapsed.Seconds())
+	if len(resp.Columns) > 0 {
+		fmt.Printf("columns: %v\n", resp.Columns)
+	}
+	n := len(resp.Answers)
+	if n > limit {
+		n = limit
+	}
+	for i := 0; i < n; i++ {
+		a := resp.Answers[i]
+		fmt.Printf("  %3d. %-40v  p=%.4f\n", i+1, a.Values, a.Prob)
+	}
+	if len(resp.Answers) > n {
+		fmt.Printf("  ... (%d more)\n", len(resp.Answers)-n)
+	}
 }

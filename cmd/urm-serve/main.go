@@ -10,6 +10,7 @@
 //	urm-serve -targets Excel,Noris -addr :9000  # two scenarios
 //	urm-serve -mappings 100 -size 40            # paper-scale data
 //	urm-serve -max-concurrent 4 -timeout 10s    # tighter admission control
+//	urm-serve -tenant-rate 50 -tenants gold=4   # per-tenant QoS (X-URM-Tenant)
 //
 // Query it:
 //
@@ -61,6 +62,11 @@ func run(args []string) error {
 		parallel = fs.Int("parallel", 1, "worker goroutines per evaluation (0 = all cores); total workers reach max-concurrent×parallel")
 		warm     = fs.Bool("warm", true, "build every base-relation index at registration instead of on first use")
 		drainTO  = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+
+		tenantRate  = fs.Float64("tenant-rate", 0, "global evaluation admissions/sec shared by active tenants via X-URM-Tenant (0 disables rate limiting)")
+		tenantBurst = fs.Float64("tenant-burst", 0, "shared burst allowance (0 = one second of -tenant-rate)")
+		tenantSpecs = fs.String("tenants", "", "per-tenant QoS config, comma-separated name=weight[/priority], e.g. gold=4/interactive,batchjobs=1/batch")
+		noStale     = fs.Bool("no-stale", false, "disable stale-answer degradation (serve 429 instead of a flagged previous-epoch answer)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +79,21 @@ func run(args []string) error {
 	cacheBytes := int64(*cacheMB) << 20
 	if *cacheMB <= 0 {
 		cacheBytes = -1
+	}
+	var tenants map[string]urm.TenantQoS
+	if *tenantSpecs != "" {
+		tenants = make(map[string]urm.TenantQoS)
+		for _, spec := range strings.Split(*tenantSpecs, ",") {
+			name, val, ok := strings.Cut(strings.TrimSpace(spec), "=")
+			if !ok || name == "" {
+				return fmt.Errorf("-tenants: bad entry %q (want name=weight[/priority])", spec)
+			}
+			t, err := urm.ParseTenantSpec(name, val)
+			if err != nil {
+				return fmt.Errorf("-tenants: %w", err)
+			}
+			tenants[name] = t
+		}
 	}
 	registry := urm.NewRegistry()
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -107,11 +128,15 @@ func run(args []string) error {
 	}
 
 	srv := urm.NewServer(registry, urm.ServerConfig{
-		MaxConcurrent:  *maxConc,
-		QueueWait:      *quWait,
-		RequestTimeout: *timeout,
-		CacheBytes:     cacheBytes,
-		Parallelism:    *parallel,
+		MaxConcurrent:     *maxConc,
+		QueueWait:         *quWait,
+		RequestTimeout:    *timeout,
+		CacheBytes:        cacheBytes,
+		Parallelism:       *parallel,
+		TenantRate:        *tenantRate,
+		TenantBurst:       *tenantBurst,
+		Tenants:           tenants,
+		DisableStaleServe: *noStale,
 	})
 	httpServer := &http.Server{Addr: *addr, Handler: srv}
 

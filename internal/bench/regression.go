@@ -90,7 +90,43 @@ func CheckRegression(snap *EngineSnapshot) error {
 	if err := checkMulticore(snap); err != nil {
 		return err
 	}
+	if err := checkQoS(snap); err != nil {
+		return err
+	}
 	return checkPreparedSpeedups(snap)
+}
+
+// qosP99RatioCeiling and qosSuccessRatioFloor gate tenant isolation: with a
+// hostile tenant flooding at ten times its budget, the compliant tenant's p99
+// latency may grow by at most 20% over its solo baseline and its success rate
+// may drop by at most 20%.  The flood must also demonstrably have been shed —
+// a snapshot where the hostile tenant was never rejected measured nothing.
+const (
+	qosP99RatioCeiling   = 1.2
+	qosSuccessRatioFloor = 0.8
+)
+
+// checkQoS applies the tenant-isolation floors.  Snapshots without a qos
+// section pass (older snapshots, and `-json`-only re-measurements, stay
+// valid).
+func checkQoS(snap *EngineSnapshot) error {
+	q := snap.QoS
+	if q == nil {
+		return nil
+	}
+	if q.HostileRejected <= 0 || q.ServerShedRateLimited <= 0 {
+		return fmt.Errorf("qos: hostile tenant was never rate-limited (client rejections %d, server shed %d) — the flood did not exercise admission control",
+			q.HostileRejected, q.ServerShedRateLimited)
+	}
+	if q.P99Ratio > qosP99RatioCeiling {
+		return fmt.Errorf("qos: compliant tenant p99 under flood is %.2fx its solo baseline (%.2fms vs %.2fms), ceiling %.2fx",
+			q.P99Ratio, q.Contended.Latency.P99Ms, q.Solo.Latency.P99Ms, qosP99RatioCeiling)
+	}
+	if q.SuccessRatio < qosSuccessRatioFloor {
+		return fmt.Errorf("qos: compliant tenant success rate under flood is %.2fx its solo baseline (%.3f vs %.3f), floor %.2fx",
+			q.SuccessRatio, q.Contended.SuccessRate, q.Solo.SuccessRate, qosSuccessRatioFloor)
+	}
+	return nil
 }
 
 // checkMulticore applies the partitioned-build floor.  Snapshots without a

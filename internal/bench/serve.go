@@ -51,9 +51,9 @@ type ServeBench struct {
 
 	// Server-side counters after the run (cache behaviour and the shared
 	// index subsystem's build/lookup balance).
-	Evaluations  int64 `json:"evaluations"`
-	CacheHits    int64 `json:"cache_hits"`
-	CacheMisses  int64 `json:"cache_misses"`
+	Evaluations int64 `json:"evaluations"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
 	// WarmIndexBuilds is registration-time index construction; IndexBuilds
 	// counts request-time builds, which warm registration keeps at zero.
 	WarmIndexBuilds int   `json:"warm_index_builds"`

@@ -60,6 +60,10 @@ type EngineSnapshot struct {
 	// cached latency and throughput through the HTTP layer.  Omitted until a
 	// serve run has been merged into the snapshot.
 	Serve *ServeBench `json:"serve,omitempty"`
+	// QoS is the tenant-isolation benchmark (also `urm-bench -serve`): the
+	// compliant tenant's latency and success rate under a hostile flood,
+	// relative to its solo baseline.
+	QoS *QoSBench `json:"qos,omitempty"`
 	// Multicore is the partitioned hash-join build measurement, taken with
 	// GOMAXPROCS forced to 4: a large-build join executed with Workers=4
 	// versus Workers=1.  The regression gate enforces its speedup only when

@@ -1,0 +1,131 @@
+package qos
+
+import (
+	"sync"
+	"time"
+)
+
+// Faults is the deterministic fault-injection seam of the QoS subsystem.  It
+// exists so slot stalls, slow evaluations and clock skew are testable without
+// wall-clock flakiness: every field is a test-only hook, and production
+// configurations leave the whole struct nil.  The hooks run synchronously on
+// the request path, so a test that blocks inside one holds exactly the state
+// (an admission slot, an evaluation turn) the scenario needs held.
+type Faults struct {
+	// Clock replaces the wall clock for every QoS time read: token refill,
+	// queue timers, measured queue wait, cold-latency observation.  Inject a
+	// FakeClock and advance (or skew) it explicitly.
+	Clock Clock
+	// SlotStall runs while the request holds an admission slot, before its
+	// evaluation starts.  Blocking here simulates a stalled slot holder.
+	SlotStall func(tenant string)
+	// SlowEvaluation runs in place of the dead time of a long evaluation,
+	// immediately before the engine is invoked.  Blocking (or advancing a
+	// FakeClock) here simulates evaluations of any chosen duration.
+	SlowEvaluation func(tenant string)
+}
+
+// ClockOrWall returns the injected clock, or the wall clock when the fault
+// set (or its Clock) is absent — the nil-safe accessor callers use.
+func (f *Faults) ClockOrWall() Clock {
+	if f != nil && f.Clock != nil {
+		return f.Clock
+	}
+	return Wall()
+}
+
+// FakeClock is a manually advanced Clock.  Now returns the same instant until
+// Advance or Set moves it; timers fire only from Advance.  Set may move the
+// clock backwards — that is the clock-skew fault, and every consumer in this
+// package must tolerate it (refill clamps negative elapsed time to zero,
+// trackers drop negative durations).
+type FakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+}
+
+// NewFakeClock returns a fake clock at a fixed, arbitrary epoch.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+// Now returns the current fake instant.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and fires every timer whose deadline
+// has been reached.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.fireLocked()
+	c.mu.Unlock()
+}
+
+// Set jumps the clock to t, forwards or backwards.  Timers already armed keep
+// their original deadlines: a backwards jump delays them, a forwards jump
+// fires the ones it passes.
+func (c *FakeClock) Set(t time.Time) {
+	c.mu.Lock()
+	c.now = t
+	c.fireLocked()
+	c.mu.Unlock()
+}
+
+func (c *FakeClock) fireLocked() {
+	kept := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.deadline.After(c.now) {
+			t.fire(c.now)
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	c.timers = kept
+}
+
+// NewTimer arms a timer d from the current fake instant.  A non-positive d
+// fires immediately.
+func (c *FakeClock) NewTimer(d time.Duration) Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{deadline: c.now.Add(d), ch: make(chan time.Time, 1)}
+	if !t.deadline.After(c.now) {
+		t.fire(c.now)
+	} else {
+		c.timers = append(c.timers, t)
+	}
+	return t
+}
+
+type fakeTimer struct {
+	mu       sync.Mutex
+	deadline time.Time
+	ch       chan time.Time
+	fired    bool
+	stopped  bool
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTimer) fire(now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.fired || t.stopped {
+		return
+	}
+	t.fired = true
+	t.ch <- now
+}
+
+func (t *fakeTimer) Stop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	active := !t.fired && !t.stopped
+	t.stopped = true
+	return active
+}

@@ -1,0 +1,65 @@
+package qos
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histogramBoundsMS are the upper bounds (inclusive, milliseconds) of the
+// queue-wait histogram buckets: exponential from a quarter millisecond —
+// sub-bucket-one waits are "admitted instantly" — to two seconds, with a
+// final catch-all.  Fixed bounds keep Observe lock-free and snapshots
+// comparable across tenants and across runs.
+var histogramBoundsMS = [...]float64{0.25, 0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048}
+
+// Histogram counts durations in fixed exponential millisecond buckets.  All
+// fields are atomics; Observe never locks.
+type Histogram struct {
+	counts [len(histogramBoundsMS) + 1]atomic.Int64
+	sumNS  atomic.Int64
+	count  atomic.Int64
+}
+
+// Observe records one duration (negative durations count as zero — clock
+// skew must not corrupt the distribution).
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(histogramBoundsMS) && ms > histogramBoundsMS[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(d))
+	h.count.Add(1)
+}
+
+// HistogramSnapshot is the JSON form of a histogram: bucket i counts
+// observations <= LeMS[i] (the final bucket, beyond the last bound, is
+// +Inf and appears only in Counts).
+type HistogramSnapshot struct {
+	LeMS   []float64 `json:"le_ms"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	SumMS  float64   `json:"sum_ms"`
+}
+
+// Snapshot returns a point-in-time copy of the distribution.  Counts are
+// cumulative per bucket in the Prometheus style: Counts[i] is the number of
+// observations at or below LeMS[i], and the final element is the total.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		LeMS:   histogramBoundsMS[:],
+		Counts: make([]int64, len(histogramBoundsMS)+1),
+		Count:  h.count.Load(),
+		SumMS:  float64(h.sumNS.Load()) / float64(time.Millisecond),
+	}
+	var cum int64
+	for i := range s.Counts {
+		cum += h.counts[i].Load()
+		s.Counts[i] = cum
+	}
+	return s
+}

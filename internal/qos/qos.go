@@ -1,0 +1,60 @@
+// Package qos is the per-tenant quality-of-service layer of the query
+// service: token-bucket admission over a shared global capacity, a
+// weighted-fair admission queue for the evaluation slots, client backoff, and
+// the small measurement pieces (queue-wait histograms, cold-latency quantile
+// tracking) the shed ladder decides with.
+//
+// The paper makes one evaluation over h uncertain mappings cheap; the server
+// layer amortizes evaluations across requests.  What neither guards is the
+// boundary between *users*: a single hot tenant draining the evaluation slots
+// starves every other client, and overload turns into indiscriminate 429s.
+// This package isolates tenants along three rungs:
+//
+//   - Limiter: per-tenant token buckets splitting one global rate in
+//     proportion to tenant weight, rebalancing as tenants go idle or active.
+//     A flooding tenant exhausts its own share and is rejected with an exact
+//     Retry-After; compliant tenants keep theirs.
+//   - FairQueue: the evaluation slots behind the buckets.  Backlogged
+//     requests are granted in weighted-fair order (start-time-fair virtual
+//     tags), so interactive traffic overtakes batch without starving it and
+//     queue wait is measured, not inferred.
+//   - Shedding signals: callers combine the bucket's retry hint, the queue's
+//     saturation error and LatencyTracker's cold-latency median to reject
+//     doomed work early and honestly instead of burning slots on it.
+//
+// Everything time-dependent reads an injected Clock, so the entire ladder is
+// testable with FakeClock — no sleeps, no wall-clock assertions.
+package qos
+
+import "time"
+
+// Clock is the time source of the QoS subsystem.  Production code uses
+// Wall(); tests inject a FakeClock and advance it explicitly, which makes
+// token refill, queue timeouts and measured waits exactly reproducible.
+type Clock interface {
+	Now() time.Time
+	// NewTimer returns a timer that fires once after d.  Implementations with
+	// a manual clock fire it from Advance, never from the wall.
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is the clock-owned variant of time.Timer.
+type Timer interface {
+	// C returns the channel the firing is delivered on.
+	C() <-chan time.Time
+	// Stop cancels the timer; it reports whether the timer had not yet fired.
+	Stop() bool
+}
+
+// Wall returns the real-time clock.
+func Wall() Clock { return wallClock{} }
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time                 { return time.Now() }
+func (wallClock) NewTimer(d time.Duration) Timer { return wallTimer{time.NewTimer(d)} }
+
+type wallTimer struct{ t *time.Timer }
+
+func (t wallTimer) C() <-chan time.Time { return t.t.C }
+func (t wallTimer) Stop() bool          { return t.t.Stop() }

@@ -1,0 +1,195 @@
+package qos
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrSaturated is returned by FairQueue.Acquire when no slot frees up within
+// the caller's wait budget (or immediately, when the budget is zero).
+var ErrSaturated = errors.New("admission queue saturated")
+
+// QueueConfig tunes a FairQueue.
+type QueueConfig struct {
+	// Slots is the number of concurrent holders (the evaluation-slot count).
+	// Must be at least 1.
+	Slots int
+	// Clock is the time source for wait measurement and timeouts (nil = wall).
+	Clock Clock
+}
+
+// FairQueue hands out a fixed number of slots in weighted-fair order.  While
+// slots are free and nobody waits, Acquire grants immediately; under backlog
+// it becomes a weighted-fair queue: each waiter is tagged with a virtual
+// finish time start+1/weight, where start is the later of the queue's virtual
+// clock and the tenant's previous finish tag, and Release always grants the
+// smallest tag.  Over a sustained backlog a weight-4 tenant therefore
+// receives four grants for every one a weight-1 tenant gets, yet the weight-1
+// tenant is never starved — its tags keep arriving and keep being reached.
+//
+// The same tenant-weight × class-weight product that shapes dequeue order is
+// the priority mechanism: interactive requests carry a larger class weight
+// than batch ones and overtake them in the backlog.
+//
+// Every Acquire also measures the wait it actually experienced on the
+// configured clock, so admitted-instantly and waited-the-full-budget are
+// distinguishable to the caller's metrics.
+type FairQueue struct {
+	clock Clock
+
+	mu         sync.Mutex
+	free       int
+	vtime      float64
+	seq        uint64
+	waiters    waiterHeap
+	lastFinish map[string]float64
+}
+
+type queueWaiter struct {
+	tenant  string
+	finish  float64
+	seq     uint64
+	index   int
+	granted bool
+	ready   chan struct{}
+}
+
+// NewFairQueue builds a queue with cfg.Slots slots.
+func NewFairQueue(cfg QueueConfig) *FairQueue {
+	if cfg.Slots < 1 {
+		cfg.Slots = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = Wall()
+	}
+	return &FairQueue{
+		clock:      cfg.Clock,
+		free:       cfg.Slots,
+		lastFinish: make(map[string]float64),
+	}
+}
+
+// Acquire obtains a slot for the tenant, waiting in weighted-fair order for
+// at most maxWait (a non-positive budget rejects immediately when saturated).
+// It returns the measured queue wait; on failure the error is ErrSaturated or
+// the context's.  A nil-weight caller is treated as weight 1.
+func (q *FairQueue) Acquire(ctx context.Context, tenant string, weight float64, maxWait time.Duration) (time.Duration, error) {
+	if weight <= 0 {
+		weight = 1
+	}
+	start := q.clock.Now()
+
+	q.mu.Lock()
+	if q.free > 0 && q.waiters.Len() == 0 {
+		q.free--
+		q.mu.Unlock()
+		return 0, nil
+	}
+	if maxWait <= 0 {
+		q.mu.Unlock()
+		return 0, ErrSaturated
+	}
+	s := q.vtime
+	if f, ok := q.lastFinish[tenant]; ok && f > s {
+		s = f
+	}
+	w := &queueWaiter{tenant: tenant, finish: s + 1/weight, seq: q.seq, ready: make(chan struct{})}
+	q.seq++
+	q.lastFinish[tenant] = w.finish
+	heap.Push(&q.waiters, w)
+	q.mu.Unlock()
+
+	timer := q.clock.NewTimer(maxWait)
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+		return q.clock.Now().Sub(start), nil
+	case <-timer.C():
+	case <-ctx.Done():
+	}
+
+	// Timed out or cancelled — unless a grant raced us, in which case the
+	// slot is already ours and must be kept (or handed back, if the context
+	// is dead) rather than leaked.
+	q.mu.Lock()
+	granted := w.granted
+	if !granted {
+		heap.Remove(&q.waiters, w.index)
+	}
+	q.mu.Unlock()
+	wait := q.clock.Now().Sub(start)
+	if err := ctx.Err(); err != nil {
+		if granted {
+			q.Release()
+		}
+		return wait, err
+	}
+	if granted {
+		return wait, nil
+	}
+	return wait, ErrSaturated
+}
+
+// Release returns a slot: the smallest-tag waiter is granted, or the slot
+// goes back to the free pool.
+func (q *FairQueue) Release() {
+	q.mu.Lock()
+	if q.waiters.Len() > 0 {
+		w := heap.Pop(&q.waiters).(*queueWaiter)
+		// The heap minimum is always >= vtime (arrival tags start at vtime),
+		// so this assignment keeps the virtual clock monotone.
+		q.vtime = w.finish
+		w.granted = true
+		close(w.ready)
+	} else {
+		q.free++
+		// Finish tags at or behind the virtual clock no longer influence any
+		// future tag; prune them so the map tracks backlogged tenants only.
+		if len(q.lastFinish) > 64 {
+			for tenant, f := range q.lastFinish {
+				if f <= q.vtime {
+					delete(q.lastFinish, tenant)
+				}
+			}
+		}
+	}
+	q.mu.Unlock()
+}
+
+// Depth reports the number of waiting requests.
+func (q *FairQueue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.waiters.Len()
+}
+
+// waiterHeap orders by finish tag, FIFO within equal tags.
+type waiterHeap []*queueWaiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waiterHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *waiterHeap) Push(x any) {
+	w := x.(*queueWaiter)
+	w.index = len(*h)
+	*h = append(*h, w)
+}
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}

@@ -1,0 +1,227 @@
+package qos
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// waitDepth polls until the queue's backlog reaches n; the polling sleep is
+// synchronisation only, never an assertion about elapsed time.
+func waitDepth(t *testing.T, q *FairQueue, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for q.Depth() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth never reached %d (at %d)", n, q.Depth())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFairQueueImmediateGrant(t *testing.T) {
+	q := NewFairQueue(QueueConfig{Slots: 2, Clock: NewFakeClock()})
+	for i := 0; i < 2; i++ {
+		wait, err := q.Acquire(context.Background(), "a", 1, 0)
+		if err != nil || wait != 0 {
+			t.Fatalf("free-slot acquire %d: wait=%v err=%v", i, wait, err)
+		}
+	}
+	// Third acquire with a zero budget: saturated, immediately.
+	if _, err := q.Acquire(context.Background(), "a", 1, 0); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("saturated acquire returned %v, want ErrSaturated", err)
+	}
+	q.Release()
+	if _, err := q.Acquire(context.Background(), "a", 1, 0); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+func TestFairQueueWeightedOrder(t *testing.T) {
+	clk := NewFakeClock()
+	q := NewFairQueue(QueueConfig{Slots: 1, Clock: clk})
+	if _, err := q.Acquire(context.Background(), "holder", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Enqueue three batch (weight 1) waiters FIRST, then three interactive
+	// (weight 4) ones.  Despite arriving later, the interactive tags
+	// (0.25, 0.5, 0.75) all sort ahead of the first batch tag (1.0).
+	grants := make(chan string, 6)
+	enqueue := func(id, tenant string, weight float64) {
+		go func() {
+			if _, err := q.Acquire(context.Background(), tenant, weight, time.Hour); err != nil {
+				t.Errorf("%s: %v", id, err)
+			}
+			grants <- id
+			q.Release()
+		}()
+	}
+	order := []struct {
+		id     string
+		weight float64
+	}{
+		{"b1", 1}, {"b2", 1}, {"b3", 1},
+		{"i1", 4}, {"i2", 4}, {"i3", 4},
+	}
+	for n, w := range order {
+		enqueue(w.id, w.id[:1], w.weight) // tenants "b" and "i"
+		waitDepth(t, q, n+1)              // fix arrival order deterministically
+	}
+
+	q.Release() // the holder leaves; grants chain through the Releases
+	want := []string{"i1", "i2", "i3", "b1", "b2", "b3"}
+	for _, expect := range want {
+		got := <-grants
+		if got != expect {
+			t.Fatalf("grant order: got %s, want %s", got, expect)
+		}
+	}
+}
+
+func TestFairQueueMeasuresWait(t *testing.T) {
+	clk := NewFakeClock()
+	q := NewFairQueue(QueueConfig{Slots: 1, Clock: clk})
+	if _, err := q.Acquire(context.Background(), "holder", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		wait time.Duration
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		wait, err := q.Acquire(context.Background(), "a", 1, time.Hour)
+		done <- result{wait, err}
+	}()
+	waitDepth(t, q, 1)
+
+	clk.Advance(7 * time.Millisecond)
+	q.Release()
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.wait != 7*time.Millisecond {
+		t.Fatalf("measured wait = %v, want exactly 7ms (fake clock)", r.wait)
+	}
+}
+
+func TestFairQueueTimeout(t *testing.T) {
+	clk := NewFakeClock()
+	q := NewFairQueue(QueueConfig{Slots: 1, Clock: clk})
+	if _, err := q.Acquire(context.Background(), "holder", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		wait time.Duration
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		wait, err := q.Acquire(context.Background(), "a", 1, 50*time.Millisecond)
+		done <- result{wait, err}
+	}()
+	waitDepth(t, q, 1)
+
+	clk.Advance(50 * time.Millisecond)
+	r := <-done
+	if !errors.Is(r.err, ErrSaturated) {
+		t.Fatalf("timed-out acquire returned %v, want ErrSaturated", r.err)
+	}
+	if r.wait != 50*time.Millisecond {
+		t.Fatalf("timed-out wait = %v, want the full 50ms budget", r.wait)
+	}
+	if q.Depth() != 0 {
+		t.Fatalf("timed-out waiter left in queue (depth %d)", q.Depth())
+	}
+
+	// The slot is still held by the holder; releasing it must not grant a ghost.
+	q.Release()
+	if _, err := q.Acquire(context.Background(), "a", 1, 0); err != nil {
+		t.Fatalf("acquire after timeout cleanup: %v", err)
+	}
+}
+
+func TestFairQueueContextCancel(t *testing.T) {
+	clk := NewFakeClock()
+	q := NewFairQueue(QueueConfig{Slots: 1, Clock: clk})
+	if _, err := q.Acquire(context.Background(), "holder", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := q.Acquire(ctx, "a", 1, time.Hour)
+		done <- err
+	}()
+	waitDepth(t, q, 1)
+
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire returned %v, want context.Canceled", err)
+	}
+	if q.Depth() != 0 {
+		t.Fatalf("cancelled waiter left in queue (depth %d)", q.Depth())
+	}
+}
+
+func TestFakeClockTimers(t *testing.T) {
+	clk := NewFakeClock()
+	tm := clk.NewTimer(10 * time.Millisecond)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	clk.Advance(9 * time.Millisecond)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired early")
+	default:
+	}
+	clk.Advance(time.Millisecond)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop reported an already-fired timer as active")
+	}
+
+	tm2 := clk.NewTimer(time.Hour)
+	if !tm2.Stop() {
+		t.Fatal("Stop reported a pending timer as inactive")
+	}
+	clk.Advance(2 * time.Hour)
+	select {
+	case <-tm2.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+
+	// An immediate timer fires without any Advance.
+	tm3 := clk.NewTimer(0)
+	select {
+	case <-tm3.C():
+	default:
+		t.Fatal("zero-duration timer did not fire immediately")
+	}
+
+	// ClockOrWall is nil-safe at both levels.
+	var f *Faults
+	if f.ClockOrWall() == nil {
+		t.Fatal("nil Faults returned nil clock")
+	}
+	if (&Faults{}).ClockOrWall() == nil {
+		t.Fatal("empty Faults returned nil clock")
+	}
+	if got := (&Faults{Clock: clk}).ClockOrWall(); got != Clock(clk) {
+		t.Fatal("injected clock not returned")
+	}
+}

@@ -42,11 +42,17 @@ type AnswerCache struct {
 	entries  map[CacheKey]*list.Element
 	lru      *list.List // front = most recently used
 	inflight map[CacheKey]*inflightCall
+	// byQuery indexes the newest-epoch entry per epoch-stripped key: the
+	// stale-answer degradation path asks "what is the freshest answer we ever
+	// served for this question", which the epoch-keyed primary map cannot
+	// answer without a scan.
+	byQuery map[CacheKey]*list.Element
 
 	hits      atomic.Int64
 	misses    atomic.Int64
 	coalesced atomic.Int64
 	evictions atomic.Int64
+	staleHits atomic.Int64
 }
 
 type cacheEntry struct {
@@ -72,6 +78,7 @@ func NewAnswerCache(budget int64) *AnswerCache {
 		entries:  make(map[CacheKey]*list.Element),
 		lru:      list.New(),
 		inflight: make(map[CacheKey]*inflightCall),
+		byQuery:  make(map[CacheKey]*list.Element),
 	}
 }
 
@@ -148,6 +155,13 @@ func (c *AnswerCache) GetOrCompute(ctx context.Context, key CacheKey, compute fu
 	}
 }
 
+// stripEpoch is the byQuery index key: the request identity with the epoch
+// zeroed, so entries for the same question at different epochs collide.
+func stripEpoch(key CacheKey) CacheKey {
+	key.Epoch = 0
+	return key
+}
+
 // insertLocked stores the result and evicts from the LRU tail until the
 // budget holds.  An entry larger than the whole budget is not stored at all.
 func (c *AnswerCache) insertLocked(key CacheKey, res *core.Result) {
@@ -158,23 +172,61 @@ func (c *AnswerCache) insertLocked(key CacheKey, res *core.Result) {
 	if el, ok := c.entries[key]; ok {
 		// A concurrent computation for the same key can finish twice only via
 		// epoch races; keep the newer result.
-		c.bytes -= el.Value.(*cacheEntry).size
-		c.lru.Remove(el)
-		delete(c.entries, key)
+		c.removeLocked(el)
 	}
-	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, res: res, size: size})
+	el := c.lru.PushFront(&cacheEntry{key: key, res: res, size: size})
+	c.entries[key] = el
 	c.bytes += size
+	// The stale index tracks the newest epoch per question; never step it back.
+	sk := stripEpoch(key)
+	if prev, ok := c.byQuery[sk]; !ok || prev.Value.(*cacheEntry).key.Epoch <= key.Epoch {
+		c.byQuery[sk] = el
+	}
 	for c.bytes > c.budget {
 		tail := c.lru.Back()
 		if tail == nil {
 			break
 		}
-		e := tail.Value.(*cacheEntry)
-		c.lru.Remove(tail)
-		delete(c.entries, e.key)
-		c.bytes -= e.size
+		c.removeLocked(tail)
 		c.evictions.Add(1)
 	}
+}
+
+// removeLocked unlinks one entry from every structure that references it.
+func (c *AnswerCache) removeLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= e.size
+	if sk := stripEpoch(e.key); c.byQuery[sk] == el {
+		delete(c.byQuery, sk)
+	}
+}
+
+// GetStale returns the newest cached answer for the request regardless of
+// epoch, provided its epoch is at or above floor — the degradation path of an
+// overloaded server.  Everything it can return was stored by a completed
+// evaluation and is immutable, so a stale answer is always a bit-identical
+// replay of an answer some earlier request was served fresh, never a torn or
+// partially updated one.
+func (c *AnswerCache) GetStale(key CacheKey, floor uint64) (*core.Result, uint64, bool) {
+	c.mu.Lock()
+	el, ok := c.byQuery[stripEpoch(key)]
+	if !ok {
+		c.mu.Unlock()
+		return nil, 0, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.key.Epoch < floor {
+		c.mu.Unlock()
+		return nil, 0, false
+	}
+	// Serving it under pressure is a reason to keep it around.
+	c.lru.MoveToFront(el)
+	res, epoch := e.res, e.key.Epoch
+	c.mu.Unlock()
+	c.staleHits.Add(1)
+	return res, epoch, true
 }
 
 // Len returns the number of cached entries.
@@ -193,10 +245,13 @@ func (c *AnswerCache) Bytes() int64 {
 
 // CacheMetrics is a snapshot of the cache counters.
 type CacheMetrics struct {
-	Hits        int64 `json:"hits"`
-	Misses      int64 `json:"misses"`
-	Coalesced   int64 `json:"coalesced"`
-	Evictions   int64 `json:"evictions"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Evictions int64 `json:"evictions"`
+	// StaleHits counts GetStale successes: answers served from a previous
+	// epoch as overload degradation.
+	StaleHits   int64 `json:"stale_hits"`
 	Entries     int   `json:"entries"`
 	Bytes       int64 `json:"bytes"`
 	BudgetBytes int64 `json:"budget_bytes"`
@@ -212,6 +267,7 @@ func (c *AnswerCache) Metrics() CacheMetrics {
 		Misses:      c.misses.Load(),
 		Coalesced:   c.coalesced.Load(),
 		Evictions:   c.evictions.Load(),
+		StaleHits:   c.staleHits.Load(),
 		Entries:     entries,
 		Bytes:       bytes,
 		BudgetBytes: c.budget,

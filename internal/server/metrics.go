@@ -1,12 +1,18 @@
 package server
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"github.com/probdb/urm/internal/qos"
+)
 
 // serverMetrics are the server-level counters exposed by /metrics.  All
 // fields are atomics: the request path updates them without locking.
 type serverMetrics struct {
 	requests       atomic.Int64
-	rejected       atomic.Int64 // 429: no evaluation slot
+	rejected       atomic.Int64 // 429: rate-limited or no evaluation slot
+	shedDoomed     atomic.Int64 // 504: deadline below median cold latency
+	staleServed    atomic.Int64 // degraded to a previous epoch's answer
 	unavailable    atomic.Int64 // 503: draining
 	timeouts       atomic.Int64 // 504: request deadline exceeded
 	badRequests    atomic.Int64 // 4xx other than overload
@@ -18,13 +24,21 @@ type serverMetrics struct {
 	indexLookups   atomic.Int64
 	operators      atomic.Int64
 	inflight       atomic.Int64 // requests currently being served
+
+	queueWait qos.Histogram // measured evaluation-slot waits, all tenants
 }
 
 // Metrics is the JSON snapshot served by GET /metrics and embedded in the
 // serve benchmark's record.
 type Metrics struct {
-	Requests    int64 `json:"requests"`
-	Rejected    int64 `json:"rejected"`
+	Requests int64 `json:"requests"`
+	Rejected int64 `json:"rejected"`
+	// ShedDoomedDeadline counts requests rejected before admission because
+	// their remaining deadline was below the scenario's median cold latency.
+	ShedDoomedDeadline int64 `json:"shed_doomed_deadline"`
+	// StaleServed counts responses degraded to a previous epoch's cached
+	// answer instead of a rejection.
+	StaleServed int64 `json:"stale_served"`
 	Unavailable int64 `json:"unavailable"`
 	Timeouts    int64 `json:"timeouts"`
 	BadRequests int64 `json:"bad_requests"`
@@ -48,6 +62,11 @@ type Metrics struct {
 
 	Cache CacheMetrics `json:"cache"`
 
+	// QueueWait is the distribution of measured evaluation-slot waits across
+	// all tenants; Tenants breaks every QoS counter down per tenant.
+	QueueWait qos.HistogramSnapshot    `json:"queue_wait"`
+	Tenants   map[string]TenantMetrics `json:"tenants,omitempty"`
+
 	Draining  bool           `json:"draining"`
 	Scenarios []ScenarioInfo `json:"scenarios"`
 }
@@ -65,21 +84,25 @@ type ScenarioInfo struct {
 
 func (s *Server) snapshotMetrics() Metrics {
 	return Metrics{
-		Requests:       s.metrics.requests.Load(),
-		Rejected:       s.metrics.rejected.Load(),
-		Unavailable:    s.metrics.unavailable.Load(),
-		Timeouts:       s.metrics.timeouts.Load(),
-		BadRequests:    s.metrics.badRequests.Load(),
-		Inflight:       s.metrics.inflight.Load(),
-		Evaluations:    s.metrics.evaluations.Load(),
-		EvalErrors:     s.metrics.evalErrors.Load(),
-		PreparedBuilds: s.metrics.preparedBuilds.Load(),
-		PreparedReuses: s.metrics.preparedReuses.Load(),
-		IndexBuilds:    s.metrics.indexBuilds.Load(),
-		IndexLookups:   s.metrics.indexLookups.Load(),
-		Operators:      s.metrics.operators.Load(),
-		Cache:          s.cache.Metrics(),
-		Draining:       s.draining(),
-		Scenarios:      s.scenarioInfos(),
+		Requests:           s.metrics.requests.Load(),
+		Rejected:           s.metrics.rejected.Load(),
+		ShedDoomedDeadline: s.metrics.shedDoomed.Load(),
+		StaleServed:        s.metrics.staleServed.Load(),
+		Unavailable:        s.metrics.unavailable.Load(),
+		Timeouts:           s.metrics.timeouts.Load(),
+		BadRequests:        s.metrics.badRequests.Load(),
+		Inflight:           s.metrics.inflight.Load(),
+		Evaluations:        s.metrics.evaluations.Load(),
+		EvalErrors:         s.metrics.evalErrors.Load(),
+		PreparedBuilds:     s.metrics.preparedBuilds.Load(),
+		PreparedReuses:     s.metrics.preparedReuses.Load(),
+		IndexBuilds:        s.metrics.indexBuilds.Load(),
+		IndexLookups:       s.metrics.indexLookups.Load(),
+		Operators:          s.metrics.operators.Load(),
+		Cache:              s.cache.Metrics(),
+		QueueWait:          s.metrics.queueWait.Snapshot(),
+		Tenants:            s.tenants.snapshot(),
+		Draining:           s.draining(),
+		Scenarios:          s.scenarioInfos(),
 	}
 }

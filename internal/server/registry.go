@@ -48,6 +48,12 @@ type Scenario struct {
 	maps   schema.MappingSet
 
 	epoch atomic.Uint64
+	// staleFloor is the oldest epoch whose cached answers may still be served
+	// as *stale* under overload.  AppendRow leaves it alone — an append-only
+	// change keeps every earlier answer a correct answer over a prefix of the
+	// data — while Bump raises it to the new epoch, because an out-of-band
+	// mutation may have rewritten history and old answers with it.
+	staleFloor atomic.Uint64
 	// mu is the evaluation/mutation lock: evaluations (many, long) share it
 	// as readers, AppendRow (rare, microseconds) takes it exclusively.
 	// Writer acquisition is bounded by the request deadlines of the
@@ -99,8 +105,19 @@ func (s *Scenario) Mappings() schema.MappingSet { return s.maps }
 func (s *Scenario) Epoch() uint64 { return s.epoch.Load() }
 
 // Bump advances the epoch, invalidating every cached answer for the scenario.
-// Call it after any out-of-band mutation of the instance or mapping set.
-func (s *Scenario) Bump() uint64 { return s.epoch.Add(1) }
+// Call it after any out-of-band mutation of the instance or mapping set.  The
+// stale-serve floor rises with it: answers from before an out-of-band change
+// must never reappear, not even flagged stale.
+func (s *Scenario) Bump() uint64 {
+	e := s.epoch.Add(1)
+	s.staleFloor.Store(e)
+	return e
+}
+
+// StaleFloor returns the oldest epoch eligible for stale-answer degradation.
+// Epochs below it were invalidated by Bump (destructive change); epochs at or
+// above it differ from the present only by appends.
+func (s *Scenario) StaleFloor() uint64 { return s.staleFloor.Load() }
 
 // AppendRow appends a tuple to the named base relation and bumps the epoch.
 // It waits for in-flight evaluations to finish (and blocks new ones for the

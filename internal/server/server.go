@@ -5,14 +5,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"github.com/probdb/urm/internal/core"
 	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/qos"
 	"github.com/probdb/urm/internal/query"
 )
 
@@ -36,6 +39,24 @@ type Config struct {
 	// goroutines reach MaxConcurrent×Parallelism; keep the product near the
 	// core count.
 	Parallelism int
+
+	// TenantRate is the global evaluation-admission rate in requests/sec,
+	// shared by all active tenants in proportion to their weights (see
+	// internal/qos.Limiter).  0 disables rate limiting; the fair queue and
+	// shed ladder still apply.  Cache hits never spend tokens — the limiter
+	// protects evaluation capacity, not reads.
+	TenantRate float64
+	// TenantBurst is the shared burst allowance (0 = one second of
+	// TenantRate).
+	TenantBurst float64
+	// Tenants sets per-tenant weights and default priorities.  Tenants absent
+	// from the map get weight 1 and interactive priority.
+	Tenants map[string]TenantQoS
+	// DisableStaleServe turns off the last rung of the shed ladder: serving a
+	// previous epoch's cached answer (flagged "stale") instead of rejecting.
+	DisableStaleServe bool
+	// Faults is the deterministic fault-injection seam; nil in production.
+	Faults *qos.Faults
 }
 
 func (c Config) withDefaults() Config {
@@ -58,9 +79,21 @@ type Server struct {
 	registry *Registry
 	cache    *AnswerCache
 	cfg      Config
-	slots    chan struct{}
+
+	// The QoS ladder: limiter (per-tenant token buckets, nil when TenantRate
+	// is 0), then queue (weighted-fair admission to the evaluation slots).
+	// clock is the injected time source every rung reads.
+	limiter *qos.Limiter
+	queue   *qos.FairQueue
+	clock   qos.Clock
 
 	metrics serverMetrics
+	tenants *tenantTable
+
+	// latency tracks per-scenario cold-evaluation medians for the
+	// doomed-deadline shed rung.
+	latMu   sync.Mutex
+	latency map[string]*qos.LatencyTracker
 
 	// drainMu/drainSet gate request entry against Drain: Drain flips the flag
 	// and then waits, and no request can join the WaitGroup after the flip.
@@ -72,12 +105,38 @@ type Server struct {
 // New builds a server over the registry.
 func New(reg *Registry, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	clock := cfg.Faults.ClockOrWall()
+	s := &Server{
 		registry: reg,
 		cache:    NewAnswerCache(cfg.CacheBytes),
 		cfg:      cfg,
-		slots:    make(chan struct{}, cfg.MaxConcurrent),
+		clock:    clock,
+		queue:    qos.NewFairQueue(qos.QueueConfig{Slots: cfg.MaxConcurrent, Clock: clock}),
+		tenants:  newTenantTable(),
+		latency:  make(map[string]*qos.LatencyTracker),
 	}
+	if cfg.TenantRate > 0 {
+		s.limiter = qos.NewLimiter(qos.LimiterConfig{
+			Rate:    cfg.TenantRate,
+			Burst:   cfg.TenantBurst,
+			Weights: limiterWeights(cfg.Tenants),
+			Clock:   clock,
+		})
+	}
+	return s
+}
+
+// latencyFor returns the scenario's cold-latency tracker, creating it on
+// first use.  The registry bounds scenario names, so the map is bounded too.
+func (s *Server) latencyFor(scenario string) *qos.LatencyTracker {
+	s.latMu.Lock()
+	defer s.latMu.Unlock()
+	t := s.latency[scenario]
+	if t == nil {
+		t = &qos.LatencyTracker{}
+		s.latency[scenario] = t
+	}
+	return t
 }
 
 // Registry returns the server's scenario registry.
@@ -103,6 +162,14 @@ type Request struct {
 	TopK int `json:"topk,omitempty"`
 	// TimeoutMS optionally tightens the server's request deadline.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Tenant identifies the caller for QoS accounting.  The HTTP layer fills
+	// it from the X-URM-Tenant header; empty means the shared "default"
+	// tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is the admission class, "interactive" or "batch" (X-URM-Priority
+	// over HTTP).  Empty falls back to the tenant's configured default, then
+	// to interactive.
+	Priority string `json:"priority,omitempty"`
 }
 
 // AnswerJSON is one probabilistic answer in a response.  Values keep their
@@ -126,9 +193,17 @@ type Response struct {
 	EmptyProb float64      `json:"empty_prob"`
 	// Cached is true when the response came from the answer cache; Coalesced
 	// when it shared another request's in-flight evaluation.
-	Cached    bool    `json:"cached"`
-	Coalesced bool    `json:"coalesced,omitempty"`
-	ElapsedMS float64 `json:"elapsed_ms"`
+	Cached    bool `json:"cached"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Stale is true when overload degraded the response to a previous epoch's
+	// cached answer (Epoch then names the epoch actually served).  A stale
+	// answer is a bit-identical replay of an answer served fresh earlier; it
+	// is only offered while the scenario has seen nothing but appends since.
+	Stale bool `json:"stale,omitempty"`
+	// QueueWaitMS is the measured time this request spent waiting for an
+	// evaluation slot (zero for cache hits and coalesced waiters).
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
 
 	// Result is the evaluation result backing the response, shared and
 	// immutable; in-process callers (tests, the load harness) use it for
@@ -148,13 +223,22 @@ var (
 	ErrUnknownScenario = errors.New("unknown scenario")
 	// ErrDraining is returned (and mapped to 503) once Drain has begun.
 	ErrDraining = errors.New("server is draining")
+	// ErrDeadlineTooShort is returned (and mapped to 504) when the request's
+	// remaining deadline is below the scenario's observed median cold-eval
+	// latency: the evaluation would more likely than not burn a slot and time
+	// out anyway, so the server sheds it before admission.
+	ErrDeadlineTooShort = errors.New("request deadline shorter than expected evaluation latency")
 )
 
 // apiError carries an HTTP status through the Do path while keeping the
 // underlying error (and any sentinel it wraps) reachable through errors.Is.
+// retryAfter, when positive, is the server's honest wait hint (the token
+// bucket's exact next-token time, or the queue-wait budget) surfaced as the
+// Retry-After header on 429 responses.
 type apiError struct {
-	status int
-	err    error
+	status     int
+	retryAfter time.Duration
+	err        error
 }
 
 func (e *apiError) Error() string { return e.err.Error() }
@@ -162,6 +246,22 @@ func (e *apiError) Unwrap() error { return e.err }
 
 // apiErr tags an error with an HTTP status.
 func apiErr(status int, err error) error { return &apiError{status: status, err: err} }
+
+// apiErrRetry tags an error with a status and a Retry-After hint.
+func apiErrRetry(status int, retryAfter time.Duration, err error) error {
+	return &apiError{status: status, retryAfter: retryAfter, err: err}
+}
+
+// RetryAfter extracts the Retry-After hint from an error returned by Do
+// (zero when the error carries none) — the in-process mirror of the HTTP
+// header, used by the load harness's backoff.
+func RetryAfter(err error) time.Duration {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.retryAfter
+	}
+	return 0
+}
 
 func errBadRequest(format string, args ...any) error {
 	return &apiError{status: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
@@ -184,6 +284,8 @@ func (s *Server) Do(ctx context.Context, req Request) (*Response, error) {
 		switch {
 		case errors.As(err, &ae) && ae.status == http.StatusTooManyRequests:
 			s.metrics.rejected.Add(1)
+		case errors.Is(err, ErrDeadlineTooShort):
+			s.metrics.shedDoomed.Add(1)
 		case errors.Is(err, context.DeadlineExceeded):
 			s.metrics.timeouts.Add(1)
 		case errors.As(err, &ae) && ae.status >= 400 && ae.status < 500:
@@ -222,6 +324,12 @@ func (s *Server) do(ctx context.Context, req Request) (*Response, error) {
 	if req.TopK < 0 {
 		return nil, errBadRequest("%w: topk must be >= 0, got %d", core.ErrBadOptions, req.TopK)
 	}
+	adm, err := s.admissionFor(req)
+	if err != nil {
+		return nil, err
+	}
+	tc := s.tenants.get(adm.tenant)
+	tc.requests.Add(1)
 	// The prepared-query cache makes answer-cache *misses* cheap too: the
 	// first sight of (epoch, query text) parses, reformulates through every
 	// mapping and compiles plans; every later request — even with a cold
@@ -258,62 +366,150 @@ func (s *Server) do(ctx context.Context, req Request) (*Response, error) {
 		Strategy: strategy,
 		TopK:     req.TopK,
 	}
+	// queueWait is written by the compute callback, which GetOrCompute runs on
+	// this goroutine (waiters coalesce; only the leader computes), so the
+	// capture is race-free.
+	var queueWait time.Duration
 	res, outcome, err := s.cache.GetOrCompute(ctx, key, func() (*core.Result, error) {
-		return s.evaluate(ctx, sc, prep, method, strategy, req.TopK)
+		r, wait, err := s.evaluate(ctx, sc, prep, method, strategy, req.TopK, adm)
+		queueWait = wait
+		return r, err
 	})
 	if err != nil {
+		if resp := s.tryStale(key, sc, adm, method, strategy, req.TopK, start, err); resp != nil {
+			return resp, nil
+		}
 		return nil, err
 	}
+	if outcome == OutcomeHit {
+		tc.cacheHits.Add(1)
+	}
 	return &Response{
-		Scenario:  sc.Name(),
-		Epoch:     key.Epoch,
-		Query:     canonical,
-		Method:    method.String(),
-		Strategy:  strategy.String(),
-		TopK:      req.TopK,
-		Columns:   res.Columns,
-		Answers:   answersJSON(res),
-		EmptyProb: res.EmptyProb,
-		Cached:    outcome == OutcomeHit,
-		Coalesced: outcome == OutcomeCoalesced,
-		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
-		Result:    res,
+		Scenario:    sc.Name(),
+		Epoch:       key.Epoch,
+		Query:       canonical,
+		Method:      method.String(),
+		Strategy:    strategy.String(),
+		TopK:        req.TopK,
+		Columns:     res.Columns,
+		Answers:     answersJSON(res),
+		EmptyProb:   res.EmptyProb,
+		Cached:      outcome == OutcomeHit,
+		Coalesced:   outcome == OutcomeCoalesced,
+		QueueWaitMS: float64(queueWait.Microseconds()) / 1000,
+		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
+		Result:      res,
 	}, nil
 }
 
-// evaluate runs one evaluation under admission control: it acquires a slot
-// (waiting at most QueueWait) and threads the request context into the
-// evaluation runtime, so a deadline aborts mid-operator.
-func (s *Server) evaluate(ctx context.Context, sc *Scenario, prep *core.Prepared, method core.Method, strategy core.Strategy, topK int) (*core.Result, error) {
-	select {
-	case s.slots <- struct{}{}:
-	default:
-		if s.cfg.QueueWait <= 0 {
-			return nil, apiErr(http.StatusTooManyRequests, ErrOverloaded)
-		}
-		timer := time.NewTimer(s.cfg.QueueWait)
-		defer timer.Stop()
-		select {
-		case s.slots <- struct{}{}:
-		case <-timer.C:
-			return nil, apiErr(http.StatusTooManyRequests, ErrOverloaded)
-		case <-ctx.Done():
-			return nil, ctx.Err()
+// tryStale is the last rung of the shed ladder: when the request was shed for
+// capacity (429) or a doomed deadline, and stale serving is enabled, answer
+// with the newest cached result for the same question from a previous epoch —
+// provided every epoch since was an append (Scenario.StaleFloor).  The entry
+// is an immutable, fully materialized result some earlier request was served
+// fresh, so degradation never exposes a torn answer.
+func (s *Server) tryStale(key CacheKey, sc *Scenario, adm admission, method core.Method, strategy core.Strategy, topK int, start time.Time, cause error) *Response {
+	if s.cfg.DisableStaleServe {
+		return nil
+	}
+	var ae *apiError
+	if !errors.As(cause, &ae) {
+		return nil
+	}
+	if ae.status != http.StatusTooManyRequests && !errors.Is(cause, ErrDeadlineTooShort) {
+		return nil
+	}
+	res, epoch, ok := s.cache.GetStale(key, sc.StaleFloor())
+	if !ok {
+		return nil
+	}
+	stale := epoch < key.Epoch
+	if stale {
+		s.metrics.staleServed.Add(1)
+		s.tenants.get(adm.tenant).staleServed.Add(1)
+	}
+	return &Response{
+		Scenario:  key.Scenario,
+		Epoch:     epoch,
+		Query:     key.Query,
+		Method:    method.String(),
+		Strategy:  strategy.String(),
+		TopK:      topK,
+		Columns:   res.Columns,
+		Answers:   answersJSON(res),
+		EmptyProb: res.EmptyProb,
+		Cached:    true,
+		Stale:     stale,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		Result:    res,
+	}
+}
+
+// evaluate runs one evaluation under the shed ladder, and reports the
+// measured queue wait alongside the result:
+//
+//  1. the tenant's token bucket (429 with an exact Retry-After),
+//  2. doomed-deadline rejection — remaining deadline below the scenario's
+//     median cold latency means the evaluation would likely time out anyway
+//     (504, ErrDeadlineTooShort),
+//  3. the weighted-fair queue over the evaluation slots (429 after QueueWait).
+//
+// The ladder sits inside the cache's compute callback on purpose: cache hits
+// and coalesced waiters consume no evaluation capacity, so they are admitted
+// unconditionally and only actual evaluations spend tokens and slots.
+func (s *Server) evaluate(ctx context.Context, sc *Scenario, prep *core.Prepared, method core.Method, strategy core.Strategy, topK int, adm admission) (*core.Result, time.Duration, error) {
+	tc := s.tenants.get(adm.tenant)
+	if s.limiter != nil {
+		if ok, retryAfter := s.limiter.Admit(adm.tenant); !ok {
+			tc.shedRateLimited.Add(1)
+			return nil, 0, apiErrRetry(http.StatusTooManyRequests, retryAfter,
+				fmt.Errorf("%w: tenant %q over its admission rate", ErrOverloaded, adm.tenant))
 		}
 	}
-	defer func() { <-s.slots }()
+	// Deadlines live in wall time (context.WithTimeout), so this comparison
+	// does too, whatever clock the QoS rungs run on.
+	if deadline, ok := ctx.Deadline(); ok {
+		if p50, have := s.latencyFor(sc.Name()).P50(); have {
+			if remaining := time.Until(deadline); remaining < p50 {
+				tc.shedDoomedDeadline.Add(1)
+				return nil, 0, apiErr(http.StatusGatewayTimeout,
+					fmt.Errorf("%w: %v remaining, median cold evaluation takes %v", ErrDeadlineTooShort, remaining.Round(time.Millisecond), p50.Round(time.Millisecond)))
+			}
+		}
+	}
+	wait, err := s.queue.Acquire(ctx, adm.tenant, adm.weight, s.cfg.QueueWait)
+	s.metrics.queueWait.Observe(wait)
+	tc.queueWait.Observe(wait)
+	if err != nil {
+		if errors.Is(err, qos.ErrSaturated) {
+			tc.shedQueueTimeout.Add(1)
+			return nil, wait, apiErrRetry(http.StatusTooManyRequests, s.cfg.QueueWait,
+				fmt.Errorf("%w: no evaluation slot within %v", ErrOverloaded, s.cfg.QueueWait))
+		}
+		return nil, wait, err
+	}
+	defer s.queue.Release()
+	if f := s.cfg.Faults; f != nil && f.SlotStall != nil {
+		f.SlotStall(adm.tenant)
+	}
 
 	s.metrics.evaluations.Add(1)
+	tc.evaluations.Add(1)
+	if f := s.cfg.Faults; f != nil && f.SlowEvaluation != nil {
+		f.SlowEvaluation(adm.tenant)
+	}
+	evalStart := s.clock.Now()
 	opts := core.Options{Method: method, Strategy: strategy, Parallelism: s.cfg.Parallelism}
 	res, err := sc.EvaluatePrepared(ctx, prep, topK, opts)
 	if err != nil {
 		s.metrics.evalErrors.Add(1)
-		return nil, err
+		return nil, wait, err
 	}
+	s.latencyFor(sc.Name()).Observe(s.clock.Now().Sub(evalStart))
 	s.metrics.indexBuilds.Add(int64(res.Stats.IndexBuilds()))
 	s.metrics.indexLookups.Add(int64(res.Stats.IndexLookups()))
 	s.metrics.operators.Add(int64(res.Stats.TotalOperators()))
-	return res, nil
+	return res, wait, nil
 }
 
 // enter admits a request unless the server is draining; every admitted
@@ -394,6 +590,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
 		return
 	}
+	// Headers carry the QoS identity so callers can route without touching
+	// the body; an explicit body field wins over the header.
+	if req.Tenant == "" {
+		req.Tenant = r.Header.Get("X-URM-Tenant")
+	}
+	if req.Priority == "" {
+		req.Priority = r.Header.Get("X-URM-Priority")
+	}
 	resp, err := s.Do(r.Context(), req)
 	if err != nil {
 		status := http.StatusInternalServerError
@@ -407,7 +611,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			// The client went away; the status code is for the log line only.
 			status = 499
 		}
-		writeError(w, status, err.Error())
+		body := map[string]any{"error": err.Error(), "status": status}
+		if retryAfter := RetryAfter(err); retryAfter > 0 {
+			// The header is integer seconds (rounded up, HTTP cannot say less
+			// than 1); the body carries the precise hint for clients that can
+			// use it.
+			secs := int(math.Ceil(retryAfter.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			body["retry_after_ms"] = float64(retryAfter.Microseconds()) / 1000
+		}
+		writeJSON(w, status, body)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)

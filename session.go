@@ -16,13 +16,16 @@ import (
 //
 //	ErrBadQuery        the query text does not parse or validate
 //	ErrBadOptions      an option value no evaluation can honour
-//	ErrUnknownScenario the service request names an unregistered scenario
-//	ErrOverloaded      the service has no free evaluation slot
+//	ErrUnknownScenario  the service request names an unregistered scenario
+//	ErrOverloaded       the service shed the request (rate limit or no slot)
+//	ErrDeadlineTooShort the request's deadline cannot cover the expected
+//	                    evaluation latency, so the service shed it early
 var (
-	ErrBadQuery        = query.ErrBadQuery
-	ErrBadOptions      = core.ErrBadOptions
-	ErrUnknownScenario = server.ErrUnknownScenario
-	ErrOverloaded      = server.ErrOverloaded
+	ErrBadQuery         = query.ErrBadQuery
+	ErrBadOptions       = core.ErrBadOptions
+	ErrUnknownScenario  = server.ErrUnknownScenario
+	ErrOverloaded       = server.ErrOverloaded
+	ErrDeadlineTooShort = server.ErrDeadlineTooShort
 )
 
 // Rows is a cursor over the answers of one evaluation, in canonical order

@@ -78,6 +78,7 @@ package urm
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"github.com/probdb/urm/internal/core"
 	"github.com/probdb/urm/internal/datagen"
@@ -400,7 +401,22 @@ type (
 	QueryRequest = server.Request
 	// QueryResponse is the body of a successful POST /v1/query.
 	QueryResponse = server.Response
+	// TenantQoS is one tenant's QoS configuration in ServerConfig.Tenants:
+	// its weight over the shared admission rate and fair queue, and its
+	// default priority class ("interactive" or "batch").
+	TenantQoS = server.TenantQoS
 )
+
+// RetryAfter extracts the server's wait hint from an error returned by
+// Server.Do (zero when the error carries none) — the in-process mirror of the
+// HTTP Retry-After header on 429 responses.
+func RetryAfter(err error) time.Duration { return server.RetryAfter(err) }
+
+// ParseTenantSpec parses the "weight[/priority]" per-tenant configuration
+// syntax used by urm-serve's -tenants flag, e.g. "4/interactive".
+func ParseTenantSpec(name, spec string) (TenantQoS, error) {
+	return server.ParseTenantSpec(name, spec)
+}
 
 // NewRegistry returns an empty scenario registry.
 func NewRegistry() *Registry { return server.NewRegistry() }
