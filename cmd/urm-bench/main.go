@@ -51,6 +51,7 @@ func run(args []string, out *os.File) error {
 		list     = fs.Bool("list", false, "list experiment IDs and exit")
 		jsonSnap = fs.Bool("json", false, "measure the engine perf snapshot and write BENCH_engine.json instead of running experiments")
 		serve    = fs.Bool("serve", false, "run the query-service benchmark (cold vs cached latency through the HTTP layer) and merge it into BENCH_engine.json")
+		storeB   = fs.Bool("store", false, "run the durable-store benchmark (WAL append fsync on/off vs in-memory, snapshot and recovery cost) and merge it into BENCH_engine.json")
 		check    = fs.Bool("check", false, "validate BENCH_engine.json (operator speedups above their floors) and exit — the CI bench-regression gate")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
@@ -92,6 +93,9 @@ func run(args []string, out *os.File) error {
 	}
 	if *serve {
 		return serveSnapshot(*outDir, out)
+	}
+	if *storeB {
+		return storeSnapshot(*outDir, out)
 	}
 	if *check {
 		return checkSnapshot(*outDir, out)
@@ -198,6 +202,7 @@ func writeSnapshot(dir string, out *os.File) error {
 	if prev, err := bench.ReadSnapshot(path); err == nil {
 		snap.Serve = prev.Serve
 		snap.QoS = prev.QoS
+		snap.Store = prev.Store
 	}
 	data, err := snap.JSON()
 	if err != nil {
@@ -292,6 +297,44 @@ func serveSnapshot(dir string, out *os.File) error {
 		qb.P99Ratio, qb.SuccessRatio)
 	fmt.Fprintf(out, "  hostile: %d attempts, %d admitted, %d rejected (server shed %d)\n",
 		qb.HostileAttempts, qb.HostileAdmitted, qb.HostileRejected, qb.ServerShedRateLimited)
+	fmt.Fprintf(out, "wrote %s\n", path)
+	return nil
+}
+
+// storeSnapshot runs the durable-store benchmark and merges its section into
+// <dir>/BENCH_engine.json, preserving every other section.
+func storeSnapshot(dir string, out *os.File) error {
+	fmt.Fprintln(out, "urm-bench: measuring durable-store snapshot (takes ~10s)...")
+	sb, err := bench.StoreSnapshot()
+	if err != nil {
+		return err
+	}
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_engine.json")
+	snap, err := bench.ReadSnapshot(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return err
+		}
+		snap = &bench.EngineSnapshot{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	}
+	snap.Store = sb
+	data, err := snap.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  register (%d rows): %8.3fms   snapshot: %8.3fms   recover: %8.3fms (%d records replayed)\n",
+		sb.Rows, sb.RegisterMs, sb.SnapshotMs, sb.RecoverMs, sb.ReplayedRecords)
+	fmt.Fprintf(out, "  append: memory %8d ns/op   wal %8d ns/op   wal+fsync %8d ns/op (fsync overhead %.1fx)\n",
+		sb.AppendMemNs, sb.AppendNoSyncNs, sb.AppendFsyncNs, sb.FsyncOverhead)
 	fmt.Fprintf(out, "wrote %s\n", path)
 	return nil
 }

@@ -11,6 +11,15 @@
 //	urm-serve -mappings 100 -size 40            # paper-scale data
 //	urm-serve -max-concurrent 4 -timeout 10s    # tighter admission control
 //	urm-serve -tenant-rate 50 -tenants gold=4   # per-tenant QoS (X-URM-Tenant)
+//	urm-serve -data-dir ./data                  # durable scenarios (WAL + snapshots)
+//
+// With -data-dir, scenarios and every row appended through POST /v1/append
+// are written to a checksummed write-ahead log and survive restarts: on boot
+// the server replays the store (serving 503 "recovering" from /healthz until
+// done), reports recovery stats, and only generates the -targets scenarios
+// that are not already on disk.  Scenarios whose on-disk state fails its
+// checksums are quarantined — the rest of the node serves normally while the
+// quarantined names answer 503.
 //
 // Query it:
 //
@@ -67,6 +76,10 @@ func run(args []string) error {
 		tenantBurst = fs.Float64("tenant-burst", 0, "shared burst allowance (0 = one second of -tenant-rate)")
 		tenantSpecs = fs.String("tenants", "", "per-tenant QoS config, comma-separated name=weight[/priority], e.g. gold=4/interactive,batchjobs=1/batch")
 		noStale     = fs.Bool("no-stale", false, "disable stale-answer degradation (serve 429 instead of a flagged previous-epoch answer)")
+
+		dataDir   = fs.String("data-dir", "", "durable store directory; empty keeps scenarios in memory only")
+		fsyncWAL  = fs.Bool("fsync", true, "fsync the write-ahead log after every appended row (registration, snapshots and drops are always synced)")
+		snapEvery = fs.Int("snapshot-every", 256, "WAL records between snapshots that truncate the log (negative disables automatic snapshots)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,8 +109,59 @@ func run(args []string) error {
 		}
 	}
 	registry := urm.NewRegistry()
+	if *dataDir != "" {
+		// A data directory written by a newer build fails here, before the
+		// listener comes up: refusing to serve beats misreading the format.
+		st, err := urm.OpenStore(*dataDir, urm.StoreOptions{Fsync: *fsyncWAL, SnapshotEvery: *snapEvery})
+		if err != nil {
+			return err
+		}
+		registry = urm.NewRegistryWithStore(st)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	// The server starts listening before recovery and registration so
+	// /healthz can report "recovering" (503) instead of refusing connections;
+	// queries are gated until SetRecovering(false).
+	srv := urm.NewServer(registry, urm.ServerConfig{
+		MaxConcurrent:     *maxConc,
+		QueueWait:         *quWait,
+		RequestTimeout:    *timeout,
+		CacheBytes:        cacheBytes,
+		Parallelism:       *parallel,
+		TenantRate:        *tenantRate,
+		TenantBurst:       *tenantBurst,
+		Tenants:           tenants,
+		DisableStaleServe: *noStale,
+	})
+	srv.SetRecovering(true)
+	httpServer := &http.Server{Addr: *addr, Handler: srv}
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("serving on %s (POST /v1/query, /v1/append, /v1/bump; GET /v1/scenarios, /healthz, /metrics)\n", *addr)
+		if err := httpServer.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	quarantined := 0
+	if *dataDir != "" {
+		stats, err := registry.Recover(ctx, urm.RegisterOptions{WarmIndexes: *warm})
+		if err != nil {
+			return fmt.Errorf("recovering %s: %w", *dataDir, err)
+		}
+		quarantined = len(stats.Quarantined)
+		fmt.Printf("recovered %d scenario(s), %d WAL record(s) replayed, %d quarantined in %dms\n",
+			stats.Scenarios, stats.ReplayedRecords, quarantined, stats.Elapsed.Milliseconds())
+		for _, name := range stats.Quarantined {
+			fmt.Printf("  QUARANTINED %q: scenario answers 503 until its directory under %s/scenarios is repaired or removed\n",
+				name, *dataDir)
+		}
+	}
 
 	for _, target := range strings.Split(*targets, ",") {
 		target = strings.TrimSpace(target)
@@ -105,6 +169,14 @@ func run(args []string) error {
 			continue
 		}
 		name := strings.ToLower(target)
+		if _, ok := registry.Get(name); ok {
+			fmt.Printf("scenario %q already recovered from %s; skipping generation\n", name, *dataDir)
+			continue
+		}
+		if _, bad := registry.QuarantineReason(name); bad {
+			fmt.Printf("scenario %q is quarantined; skipping generation\n", name)
+			continue
+		}
 		fmt.Printf("registering scenario %q (%s, h=%d, %gMB, warm=%v)...\n", name, target, *mappings, *sizeMB, *warm)
 		start := time.Now()
 		scenario, err := urm.NewScenario(urm.ScenarioOptions{
@@ -123,32 +195,10 @@ func run(args []string) error {
 		fmt.Printf("  %d rows, %d mappings, %d indexes warmed in %.2fs\n",
 			reg.NumRows(), len(reg.Mappings()), reg.WarmIndexBuilds(), time.Since(start).Seconds())
 	}
-	if registry.Len() == 0 {
+	if registry.Len() == 0 && quarantined == 0 {
 		return fmt.Errorf("no scenarios registered; pass -targets")
 	}
-
-	srv := urm.NewServer(registry, urm.ServerConfig{
-		MaxConcurrent:     *maxConc,
-		QueueWait:         *quWait,
-		RequestTimeout:    *timeout,
-		CacheBytes:        cacheBytes,
-		Parallelism:       *parallel,
-		TenantRate:        *tenantRate,
-		TenantBurst:       *tenantBurst,
-		Tenants:           tenants,
-		DisableStaleServe: *noStale,
-	})
-	httpServer := &http.Server{Addr: *addr, Handler: srv}
-
-	errCh := make(chan error, 1)
-	go func() {
-		fmt.Printf("serving on %s (POST /v1/query, GET /v1/scenarios, /healthz, /metrics)\n", *addr)
-		if err := httpServer.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-			errCh <- err
-			return
-		}
-		errCh <- nil
-	}()
+	srv.SetRecovering(false)
 
 	select {
 	case err := <-errCh:

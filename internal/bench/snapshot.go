@@ -64,6 +64,10 @@ type EngineSnapshot struct {
 	// compliant tenant's latency and success rate under a hostile flood,
 	// relative to its solo baseline.
 	QoS *QoSBench `json:"qos,omitempty"`
+	// Store is the durable-store benchmark (`urm-bench -store`): registration,
+	// WAL append (fsync on/off versus the in-memory registry), snapshot and
+	// recovery costs on real disk.
+	Store *StoreBench `json:"store,omitempty"`
 	// Multicore is the partitioned hash-join build measurement, taken with
 	// GOMAXPROCS forced to 4: a large-build join executed with Workers=4
 	// versus Workers=1.  The regression gate enforces its speedup only when

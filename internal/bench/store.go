@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/probdb/urm/internal/datagen"
+	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/server"
+	"github.com/probdb/urm/internal/store"
+)
+
+// StoreBench measures the durable scenario store against the in-memory
+// registry baseline on real disk: what registration, per-row WAL appends
+// (with and without fsync), snapshots and recovery cost.
+type StoreBench struct {
+	// Rows is the size of the benchmark scenario's source instance.
+	Rows int `json:"rows"`
+	// RegisterMs is the cost of durably registering the scenario: encoding
+	// its full state into the WAL's register record plus the fsyncs that
+	// anchor it.
+	RegisterMs float64 `json:"register_ms"`
+	// AppendMemNs is the in-memory baseline: AppendRow on a registry with no
+	// store attached.
+	AppendMemNs int64 `json:"append_mem_ns_per_op"`
+	// AppendNoSyncNs adds the WAL record write without fsync.
+	AppendNoSyncNs int64 `json:"append_nosync_ns_per_op"`
+	// AppendFsyncNs is the fully durable append: WAL record plus fsync.
+	AppendFsyncNs int64 `json:"append_fsync_ns_per_op"`
+	// FsyncOverhead is AppendFsyncNs / AppendNoSyncNs — what the durability
+	// guarantee costs per row.
+	FsyncOverhead float64 `json:"fsync_overhead"`
+	// SnapshotMs is the cost of one snapshot: encode full state, write, sync,
+	// rename, rotate the WAL.
+	SnapshotMs float64 `json:"snapshot_ms"`
+	// RecoverMs is the cost of rebuilding the registry from disk (snapshot
+	// load plus replaying ReplayedRecords WAL records).
+	RecoverMs float64 `json:"recover_ms"`
+	// ReplayedRecords is how many WAL records the recovery measurement
+	// replayed on top of the snapshot.
+	ReplayedRecords int `json:"replayed_records"`
+}
+
+// storeBenchRow mirrors the datagen Customer relation shape.
+func storeBenchRow(i int) engine.Tuple {
+	return engine.Tuple{
+		engine.I(int64(100000 + i)),
+		engine.S(fmt.Sprintf("bench-cust-%d", i)),
+		engine.S("1 Bench Way"),
+		engine.S("555-0000"),
+		engine.S("555-0001"),
+		engine.I(int64(i % 25)),
+		engine.S("BUILDING"),
+	}
+}
+
+// cloneBenchInstance copies the dataset's instance so each benchmark registry
+// appends to its own relations.
+func cloneBenchInstance(db *engine.Instance) *engine.Instance {
+	out := engine.NewInstance("bench")
+	for _, name := range db.RelationNames() {
+		rel := db.Relation(name)
+		nr := engine.NewRelation(rel.Name, rel.Columns)
+		nr.Rows = append([]engine.Tuple(nil), rel.Rows...)
+		out.AddRelation(nr)
+	}
+	return out
+}
+
+// storeBenchRegistry registers the benchmark scenario on a registry backed by
+// a store rooted in a fresh temp directory (or memory-only when opts is nil).
+func storeBenchRegistry(ds *datagen.Dataset, opts *store.Options) (reg *server.Registry, sc *server.Scenario, dir string, err error) {
+	if opts != nil {
+		dir, err = os.MkdirTemp("", "urm-store-bench-*")
+		if err != nil {
+			return nil, nil, "", err
+		}
+		st, err := store.Open(dir, *opts)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, "", err
+		}
+		reg = server.NewRegistryWithStore(st)
+	} else {
+		reg = server.NewRegistry()
+	}
+	sc, err = reg.Register(context.Background(), "bench", ds.Target, cloneBenchInstance(ds.DB), ds.MappingsPrefix(10),
+		server.RegisterOptions{TargetLabel: string(ds.TargetName)})
+	if err != nil {
+		if dir != "" {
+			os.RemoveAll(dir)
+		}
+		return nil, nil, "", err
+	}
+	return reg, sc, dir, nil
+}
+
+// StoreSnapshot measures the durable-store section of BENCH_engine.json on
+// real disk (temp directories, removed afterwards).
+func StoreSnapshot() (*StoreBench, error) {
+	ds, err := datagen.NewDataset(datagen.DatasetOptions{
+		Target: datagen.TargetExcel, NumMappings: 10, SizeMB: 40, Seed: 42,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sb := &StoreBench{Rows: ds.DB.NumRows()}
+
+	// In-memory baseline.
+	_, memSc, _, err := storeBenchRegistry(ds, nil)
+	if err != nil {
+		return nil, err
+	}
+	memRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := memSc.AppendRow("Customer", storeBenchRow(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	sb.AppendMemNs = memRes.NsPerOp()
+
+	// WAL without fsync.
+	_, noSyncSc, noSyncDir, err := storeBenchRegistry(ds, &store.Options{Fsync: false, SnapshotEvery: -1})
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(noSyncDir)
+	noSyncRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := noSyncSc.AppendRow("Customer", storeBenchRow(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	sb.AppendNoSyncNs = noSyncRes.NsPerOp()
+
+	// Fully durable: WAL with per-record fsync.  Registration time is taken
+	// from this configuration, and its directory then feeds the snapshot and
+	// recovery measurements.
+	regStart := time.Now()
+	_, fsyncSc, fsyncDir, err := storeBenchRegistry(ds, &store.Options{Fsync: true, SnapshotEvery: -1})
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(fsyncDir)
+	sb.RegisterMs = float64(time.Since(regStart).Microseconds()) / 1000
+	fsyncRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := fsyncSc.AppendRow("Customer", storeBenchRow(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	sb.AppendFsyncNs = fsyncRes.NsPerOp()
+	if sb.AppendNoSyncNs > 0 {
+		sb.FsyncOverhead = float64(sb.AppendFsyncNs) / float64(sb.AppendNoSyncNs)
+	}
+
+	// Snapshot the fsync scenario, then append a fresh WAL tail so recovery
+	// measures snapshot load plus replay rather than either alone.
+	snapStart := time.Now()
+	if err := fsyncSc.SnapshotNow(); err != nil {
+		return nil, err
+	}
+	sb.SnapshotMs = float64(time.Since(snapStart).Microseconds()) / 1000
+	const tail = 256
+	for i := 0; i < tail; i++ {
+		if err := fsyncSc.AppendRow("Customer", storeBenchRow(1<<20+i)); err != nil {
+			return nil, err
+		}
+	}
+
+	recSt, err := store.Open(fsyncDir, store.Options{Fsync: true, SnapshotEvery: -1})
+	if err != nil {
+		return nil, err
+	}
+	recReg := server.NewRegistryWithStore(recSt)
+	recStart := time.Now()
+	stats, err := recReg.Recover(context.Background(), server.RegisterOptions{})
+	if err != nil {
+		return nil, err
+	}
+	sb.RecoverMs = float64(time.Since(recStart).Microseconds()) / 1000
+	sb.ReplayedRecords = stats.ReplayedRecords
+	if len(stats.Quarantined) != 0 {
+		return nil, fmt.Errorf("store bench: recovery quarantined %v", stats.Quarantined)
+	}
+	rec, ok := recReg.Get("bench")
+	if !ok {
+		return nil, fmt.Errorf("store bench: scenario lost across recovery")
+	}
+	if rec.Epoch() != fsyncSc.Epoch() {
+		return nil, fmt.Errorf("store bench: recovered epoch %d, want %d", rec.Epoch(), fsyncSc.Epoch())
+	}
+	return sb, nil
+}

@@ -24,6 +24,7 @@ type serverMetrics struct {
 	indexLookups   atomic.Int64
 	operators      atomic.Int64
 	inflight       atomic.Int64 // requests currently being served
+	appends        atomic.Int64 // rows appended via POST /v1/append
 
 	queueWait qos.Histogram // measured evaluation-slot waits, all tenants
 }
@@ -60,6 +61,19 @@ type Metrics struct {
 	IndexLookups int64 `json:"index_lookups"`
 	Operators    int64 `json:"operators"`
 
+	// Appends counts rows accepted by POST /v1/append.
+	Appends int64 `json:"appends"`
+
+	// Durable-store counters.  StoreRecoveries counts scenarios rebuilt from
+	// disk at boot, StoreReplayedRecords the WAL records replayed to do so,
+	// StoreQuarantined the scenarios refused because their on-disk state was
+	// corrupt, and StorePersistErrors the mutations that were applied in
+	// memory but failed to reach disk.
+	StoreRecoveries      int64 `json:"store_recoveries"`
+	StoreReplayedRecords int64 `json:"store_replayed_records"`
+	StoreQuarantined     int64 `json:"store_quarantined"`
+	StorePersistErrors   int64 `json:"store_persist_errors"`
+
 	Cache CacheMetrics `json:"cache"`
 
 	// QueueWait is the distribution of measured evaluation-slot waits across
@@ -67,8 +81,9 @@ type Metrics struct {
 	QueueWait qos.HistogramSnapshot    `json:"queue_wait"`
 	Tenants   map[string]TenantMetrics `json:"tenants,omitempty"`
 
-	Draining  bool           `json:"draining"`
-	Scenarios []ScenarioInfo `json:"scenarios"`
+	Draining   bool           `json:"draining"`
+	Recovering bool           `json:"recovering"`
+	Scenarios  []ScenarioInfo `json:"scenarios"`
 }
 
 // ScenarioInfo describes one registered scenario in API responses.
@@ -99,10 +114,26 @@ func (s *Server) snapshotMetrics() Metrics {
 		IndexBuilds:        s.metrics.indexBuilds.Load(),
 		IndexLookups:       s.metrics.indexLookups.Load(),
 		Operators:          s.metrics.operators.Load(),
+		Appends:            s.metrics.appends.Load(),
 		Cache:              s.cache.Metrics(),
 		QueueWait:          s.metrics.queueWait.Snapshot(),
 		Tenants:            s.tenants.snapshot(),
 		Draining:           s.draining(),
+		Recovering:         s.recovering.Load(),
 		Scenarios:          s.scenarioInfos(),
+
+		StoreRecoveries:      s.registry.Recoveries(),
+		StoreReplayedRecords: s.registry.ReplayedRecords(),
+		StoreQuarantined:     int64(len(s.registry.QuarantinedNames())),
+		StorePersistErrors:   storePersistErrors(s.registry),
 	}
+}
+
+// storePersistErrors sums store-level persistence failures; zero when the
+// server runs without a durable store.
+func storePersistErrors(r *Registry) int64 {
+	if st := r.Store(); st != nil {
+		return st.PersistErrors()
+	}
+	return 0
 }

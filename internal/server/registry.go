@@ -22,11 +22,13 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/probdb/urm/internal/core"
 	"github.com/probdb/urm/internal/engine"
 	"github.com/probdb/urm/internal/query"
 	"github.com/probdb/urm/internal/schema"
+	"github.com/probdb/urm/internal/store"
 )
 
 // Scenario is one registered, named evaluation environment: a source instance,
@@ -69,6 +71,17 @@ type Scenario struct {
 	prepped map[string]*preparedEntry // raw query text -> entry
 	byCanon map[string]*preparedEntry // canonical SQL -> entry
 
+	// persistMu makes {in-memory mutation, epoch bump, WAL record} one atomic
+	// unit with respect to snapshot capture.  Without it, a snapshot running
+	// between AppendRow's epoch bump and its WAL append could capture the new
+	// row under the new epoch while the row's own WAL record lands in the
+	// rotated (truncated) log — or, worse, a row could be logged under the
+	// pre-bump epoch and skipped by replay.  Lock order: persistMu before mu;
+	// evaluations take only mu (read) and are never blocked by persistence.
+	persistMu sync.Mutex
+	// log is the scenario's durable WAL, nil when the registry has no store.
+	log *store.Log
+
 	warmBuilds int
 }
 
@@ -108,10 +121,32 @@ func (s *Scenario) Epoch() uint64 { return s.epoch.Load() }
 // Call it after any out-of-band mutation of the instance or mapping set.  The
 // stale-serve floor rises with it: answers from before an out-of-band change
 // must never reappear, not even flagged stale.
+//
+// With a store attached the bump is logged; a persistence failure does not
+// block the bump (the in-memory invalidation must win) but is sticky on the
+// log — check PersistErr or the store_persist_errors metric.
 func (s *Scenario) Bump() uint64 {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
 	e := s.epoch.Add(1)
 	s.staleFloor.Store(e)
+	if s.log != nil {
+		if err := s.log.Bump(e, e); err == nil {
+			s.maybeSnapshotLocked()
+		}
+	}
 	return e
+}
+
+// PersistErr returns the scenario's sticky persistence failure, if any.  A
+// non-nil value means some acknowledged-in-memory mutation after the failure
+// point is not durable; served answers remain correct for this process's
+// lifetime.
+func (s *Scenario) PersistErr() error {
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Err()
 }
 
 // StaleFloor returns the oldest epoch eligible for stale-answer degradation.
@@ -125,18 +160,78 @@ func (s *Scenario) StaleFloor() uint64 { return s.staleFloor.Load() }
 // under a running scan.  The engine's own index invalidation
 // (Relation.Append's version counter) handles the per-column indexes; the
 // epoch bump handles the answer cache.
+// With a store attached, the row is logged under the epoch its in-memory
+// append committed at, and the whole {append, bump, log} sequence happens
+// under persistMu so a concurrent snapshot sees either none or all of it.  A
+// persistence failure is returned (and sticky): the row is live in memory but
+// will not survive a restart.
 func (s *Scenario) AppendRow(relation string, t engine.Tuple) error {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	rel := s.db.Relation(relation)
 	if rel == nil {
+		s.mu.Unlock()
 		return fmt.Errorf("scenario %s: unknown relation %q", s.name, relation)
 	}
 	if err := rel.Append(t); err != nil {
+		s.mu.Unlock()
 		return err
 	}
-	s.epoch.Add(1)
+	epoch := s.epoch.Add(1)
+	s.mu.Unlock()
+	if s.log != nil {
+		if err := s.log.AppendRow(relation, t, epoch); err != nil {
+			return fmt.Errorf("scenario %s: row live in memory but not persisted: %w", s.name, err)
+		}
+		s.maybeSnapshotLocked()
+	}
 	return nil
+}
+
+// maybeSnapshotLocked snapshots when the WAL has outgrown its cadence.
+// Callers hold persistMu.  A snapshot failure is not fatal here: the WAL
+// still covers the full state, and the store counts the error.
+func (s *Scenario) maybeSnapshotLocked() {
+	if s.log.ShouldSnapshot() {
+		_ = s.log.Snapshot(s.captureStateLocked())
+	}
+}
+
+// SnapshotNow forces a durable snapshot (and WAL truncation) immediately.
+func (s *Scenario) SnapshotNow() error {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Snapshot(s.captureStateLocked())
+}
+
+// captureStateLocked builds the durable image of the scenario.  Callers hold
+// persistMu, which excludes every mutation; the brief read lock additionally
+// orders the row-slice reads against the memory model.  Tuples are shared,
+// not copied — they are immutable by the engine's contract.
+func (s *Scenario) captureStateLocked() *store.ScenarioState {
+	st := &store.ScenarioState{
+		Name:       s.name,
+		Label:      s.label,
+		Epoch:      s.epoch.Load(),
+		StaleFloor: s.staleFloor.Load(),
+		Target:     s.target,
+		Mappings:   s.maps,
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, name := range s.db.RelationNames() {
+		rel := s.db.Relation(name)
+		st.Relations = append(st.Relations, store.RelationState{
+			Name:    rel.Name,
+			Columns: append([]string(nil), rel.Columns...),
+			Rows:    append([]engine.Tuple(nil), rel.Rows...),
+		})
+	}
+	return st
 }
 
 // Evaluate runs one evaluation while holding the scenario's evaluation lock
@@ -233,16 +328,35 @@ func (s *Scenario) NumRows() int { return s.db.NumRows() }
 
 // Registry holds the scenarios a server can answer queries against.  It is
 // safe for concurrent use; registration is expected at startup but allowed at
-// any time.
+// any time.  With a store attached (NewRegistryWithStore), registrations and
+// mutations are written through to disk and Recover rebuilds the registry
+// after a restart.
 type Registry struct {
-	mu        sync.RWMutex
-	scenarios map[string]*Scenario
+	mu          sync.RWMutex
+	scenarios   map[string]*Scenario
+	quarantined map[string]error // scenario name -> why recovery refused it
+
+	st *store.Store
+
+	recoveries atomic.Int64 // scenarios recovered from disk
+	replayed   atomic.Int64 // WAL records replayed on top of snapshots
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty, memory-only registry.
 func NewRegistry() *Registry {
-	return &Registry{scenarios: make(map[string]*Scenario)}
+	return &Registry{scenarios: make(map[string]*Scenario), quarantined: make(map[string]error)}
 }
+
+// NewRegistryWithStore returns a registry whose registrations and mutations
+// persist to the store.  Call Recover before serving to load what disk holds.
+func NewRegistryWithStore(st *store.Store) *Registry {
+	r := NewRegistry()
+	r.st = st
+	return r
+}
+
+// Store returns the attached store, or nil for a memory-only registry.
+func (r *Registry) Store() *store.Store { return r.st }
 
 // RegisterOptions tunes Register.
 type RegisterOptions struct {
@@ -288,14 +402,171 @@ func (r *Registry) Register(ctx context.Context, name string, target *schema.Sch
 			s.warmBuilds = built
 		}
 	}
+	r.mu.RLock()
+	_, dup := r.scenarios[name]
+	qerr := r.quarantined[name]
+	r.mu.RUnlock()
+	if dup {
+		return nil, fmt.Errorf("register: scenario %q already registered", name)
+	}
+	if qerr != nil {
+		// Registering over a quarantined name would truncate the damaged
+		// files an operator may still want to inspect — refuse until the
+		// scenario's directory is cleared out of band.
+		return nil, fmt.Errorf("register: scenario %q is quarantined (%v): clear its data directory first", name, qerr)
+	}
+	if r.st != nil {
+		log, err := r.st.Register(s.captureStateLocked())
+		if err != nil {
+			return nil, fmt.Errorf("register %s: persisting: %w", name, err)
+		}
+		s.log = log
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.scenarios[name]; dup {
+		if s.log != nil {
+			_ = s.log.Drop()
+		}
 		return nil, fmt.Errorf("register: scenario %q already registered", name)
 	}
 	r.scenarios[name] = s
 	return s, nil
 }
+
+// Drop removes a scenario from the registry and, with a store attached,
+// durably deletes its on-disk state.
+func (r *Registry) Drop(name string) error {
+	r.mu.Lock()
+	s, ok := r.scenarios[name]
+	delete(r.scenarios, name)
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("drop: unknown scenario %q", name)
+	}
+	if s.log != nil {
+		return s.log.Drop()
+	}
+	return nil
+}
+
+// RecoveryStats summarizes one Recover call.
+type RecoveryStats struct {
+	// Scenarios is how many scenarios were rebuilt from disk.
+	Scenarios int
+	// ReplayedRecords is how many WAL records were applied on top of
+	// snapshots and register records.
+	ReplayedRecords int
+	// Quarantined lists scenarios whose on-disk state could not be trusted,
+	// sorted by name.  They answer 503 until an operator intervenes.
+	Quarantined []string
+	// Elapsed is wall-clock recovery time, index warming included.
+	Elapsed time.Duration
+}
+
+// Recover loads every scenario the store holds: snapshot plus WAL tail,
+// index warm-up (when opts.WarmIndexes), quarantine bookkeeping for anything
+// corrupt.  Call it once, before serving; on a memory-only registry it is a
+// no-op.  Scenario-level damage never fails Recover — it quarantines; only
+// store-wide problems (unreadable directory, context cancellation during
+// warming) are returned as errors.
+func (r *Registry) Recover(ctx context.Context, opts RegisterOptions) (*RecoveryStats, error) {
+	stats := &RecoveryStats{}
+	if r.st == nil {
+		return stats, nil
+	}
+	start := time.Now()
+	rec, err := r.st.Recover()
+	if err != nil {
+		return nil, err
+	}
+	quarantined := rec.Quarantined
+	for _, rs := range rec.Scenarios {
+		s, err := scenarioFromState(rs.State, rs.Log)
+		if err != nil {
+			quarantined = append(quarantined, store.QuarantinedScenario{Name: rs.State.Name, Err: err})
+			continue
+		}
+		if opts.WarmIndexes {
+			if cache := s.db.Indexes(); cache != nil {
+				built, err := cache.Warm(ctx, engine.NewStats())
+				if err != nil {
+					return nil, fmt.Errorf("recover %s: warming indexes: %w", s.name, err)
+				}
+				s.warmBuilds = built
+			}
+		}
+		r.mu.Lock()
+		if _, dup := r.scenarios[s.name]; dup {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("recover: scenario %q already registered", s.name)
+		}
+		r.scenarios[s.name] = s
+		r.mu.Unlock()
+		stats.Scenarios++
+		stats.ReplayedRecords += rs.Replayed
+	}
+	r.mu.Lock()
+	for _, q := range quarantined {
+		r.quarantined[q.Name] = q.Err
+		stats.Quarantined = append(stats.Quarantined, q.Name)
+	}
+	r.mu.Unlock()
+	sort.Strings(stats.Quarantined)
+	r.recoveries.Add(int64(stats.Scenarios))
+	r.replayed.Add(int64(stats.ReplayedRecords))
+	stats.Elapsed = time.Since(start)
+	return stats, nil
+}
+
+// scenarioFromState rebuilds a servable scenario from its durable image.
+// Structural damage was already caught by the store's checksums and decoders;
+// this guards the semantic contracts (valid mapping set, non-empty target)
+// that registration would have enforced.
+func scenarioFromState(st *store.ScenarioState, log *store.Log) (*Scenario, error) {
+	if st.Target == nil || len(st.Target.Relations) == 0 {
+		return nil, fmt.Errorf("%w: empty target schema", store.ErrCorrupt)
+	}
+	if err := st.Mappings.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: invalid mapping set: %v", store.ErrCorrupt, err)
+	}
+	db := engine.NewInstance(st.Name)
+	for _, rs := range st.Relations {
+		rel := engine.NewRelation(rs.Name, rs.Columns)
+		rel.Rows = rs.Rows
+		db.AddRelation(rel)
+	}
+	s := &Scenario{name: st.Name, target: st.Target, label: st.Label, db: db, maps: st.Mappings, log: log}
+	s.epoch.Store(st.Epoch)
+	s.staleFloor.Store(st.StaleFloor)
+	return s, nil
+}
+
+// QuarantineReason returns why the named scenario is quarantined, if it is.
+func (r *Registry) QuarantineReason(name string) (error, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	err, ok := r.quarantined[name]
+	return err, ok
+}
+
+// QuarantinedNames returns the quarantined scenario names, sorted.
+func (r *Registry) QuarantinedNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.quarantined))
+	for name := range r.quarantined {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Recoveries returns the number of scenarios recovered from disk.
+func (r *Registry) Recoveries() int64 { return r.recoveries.Load() }
+
+// ReplayedRecords returns the number of WAL records replayed during recovery.
+func (r *Registry) ReplayedRecords() int64 { return r.replayed.Load() }
 
 // Get returns the named scenario.
 func (r *Registry) Get(name string) (*Scenario, bool) {

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/probdb/urm/internal/core"
@@ -100,7 +101,20 @@ type Server struct {
 	drainMu  sync.RWMutex
 	drainSet bool
 	wg       sync.WaitGroup
+
+	// recovering, while set, answers every query 503 ("recovering") so the
+	// listener can come up before WAL replay and index warming finish —
+	// load balancers see a live but not-yet-ready node instead of connection
+	// refused.
+	recovering atomic.Bool
 }
+
+// SetRecovering flips the recovery gate.  Boot sequence: SetRecovering(true),
+// start the listener, Registry.Recover, SetRecovering(false).
+func (s *Server) SetRecovering(on bool) { s.recovering.Store(on) }
+
+// Recovering reports whether the server is still replaying its store.
+func (s *Server) Recovering() bool { return s.recovering.Load() }
 
 // New builds a server over the registry.
 func New(reg *Registry, cfg Config) *Server {
@@ -228,6 +242,13 @@ var (
 	// latency: the evaluation would more likely than not burn a slot and time
 	// out anyway, so the server sheds it before admission.
 	ErrDeadlineTooShort = errors.New("request deadline shorter than expected evaluation latency")
+	// ErrQuarantined is returned (and mapped to 503) when the request names a
+	// scenario whose on-disk state failed recovery validation.  The rest of
+	// the node serves normally; this scenario needs operator attention.
+	ErrQuarantined = errors.New("scenario is quarantined: on-disk state failed recovery")
+	// ErrRecovering is returned (and mapped to 503) while the server is still
+	// replaying the durable store at boot.
+	ErrRecovering = errors.New("server is recovering from its durable store")
 )
 
 // apiError carries an HTTP status through the Do path while keeping the
@@ -277,11 +298,17 @@ func (s *Server) Do(ctx context.Context, req Request) (*Response, error) {
 		return nil, apiErr(http.StatusServiceUnavailable, ErrDraining)
 	}
 	defer s.leave()
+	if s.recovering.Load() {
+		s.metrics.unavailable.Add(1)
+		return nil, apiErr(http.StatusServiceUnavailable, ErrRecovering)
+	}
 
 	resp, err := s.do(ctx, req)
 	if err != nil {
 		var ae *apiError
 		switch {
+		case errors.Is(err, ErrQuarantined):
+			s.metrics.unavailable.Add(1)
 		case errors.As(err, &ae) && ae.status == http.StatusTooManyRequests:
 			s.metrics.rejected.Add(1)
 		case errors.Is(err, ErrDeadlineTooShort):
@@ -302,6 +329,9 @@ func (s *Server) do(ctx context.Context, req Request) (*Response, error) {
 	}
 	sc, ok := s.registry.Get(req.Scenario)
 	if !ok {
+		if qerr, quarantined := s.registry.QuarantineReason(req.Scenario); quarantined {
+			return nil, apiErr(http.StatusServiceUnavailable, fmt.Errorf("%w: %q: %v", ErrQuarantined, req.Scenario, qerr))
+		}
 		return nil, apiErr(http.StatusNotFound, fmt.Errorf("%w: %q", ErrUnknownScenario, req.Scenario))
 	}
 	if strings.TrimSpace(req.Query) == "" {
@@ -560,13 +590,19 @@ func (s *Server) Drain(ctx context.Context) error {
 // ServeHTTP routes the JSON API:
 //
 //	POST /v1/query      evaluate (or serve from cache)
+//	POST /v1/append     append a row to a scenario relation (durable when a store is attached)
+//	POST /v1/bump       bump a scenario's epoch (invalidate cached answers)
 //	GET  /v1/scenarios  registered scenarios
-//	GET  /healthz       liveness (503 while draining)
+//	GET  /healthz       readiness ("recovering" then "draining" beat "ok")
 //	GET  /metrics       counters snapshot
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == "/v1/query":
 		s.handleQuery(w, r)
+	case r.URL.Path == "/v1/append":
+		s.handleAppend(w, r)
+	case r.URL.Path == "/v1/bump":
+		s.handleBump(w, r)
 	case r.URL.Path == "/v1/scenarios":
 		s.handleScenarios(w, r)
 	case r.URL.Path == "/healthz":
@@ -638,11 +674,151 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// "recovering" outranks "draining": a node still replaying its WAL has
+	// not served anything yet, so balancers should treat it as not-yet-ready
+	// rather than going-away.
+	if s.recovering.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "recovering"})
+		return
+	}
 	if s.draining() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// AppendRequest is the body of POST /v1/append.  Values map JSON types onto
+// engine values: strings stay strings, integral numbers become ints, other
+// numbers become floats, null becomes the null value.
+type AppendRequest struct {
+	Scenario string `json:"scenario"`
+	Relation string `json:"relation"`
+	Values   []any  `json:"values"`
+}
+
+// BumpRequest is the body of POST /v1/bump.
+type BumpRequest struct {
+	Scenario string `json:"scenario"`
+}
+
+// mutableScenario runs the shared admission checks for the mutation
+// endpoints and resolves the target scenario.  It returns nil after writing
+// the error response itself.
+func (s *Server) mutableScenario(w http.ResponseWriter, r *http.Request, name string) (*Scenario, func()) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return nil, nil
+	}
+	if !s.enter() {
+		s.metrics.unavailable.Add(1)
+		writeError(w, http.StatusServiceUnavailable, ErrDraining.Error())
+		return nil, nil
+	}
+	if s.recovering.Load() {
+		s.leave()
+		s.metrics.unavailable.Add(1)
+		writeError(w, http.StatusServiceUnavailable, ErrRecovering.Error())
+		return nil, nil
+	}
+	sc, ok := s.registry.Get(name)
+	if !ok {
+		s.leave()
+		if qerr, quarantined := s.registry.QuarantineReason(name); quarantined {
+			s.metrics.unavailable.Add(1)
+			writeError(w, http.StatusServiceUnavailable, fmt.Sprintf("%v: %q: %v", ErrQuarantined, name, qerr))
+			return nil, nil
+		}
+		writeError(w, http.StatusNotFound, fmt.Sprintf("%v: %q", ErrUnknownScenario, name))
+		return nil, nil
+	}
+	return sc, s.leave
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var req AppendRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	dec.UseNumber()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		return
+	}
+	row, err := tupleFromJSON(req.Values)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sc, leave := s.mutableScenario(w, r, req.Scenario)
+	if sc == nil {
+		return
+	}
+	defer leave()
+	if err := sc.AppendRow(req.Relation, row); err != nil {
+		// A persistence failure means the row is live in memory but not on
+		// disk — that is a server-side durability fault, not a bad request.
+		status := http.StatusBadRequest
+		if sc.PersistErr() != nil {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	s.metrics.appends.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"scenario": sc.Name(),
+		"relation": req.Relation,
+		"epoch":    sc.Epoch(),
+		"rows":     sc.NumRows(),
+	})
+}
+
+func (s *Server) handleBump(w http.ResponseWriter, r *http.Request) {
+	var req BumpRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		return
+	}
+	sc, leave := s.mutableScenario(w, r, req.Scenario)
+	if sc == nil {
+		return
+	}
+	defer leave()
+	epoch := sc.Bump()
+	if err := sc.PersistErr(); err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("epoch bumped in memory but not persisted: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"scenario": sc.Name(), "epoch": epoch})
+}
+
+// tupleFromJSON converts a decoded JSON value slice (with json.Number for
+// numbers) into an engine tuple.
+func tupleFromJSON(values []any) (engine.Tuple, error) {
+	row := make(engine.Tuple, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case nil:
+			row[i] = engine.Null()
+		case string:
+			row[i] = engine.S(x)
+		case json.Number:
+			if n, err := strconv.ParseInt(string(x), 10, 64); err == nil {
+				row[i] = engine.I(n)
+			} else if f, err := x.Float64(); err == nil {
+				row[i] = engine.F(f)
+			} else {
+				return nil, fmt.Errorf("values[%d]: unparseable number %q", i, x)
+			}
+		case bool:
+			return nil, fmt.Errorf("values[%d]: booleans are not supported", i)
+		default:
+			return nil, fmt.Errorf("values[%d]: unsupported JSON type %T", i, v)
+		}
+	}
+	return row, nil
 }
 
 func (s *Server) scenarioInfos() []ScenarioInfo {

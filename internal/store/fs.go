@@ -1,0 +1,121 @@
+// Package store is the durable scenario store: a per-scenario append-only
+// write-ahead log of checksummed mutation records plus periodic checksummed
+// snapshots that truncate the log.  Recovery replays snapshot + WAL tail and
+// classifies damage: a torn tail (the file ends mid-record, the signature of a
+// crash during an append) is truncated away and the committed prefix survives;
+// a checksum mismatch on a fully present record (bit rot, manual editing,
+// version skew) quarantines the scenario so the rest of the node keeps
+// serving.
+//
+// Every byte of file I/O goes through the FS interface below.  Production
+// uses the thin os wrapper; tests use MemFS, which can cut power after any
+// written byte, fail fsyncs, and serve short reads — the same deterministic
+// fault-seam idea as internal/qos.Faults, but for the disk.
+package store
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+)
+
+// FS is the filesystem seam.  Paths are plain slash-joined strings; the store
+// never walks outside the root directory it was opened with.
+type FS interface {
+	// MkdirAll creates the directory and any missing parents.
+	MkdirAll(path string) error
+	// ReadDir returns the names of the subdirectories of path, sorted.
+	// Regular files are not listed; a missing directory is an error
+	// satisfying errors.Is(err, fs.ErrNotExist).
+	ReadDir(path string) ([]string, error)
+	// ReadFile returns the full content of the file.  A missing file is an
+	// error satisfying errors.Is(err, fs.ErrNotExist).
+	ReadFile(path string) ([]byte, error)
+	// Create opens the file for writing, truncating it if it exists.
+	Create(path string) (File, error)
+	// OpenAppend opens the file for appending, creating it if missing.
+	OpenAppend(path string) (File, error)
+	// Rename atomically replaces newPath with oldPath.
+	Rename(oldPath, newPath string) error
+	// Remove deletes a file; missing is not an error.
+	Remove(path string) error
+	// RemoveAll deletes a file or directory tree; missing is not an error.
+	RemoveAll(path string) error
+	// Truncate shrinks the file to size bytes.
+	Truncate(path string, size int64) error
+	// SyncDir flushes directory metadata (created/renamed/removed entries)
+	// to stable storage.
+	SyncDir(path string) error
+}
+
+// File is an open writable file.
+type File interface {
+	io.Writer
+	// Sync flushes written data to stable storage.
+	Sync() error
+	Close() error
+}
+
+// OSFS returns the production FS backed by the os package.
+func OSFS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+func (osFS) ReadDir(path string) ([]string, error) {
+	ents, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}
+
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+func (osFS) Remove(path string) error {
+	err := os.Remove(path)
+	if err != nil && errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+func (osFS) RemoveAll(path string) error { return os.RemoveAll(path) }
+
+func (osFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	closeErr := d.Close()
+	if err != nil {
+		// Some filesystems reject fsync on directories; the rename/create
+		// itself is still ordered on anything the tests run on.
+		if errors.Is(err, errors.ErrUnsupported) {
+			return closeErr
+		}
+		return err
+	}
+	return closeErr
+}

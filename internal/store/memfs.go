@@ -1,0 +1,366 @@
+package store
+
+import (
+	"fmt"
+	"io/fs"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrCrashed is returned by every MemFS operation after the simulated power
+// loss point.  The store under test sees it as an ordinary I/O error; the
+// test then recovers from Clone(), the durable image.
+var ErrCrashed = fmt.Errorf("store: simulated power loss")
+
+// MemFS is an in-memory FS with deterministic fault injection, the disk
+// counterpart of internal/qos.Faults.  It models an ordered, write-through
+// disk: every byte accepted by Write is durable, and a crash can land after
+// any accepted byte.
+//
+// Faults are budgeted in units: each written byte costs one unit, each
+// metadata operation (create, rename, remove, truncate, new directory) costs
+// one unit and is atomic — it either happens entirely before the crash or not
+// at all.  CrashAfter(n) cuts power once n units are consumed: the operation
+// in flight is applied up to the boundary (a Write keeps its prefix), every
+// later operation fails with ErrCrashed, and Clone() returns the durable
+// image a restart would see.  Sweeping n across [0, Used()] of a reference
+// run visits every possible crash point of a mutation sequence.
+type MemFS struct {
+	mu      sync.Mutex
+	files   map[string][]byte
+	dirs    map[string]bool
+	budget  int64 // remaining units before the crash; -1 = no crash scheduled
+	used    int64
+	crashed bool
+
+	// SyncErr, when set, is consulted by File.Sync: a non-nil return is
+	// surfaced as the fsync failure.  Data already written stays durable
+	// (write-through model); the hook tests the store's error handling, not
+	// data loss.
+	SyncErr func(path string) error
+	// ReadHook, when set, may replace the content served by ReadFile —
+	// returning a prefix simulates a short read.
+	ReadHook func(path string, data []byte) []byte
+}
+
+// NewMemFS returns an empty in-memory filesystem with no crash scheduled.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string][]byte), dirs: make(map[string]bool), budget: -1}
+}
+
+// CrashAfter schedules a power cut once n more units are consumed.
+func (m *MemFS) CrashAfter(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.budget = n
+}
+
+// Used returns the total units consumed so far; a fault-free reference run's
+// Used() bounds the crash points worth testing.
+func (m *MemFS) Used() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
+
+// Crashed reports whether the scheduled power cut has happened.
+func (m *MemFS) Crashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
+}
+
+// Clone returns the durable image: a fault-free copy of the current file
+// state, as a restart after the crash would find it.
+func (m *MemFS) Clone() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMemFS()
+	for p, b := range m.files {
+		out.files[p] = append([]byte(nil), b...)
+	}
+	for d := range m.dirs {
+		out.dirs[d] = true
+	}
+	return out
+}
+
+// Corrupt XORs the byte at off in the named file; test helper for simulating
+// bit rot.
+func (m *MemFS) Corrupt(path string, off int, xor byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[path]
+	if !ok {
+		return fmt.Errorf("corrupt %s: %w", path, fs.ErrNotExist)
+	}
+	if off < 0 || off >= len(b) {
+		return fmt.Errorf("corrupt %s: offset %d out of range [0,%d)", path, off, len(b))
+	}
+	b[off] ^= xor
+	return nil
+}
+
+// FileSize returns the size of the named file, or -1 if absent.
+func (m *MemFS) FileSize(path string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[path]
+	if !ok {
+		return -1
+	}
+	return len(b)
+}
+
+// charge consumes n units, returning false (and cutting power) when the
+// budget runs out.  It reports how many of the n units fit before the cut.
+func (m *MemFS) charge(n int64) (fit int64, ok bool) {
+	if m.crashed {
+		return 0, false
+	}
+	m.used += n
+	if m.budget < 0 {
+		return n, true
+	}
+	if m.budget >= n {
+		m.budget -= n
+		return n, true
+	}
+	fit = m.budget
+	m.used += fit - n // only the fitting units count as consumed
+	m.budget = 0
+	m.crashed = true
+	return fit, false
+}
+
+// chargeOp consumes one unit for an atomic metadata operation.
+func (m *MemFS) chargeOp() bool {
+	_, ok := m.charge(1)
+	return ok
+}
+
+func (m *MemFS) MkdirAll(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	if m.dirs[path] {
+		return nil
+	}
+	if !m.chargeOp() {
+		return ErrCrashed
+	}
+	for p := path; p != "" && p != "." && p != "/"; p = parentDir(p) {
+		m.dirs[p] = true
+	}
+	return nil
+}
+
+func (m *MemFS) ReadDir(path string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	if !m.dirs[path] {
+		return nil, fmt.Errorf("readdir %s: %w", path, fs.ErrNotExist)
+	}
+	prefix := path + "/"
+	var names []string
+	for d := range m.dirs {
+		if rest, ok := strings.CutPrefix(d, prefix); ok && rest != "" && !strings.Contains(rest, "/") {
+			names = append(names, rest)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	b, ok := m.files[path]
+	if !ok {
+		return nil, fmt.Errorf("read %s: %w", path, fs.ErrNotExist)
+	}
+	out := append([]byte(nil), b...)
+	if m.ReadHook != nil {
+		out = m.ReadHook(path, out)
+	}
+	return out, nil
+}
+
+func (m *MemFS) Create(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	if !m.chargeOp() {
+		return nil, ErrCrashed
+	}
+	m.files[path] = []byte{}
+	return &memFile{fs: m, path: path}, nil
+}
+
+func (m *MemFS) OpenAppend(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrCrashed
+	}
+	if _, ok := m.files[path]; !ok {
+		if !m.chargeOp() {
+			return nil, ErrCrashed
+		}
+		m.files[path] = []byte{}
+	}
+	return &memFile{fs: m, path: path}, nil
+}
+
+func (m *MemFS) Rename(oldPath, newPath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	b, ok := m.files[oldPath]
+	if !ok {
+		return fmt.Errorf("rename %s: %w", oldPath, fs.ErrNotExist)
+	}
+	if !m.chargeOp() {
+		return ErrCrashed
+	}
+	m.files[newPath] = b
+	delete(m.files, oldPath)
+	return nil
+}
+
+func (m *MemFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	if _, ok := m.files[path]; !ok {
+		return nil
+	}
+	if !m.chargeOp() {
+		return ErrCrashed
+	}
+	delete(m.files, path)
+	return nil
+}
+
+func (m *MemFS) RemoveAll(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	if !m.chargeOp() {
+		return ErrCrashed
+	}
+	prefix := path + "/"
+	for p := range m.files {
+		if p == path || strings.HasPrefix(p, prefix) {
+			delete(m.files, p)
+		}
+	}
+	for d := range m.dirs {
+		if d == path || strings.HasPrefix(d, prefix) {
+			delete(m.dirs, d)
+		}
+	}
+	return nil
+}
+
+func (m *MemFS) Truncate(path string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	b, ok := m.files[path]
+	if !ok {
+		return fmt.Errorf("truncate %s: %w", path, fs.ErrNotExist)
+	}
+	if size < 0 || size > int64(len(b)) {
+		return fmt.Errorf("truncate %s: size %d out of range [0,%d]", path, size, len(b))
+	}
+	if !m.chargeOp() {
+		return ErrCrashed
+	}
+	m.files[path] = b[:size]
+	return nil
+}
+
+func (m *MemFS) SyncDir(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func parentDir(p string) string {
+	i := strings.LastIndexByte(p, '/')
+	if i <= 0 {
+		return ""
+	}
+	return p[:i]
+}
+
+type memFile struct {
+	fs     *MemFS
+	path   string
+	closed bool
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, fmt.Errorf("write %s: file closed", f.path)
+	}
+	if f.fs.crashed {
+		return 0, ErrCrashed
+	}
+	b, ok := f.fs.files[f.path]
+	if !ok {
+		return 0, fmt.Errorf("write %s: %w", f.path, fs.ErrNotExist)
+	}
+	fit, ok := f.fs.charge(int64(len(p)))
+	f.fs.files[f.path] = append(b, p[:fit]...)
+	if !ok {
+		return int(fit), ErrCrashed
+	}
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	hook := f.fs.SyncErr
+	crashed := f.fs.crashed
+	f.fs.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	if hook != nil {
+		return hook(f.path)
+	}
+	return nil
+}
+
+func (f *memFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.closed = true
+	return nil
+}

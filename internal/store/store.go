@@ -1,0 +1,687 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/url"
+	"path"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/probdb/urm/internal/engine"
+)
+
+// Sentinel errors.
+var (
+	// ErrCorrupt marks data that is structurally damaged beyond the torn-tail
+	// pattern a crash can produce: a checksum mismatch on a whole record, an
+	// impossible length, a payload that does not decode.  Recovery quarantines
+	// the affected scenario rather than guessing.
+	ErrCorrupt = errors.New("store: corrupt data")
+	// ErrNewerFormat means the data directory was written by a newer store
+	// version; opening it read-write could destroy data this build cannot
+	// parse, so Open refuses.
+	ErrNewerFormat = errors.New("store: data directory uses a newer format version")
+)
+
+// FormatVersion is the on-disk format this build reads and writes, recorded
+// in <dir>/VERSION as "urm-store-v<N>".
+const FormatVersion = 1
+
+const (
+	versionFile   = "VERSION"
+	versionPrefix = "urm-store-v"
+	walFile       = "wal.log"
+	snapFile      = "snapshot.snap"
+	snapTmpFile   = "snapshot.tmp"
+)
+
+// Options tunes Open.
+type Options struct {
+	// FS overrides the filesystem; nil uses the real one.  Tests inject MemFS.
+	FS FS
+	// Fsync syncs the WAL after every mutation record.  Off, durability of
+	// appends is at the OS's discretion — recovery still yields a committed
+	// prefix, just possibly a shorter one.  Registration, snapshots and drops
+	// are always synced regardless; they are rare and anchor everything else.
+	Fsync bool
+	// SnapshotEvery is how many WAL records accumulate before the next
+	// mutation triggers a snapshot that truncates the log.  0 means the
+	// default (256); negative disables automatic snapshots.
+	SnapshotEvery int
+}
+
+const defaultSnapshotEvery = 256
+
+// Store is one open data directory.  It hands out one Log per scenario;
+// Store itself is safe for concurrent use, each Log serializes internally.
+type Store struct {
+	fs            FS
+	dir           string
+	fsync         bool
+	snapshotEvery int
+
+	persistErrors atomic.Int64
+}
+
+// Open opens (creating if needed) the data directory and verifies its format
+// version.  A directory written by a newer version fails with ErrNewerFormat;
+// an unparseable VERSION file fails with ErrCorrupt.
+func Open(dir string, opts Options) (*Store, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = OSFS()
+	}
+	every := opts.SnapshotEvery
+	if every == 0 {
+		every = defaultSnapshotEvery
+	}
+	st := &Store{fs: fsys, dir: dir, fsync: opts.Fsync, snapshotEvery: every}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	if err := st.checkVersion(); err != nil {
+		return nil, err
+	}
+	if err := fsys.MkdirAll(st.scenariosDir()); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	return st, nil
+}
+
+// checkVersion reads <dir>/VERSION, writing it (atomically: tmp, fsync,
+// rename) when the directory is fresh.  A missing VERSION with existing
+// scenario data can only come from a crash before the very first version
+// write, i.e. before any scenario data existed — so rewriting is safe.
+func (st *Store) checkVersion() error {
+	vpath := path.Join(st.dir, versionFile)
+	data, err := st.fs.ReadFile(vpath)
+	if errors.Is(err, fs.ErrNotExist) {
+		tmp := vpath + ".tmp"
+		f, err := st.fs.Create(tmp)
+		if err != nil {
+			return fmt.Errorf("store: write version: %w", err)
+		}
+		if _, err := fmt.Fprintf(f, "%s%d\n", versionPrefix, FormatVersion); err != nil {
+			f.Close()
+			return fmt.Errorf("store: write version: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("store: write version: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("store: write version: %w", err)
+		}
+		if err := st.fs.Rename(tmp, vpath); err != nil {
+			return fmt.Errorf("store: write version: %w", err)
+		}
+		return st.fs.SyncDir(st.dir)
+	}
+	if err != nil {
+		return fmt.Errorf("store: read version: %w", err)
+	}
+	s := strings.TrimSpace(string(data))
+	rest, ok := strings.CutPrefix(s, versionPrefix)
+	if !ok {
+		return fmt.Errorf("%w: VERSION file %q", ErrCorrupt, s)
+	}
+	v, err := strconv.Atoi(rest)
+	if err != nil || v < 1 {
+		return fmt.Errorf("%w: VERSION file %q", ErrCorrupt, s)
+	}
+	if v > FormatVersion {
+		return fmt.Errorf("%w: directory is %q, this build reads up to %q%d", ErrNewerFormat, s, versionPrefix, FormatVersion)
+	}
+	return nil
+}
+
+// Dir returns the data directory the store was opened with.
+func (st *Store) Dir() string { return st.dir }
+
+// Fsync reports whether per-record fsync is on.
+func (st *Store) Fsync() bool { return st.fsync }
+
+// SnapshotEvery returns the snapshot cadence in WAL records (<0 disabled).
+func (st *Store) SnapshotEvery() int { return st.snapshotEvery }
+
+// PersistErrors returns the count of persistence failures (failed appends,
+// fsyncs, snapshots, drops) since the store was opened.  A non-zero count
+// means some scenario logs have gone sticky-broken and stopped accepting
+// mutations; served answers remain correct.
+func (st *Store) PersistErrors() int64 { return st.persistErrors.Load() }
+
+func (st *Store) scenariosDir() string { return path.Join(st.dir, "scenarios") }
+
+func (st *Store) scenarioDir(name string) string {
+	return path.Join(st.scenariosDir(), url.PathEscape(name))
+}
+
+// Register durably creates a scenario: a fresh WAL whose first record is the
+// full initial state.  The record and the directory entries are fsynced
+// before Register returns regardless of the fsync option — a registration
+// that has been acknowledged must survive any crash.  It fails if the
+// scenario already has data on disk (recover or drop it first).
+func (st *Store) Register(state *ScenarioState) (*Log, error) {
+	if state == nil || state.Name == "" {
+		return nil, fmt.Errorf("store: register: empty scenario state")
+	}
+	sdir := st.scenarioDir(state.Name)
+	if _, err := st.fs.ReadFile(path.Join(sdir, walFile)); err == nil {
+		return nil, fmt.Errorf("store: register %s: scenario already present on disk", state.Name)
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("store: register %s: %w", state.Name, err)
+	}
+	if err := st.fs.MkdirAll(sdir); err != nil {
+		return nil, fmt.Errorf("store: register %s: %w", state.Name, err)
+	}
+	w, err := st.fs.Create(path.Join(sdir, walFile))
+	if err != nil {
+		return nil, fmt.Errorf("store: register %s: %w", state.Name, err)
+	}
+	buf := append([]byte(walMagic), frame(encodeState(recRegister, state))...)
+	if _, err := w.Write(buf); err != nil {
+		w.Close()
+		return nil, fmt.Errorf("store: register %s: %w", state.Name, err)
+	}
+	if err := w.Sync(); err != nil {
+		w.Close()
+		return nil, fmt.Errorf("store: register %s: %w", state.Name, err)
+	}
+	if err := st.fs.SyncDir(sdir); err != nil {
+		w.Close()
+		return nil, fmt.Errorf("store: register %s: %w", state.Name, err)
+	}
+	if err := st.fs.SyncDir(st.scenariosDir()); err != nil {
+		w.Close()
+		return nil, fmt.Errorf("store: register %s: %w", state.Name, err)
+	}
+	return &Log{st: st, name: state.Name, dir: sdir, w: w, records: 1}, nil
+}
+
+// Log is the open WAL of one scenario.  All methods serialize on an internal
+// mutex; a failed append or fsync is sticky — the file may hold a partial
+// record at that point, and appending past it would turn a clean torn tail
+// into checksum corruption.
+type Log struct {
+	st   *Store
+	name string
+	dir  string
+
+	mu      sync.Mutex
+	w       File
+	records int   // records in the current WAL file
+	err     error // sticky persistence failure
+	closed  bool
+}
+
+// Name returns the scenario name the log belongs to.
+func (l *Log) Name() string { return l.name }
+
+// Err returns the sticky persistence failure, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Records returns the number of records in the current WAL file.
+func (l *Log) Records() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}
+
+// ShouldSnapshot reports whether the WAL has grown past the snapshot cadence.
+func (l *Log) ShouldSnapshot() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.st.snapshotEvery > 0 && l.records > l.st.snapshotEvery
+}
+
+// AppendRow logs a row append that committed at the given epoch.
+func (l *Log) AppendRow(relation string, row engine.Tuple, epoch uint64) error {
+	return l.append(encodeAppendRow(epoch, relation, row))
+}
+
+// Bump logs an epoch bump.
+func (l *Log) Bump(epoch, staleFloor uint64) error {
+	return l.append(encodeBump(epoch, staleFloor))
+}
+
+func (l *Log) append(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return err
+	}
+	if _, err := l.w.Write(frame(payload)); err != nil {
+		l.failLocked(err)
+		return l.err
+	}
+	if l.st.fsync {
+		if err := l.w.Sync(); err != nil {
+			l.failLocked(err)
+			return l.err
+		}
+	}
+	l.records++
+	return nil
+}
+
+func (l *Log) usableLocked() error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed || l.w == nil {
+		return fmt.Errorf("store: scenario %s: log closed", l.name)
+	}
+	return nil
+}
+
+func (l *Log) failLocked(err error) {
+	l.err = fmt.Errorf("store: scenario %s: %w", l.name, err)
+	l.st.persistErrors.Add(1)
+}
+
+// Snapshot durably writes the full state and truncates the WAL.  The
+// snapshot file is written to the side, fsynced, then renamed over the old
+// one, so a crash anywhere leaves either the old or the new snapshot intact;
+// replay of a stale WAL on top of a newer snapshot is idempotent because
+// every record carries its epoch.  A failure before the rename leaves the log
+// usable (the WAL still covers everything); a failure while rotating the WAL
+// afterwards is sticky.
+func (l *Log) Snapshot(state *ScenarioState) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.usableLocked(); err != nil {
+		return err
+	}
+	tmp := path.Join(l.dir, snapTmpFile)
+	werr := func(err error) error {
+		_ = l.st.fs.Remove(tmp)
+		l.st.persistErrors.Add(1)
+		return fmt.Errorf("store: scenario %s: snapshot: %w", l.name, err)
+	}
+	f, err := l.st.fs.Create(tmp)
+	if err != nil {
+		return werr(err)
+	}
+	buf := append([]byte(snapMagic), frame(encodeState(recSnapshot, state))...)
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return werr(err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return werr(err)
+	}
+	if err := f.Close(); err != nil {
+		return werr(err)
+	}
+	if err := l.st.fs.Rename(tmp, path.Join(l.dir, snapFile)); err != nil {
+		return werr(err)
+	}
+	if err := l.st.fs.SyncDir(l.dir); err != nil {
+		return werr(err)
+	}
+	// The snapshot is durable; start a fresh WAL.  From here on, failure is
+	// sticky: a half-rotated WAL must not take further appends.
+	if err := l.resetWALLocked(); err != nil {
+		l.failLocked(err)
+		return l.err
+	}
+	l.records = 0
+	return nil
+}
+
+// resetWALLocked truncates the WAL to a bare header.  Callers hold l.mu.
+func (l *Log) resetWALLocked() error {
+	if l.w != nil {
+		l.w.Close()
+		l.w = nil
+	}
+	w, err := l.st.fs.Create(path.Join(l.dir, walFile))
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte(walMagic)); err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Sync(); err != nil {
+		w.Close()
+		return err
+	}
+	l.w = w
+	return nil
+}
+
+// Drop durably deletes the scenario: a drop record is fsynced into the WAL
+// first, so a crash during the subsequent directory removal cannot resurrect
+// the scenario from whichever files survived.
+func (l *Log) Drop() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("store: scenario %s: log closed", l.name)
+	}
+	if l.err == nil && l.w != nil {
+		buf := frame([]byte{recDrop})
+		if _, err := l.w.Write(buf); err == nil {
+			_ = l.w.Sync()
+		}
+	}
+	if l.w != nil {
+		l.w.Close()
+		l.w = nil
+	}
+	l.closed = true
+	if err := l.st.fs.RemoveAll(l.dir); err != nil {
+		l.st.persistErrors.Add(1)
+		return fmt.Errorf("store: scenario %s: drop: %w", l.name, err)
+	}
+	return l.st.fs.SyncDir(l.st.scenariosDir())
+}
+
+// Close releases the WAL file handle; further mutations fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	if l.w != nil {
+		err := l.w.Close()
+		l.w = nil
+		return err
+	}
+	return nil
+}
+
+// RecoveredScenario is one scenario rebuilt from disk, with its log reopened
+// for appending.
+type RecoveredScenario struct {
+	State *ScenarioState
+	Log   *Log
+	// Replayed counts the WAL records applied on top of the base state
+	// (snapshot or register record).
+	Replayed int
+}
+
+// QuarantinedScenario is one scenario whose on-disk state recovery could not
+// trust.  Its files are left untouched for forensics; the serving layer
+// answers 503 for it.
+type QuarantinedScenario struct {
+	Name string
+	Err  error
+}
+
+// Recovery is the outcome of Store.Recover.
+type Recovery struct {
+	Scenarios   []*RecoveredScenario
+	Quarantined []QuarantinedScenario
+	// ReplayedRecords sums Replayed over all recovered scenarios.
+	ReplayedRecords int
+}
+
+// errGarbage marks a scenario directory with no committed state: an
+// interrupted registration or an interrupted drop.  Recovery removes it.
+var errGarbage = errors.New("no committed state")
+
+// Recover scans the data directory and rebuilds every scenario: snapshot (if
+// any) plus WAL tail.  A torn tail — the unique signature of a crash mid-
+// append — is truncated away, keeping the committed prefix.  Anything else
+// that fails validation (checksum mismatch, undecodable payload, epoch gaps)
+// quarantines that one scenario; the rest recover normally.  Directories
+// holding no committed state (a registration or drop that never completed)
+// are removed.
+func (st *Store) Recover() (*Recovery, error) {
+	names, err := st.fs.ReadDir(st.scenariosDir())
+	if err != nil {
+		return nil, fmt.Errorf("store: recover: %w", err)
+	}
+	rec := &Recovery{}
+	for _, dirName := range names {
+		sdir := path.Join(st.scenariosDir(), dirName)
+		name := dirName
+		if u, err := url.PathUnescape(dirName); err == nil {
+			name = u
+		}
+		rs, err := st.recoverScenario(name, sdir)
+		switch {
+		case errors.Is(err, errGarbage):
+			_ = st.fs.RemoveAll(sdir)
+			_ = st.fs.SyncDir(st.scenariosDir())
+		case err != nil:
+			rec.Quarantined = append(rec.Quarantined, QuarantinedScenario{Name: name, Err: err})
+		default:
+			rec.Scenarios = append(rec.Scenarios, rs)
+			rec.ReplayedRecords += rs.Replayed
+		}
+	}
+	return rec, nil
+}
+
+// recoverScenario rebuilds one scenario directory.  It returns errGarbage
+// when the directory holds no committed state, or an ErrCorrupt-wrapped error
+// when the state cannot be trusted (the caller quarantines).
+func (st *Store) recoverScenario(name, sdir string) (*RecoveredScenario, error) {
+	// A leftover snapshot.tmp is an interrupted snapshot write; the WAL still
+	// covers its contents.
+	_ = st.fs.Remove(path.Join(sdir, snapTmpFile))
+
+	var base *ScenarioState
+	snapData, err := st.fs.ReadFile(path.Join(sdir, snapFile))
+	switch {
+	case err == nil:
+		base, err = decodeStateFile(snapData, snapMagic, recSnapshot)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: %w", err)
+		}
+	case !errors.Is(err, fs.ErrNotExist):
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+
+	walPath := path.Join(sdir, walFile)
+	walData, err := st.fs.ReadFile(walPath)
+	if errors.Is(err, fs.ErrNotExist) {
+		// No WAL at all.  Every committed scenario has one (rotation
+		// truncates in place, never removes), so this directory is the debris
+		// of an interrupted drop or registration — even if a snapshot
+		// survived, the fsynced drop record preceding the removal says it is
+		// dead.
+		return nil, errGarbage
+	} else if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+
+	replayed := 0
+	walRecords := 0
+	tornAt := -1 // byte offset to truncate the WAL to; -1 = intact
+	rewriteHeader := false
+	dropped := false
+	relIndex := make(map[string]int)
+	indexRelations := func() {
+		for i, r := range base.Relations {
+			relIndex[r.Name] = i
+		}
+	}
+	if base != nil {
+		indexRelations()
+	}
+
+	switch {
+	case len(walData) < len(walMagic):
+		// Crash while writing the very header (fresh registration or WAL
+		// rotation).  With a snapshot the state is fully covered; without
+		// one, nothing was ever committed.
+		if base == nil {
+			return nil, errGarbage
+		}
+		rewriteHeader = true
+	case string(walData[:len(walMagic)]) != walMagic:
+		return nil, fmt.Errorf("wal: %w: bad magic %q", ErrCorrupt, walData[:len(walMagic)])
+	default:
+		s := &walScan{data: walData, off: len(walMagic)}
+	scan:
+		for {
+			payload, status := s.next()
+			switch status {
+			case scanEnd:
+				break scan
+			case scanTorn:
+				tornAt = s.off
+				break scan
+			case scanCorrupt:
+				return nil, fmt.Errorf("wal: %w", s.err)
+			}
+			if len(payload) == 0 {
+				return nil, fmt.Errorf("wal: %w: empty record", ErrCorrupt)
+			}
+			walRecords++
+			switch payload[0] {
+			case recRegister:
+				d := &dec{b: payload, off: 1}
+				stt, err := decodeState(d)
+				if err == nil && d.off != len(payload) {
+					err = fmt.Errorf("%w: %d trailing bytes in register record", ErrCorrupt, len(payload)-d.off)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("wal: %w", err)
+				}
+				switch {
+				case base == nil:
+					base = stt
+					indexRelations()
+				case stt.Epoch > base.Epoch:
+					return nil, fmt.Errorf("wal: %w: register record epoch %d above snapshot epoch %d", ErrCorrupt, stt.Epoch, base.Epoch)
+				default:
+					// The WAL predates the snapshot (crash between snapshot
+					// rename and WAL rotation); every record at or below the
+					// snapshot epoch is already folded in.
+				}
+			case recAppendRow:
+				if base == nil {
+					return nil, fmt.Errorf("wal: %w: append before register", ErrCorrupt)
+				}
+				d := &dec{b: payload, off: 1}
+				epoch := d.u64()
+				relName := d.str()
+				row := d.tuple()
+				if d.err == nil && d.off != len(payload) {
+					d.fail("%d trailing bytes in append record", len(payload)-d.off)
+				}
+				if d.err != nil {
+					return nil, fmt.Errorf("wal: %w", d.err)
+				}
+				if epoch <= base.Epoch {
+					continue // already folded into the snapshot
+				}
+				if epoch != base.Epoch+1 {
+					return nil, fmt.Errorf("wal: %w: epoch jumps %d -> %d", ErrCorrupt, base.Epoch, epoch)
+				}
+				ri, ok := relIndex[relName]
+				if !ok {
+					return nil, fmt.Errorf("wal: %w: append to unknown relation %q", ErrCorrupt, relName)
+				}
+				rel := &base.Relations[ri]
+				if len(row) != len(rel.Columns) {
+					return nil, fmt.Errorf("wal: %w: relation %s row arity %d, want %d", ErrCorrupt, relName, len(row), len(rel.Columns))
+				}
+				rel.Rows = append(rel.Rows, row)
+				base.Epoch = epoch
+				replayed++
+			case recBump:
+				if base == nil {
+					return nil, fmt.Errorf("wal: %w: bump before register", ErrCorrupt)
+				}
+				d := &dec{b: payload, off: 1}
+				epoch := d.u64()
+				floor := d.u64()
+				if d.err == nil && d.off != len(payload) {
+					d.fail("%d trailing bytes in bump record", len(payload)-d.off)
+				}
+				if d.err != nil {
+					return nil, fmt.Errorf("wal: %w", d.err)
+				}
+				if epoch <= base.Epoch {
+					continue
+				}
+				if epoch != base.Epoch+1 {
+					return nil, fmt.Errorf("wal: %w: epoch jumps %d -> %d", ErrCorrupt, base.Epoch, epoch)
+				}
+				base.Epoch = epoch
+				if floor > base.StaleFloor {
+					base.StaleFloor = floor
+				}
+				replayed++
+			case recDrop:
+				dropped = true
+				break scan
+			default:
+				return nil, fmt.Errorf("wal: %w: unknown record type %d", ErrCorrupt, payload[0])
+			}
+		}
+	}
+	if dropped || base == nil {
+		return nil, errGarbage
+	}
+	if base.Name != name {
+		return nil, fmt.Errorf("wal: %w: directory for %q holds state of %q", ErrCorrupt, name, base.Name)
+	}
+
+	// Repair the tail, then reopen for appending.
+	log := &Log{st: st, name: base.Name, dir: sdir, records: walRecords}
+	if rewriteHeader {
+		if err := log.resetWALLocked(); err != nil {
+			return nil, fmt.Errorf("wal: reopen: %w", err)
+		}
+	} else {
+		if tornAt >= 0 {
+			if err := st.fs.Truncate(walPath, int64(tornAt)); err != nil {
+				return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+			}
+		}
+		w, err := st.fs.OpenAppend(walPath)
+		if err != nil {
+			return nil, fmt.Errorf("wal: reopen: %w", err)
+		}
+		log.w = w
+	}
+	return &RecoveredScenario{State: base, Log: log, Replayed: replayed}, nil
+}
+
+// decodeStateFile parses a single-record state file (a snapshot): magic, one
+// framed record of the expected type, nothing after it.  Snapshots are
+// fsynced before they are renamed into place, so unlike the WAL there is no
+// legitimate torn form: any damage is ErrCorrupt.
+func decodeStateFile(data []byte, magic string, wantType byte) (*ScenarioState, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	s := &walScan{data: data, off: len(magic)}
+	payload, status := s.next()
+	if status != scanRecord {
+		if s.err != nil {
+			return nil, s.err
+		}
+		return nil, fmt.Errorf("%w: incomplete state record", ErrCorrupt)
+	}
+	if s.off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-s.off)
+	}
+	if len(payload) == 0 || payload[0] != wantType {
+		return nil, fmt.Errorf("%w: unexpected record type", ErrCorrupt)
+	}
+	d := &dec{b: payload, off: 1}
+	st, err := decodeState(d)
+	if err != nil {
+		return nil, err
+	}
+	if d.off != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing bytes in state record", ErrCorrupt, len(payload)-d.off)
+	}
+	return st, nil
+}

@@ -87,6 +87,7 @@ import (
 	"github.com/probdb/urm/internal/query"
 	"github.com/probdb/urm/internal/schema"
 	"github.com/probdb/urm/internal/server"
+	"github.com/probdb/urm/internal/store"
 )
 
 // Schema-model types re-exported from the schema layer.
@@ -418,8 +419,48 @@ func ParseTenantSpec(name, spec string) (TenantQoS, error) {
 	return server.ParseTenantSpec(name, spec)
 }
 
+// Durable-store types re-exported from the store layer.  A registry built
+// with NewRegistryWithStore writes every registration, appended row and epoch
+// bump through a per-scenario checksummed write-ahead log (with periodic
+// snapshots that truncate it), so scenarios survive restarts and crashes;
+// Registry.Recover rebuilds them at boot.  See DESIGN.md, "Durability and
+// recovery".
+type (
+	// Store is an open durable data directory.
+	Store = store.Store
+	// StoreOptions tunes OpenStore (per-record fsync, snapshot cadence).
+	StoreOptions = store.Options
+	// RecoveryStats summarizes one Registry.Recover call.
+	RecoveryStats = server.RecoveryStats
+)
+
+// Durable-store sentinel errors.
+var (
+	// ErrCorruptStore marks on-disk state that failed a checksum or decode;
+	// recovery quarantines the affected scenario rather than serving from it.
+	ErrCorruptStore = store.ErrCorrupt
+	// ErrNewerStoreFormat is returned by OpenStore when the data directory was
+	// written by a newer build than this one can read.
+	ErrNewerStoreFormat = store.ErrNewerFormat
+	// ErrQuarantined is returned (HTTP 503) for queries against a scenario
+	// whose on-disk state failed recovery.
+	ErrQuarantined = server.ErrQuarantined
+	// ErrRecovering is returned (HTTP 503) while a server is still replaying
+	// its store at boot.
+	ErrRecovering = server.ErrRecovering
+)
+
+// OpenStore opens (creating if needed) a durable scenario store rooted at
+// dir, verifying its on-disk format version.
+func OpenStore(dir string, opts StoreOptions) (*Store, error) { return store.Open(dir, opts) }
+
 // NewRegistry returns an empty scenario registry.
 func NewRegistry() *Registry { return server.NewRegistry() }
+
+// NewRegistryWithStore returns a registry whose registrations and mutations
+// write through to the durable store.  Call Registry.Recover before serving
+// to rebuild what the store already holds.
+func NewRegistryWithStore(st *Store) *Registry { return server.NewRegistryWithStore(st) }
 
 // NewServer builds a query server over the registry.
 func NewServer(reg *Registry, cfg ServerConfig) *Server { return server.New(reg, cfg) }
