@@ -52,6 +52,7 @@ func run(args []string, out *os.File) error {
 		jsonSnap = fs.Bool("json", false, "measure the engine perf snapshot and write BENCH_engine.json instead of running experiments")
 		serve    = fs.Bool("serve", false, "run the query-service benchmark (cold vs cached latency through the HTTP layer) and merge it into BENCH_engine.json")
 		storeB   = fs.Bool("store", false, "run the durable-store benchmark (WAL append fsync on/off vs in-memory, snapshot and recovery cost) and merge it into BENCH_engine.json")
+		shardsB  = fs.Bool("shards", false, "run the scatter-gather scaling benchmark (shards 1/2/4/8 in-process + 2-node HTTP coordinator) and merge it into BENCH_engine.json")
 		check    = fs.Bool("check", false, "validate BENCH_engine.json (operator speedups above their floors) and exit — the CI bench-regression gate")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
@@ -96,6 +97,9 @@ func run(args []string, out *os.File) error {
 	}
 	if *storeB {
 		return storeSnapshot(*outDir, out)
+	}
+	if *shardsB {
+		return shardsSnapshot(*outDir, out)
 	}
 	if *check {
 		return checkSnapshot(*outDir, out)
@@ -203,6 +207,7 @@ func writeSnapshot(dir string, out *os.File) error {
 		snap.Serve = prev.Serve
 		snap.QoS = prev.QoS
 		snap.Store = prev.Store
+		snap.Shards = prev.Shards
 	}
 	data, err := snap.JSON()
 	if err != nil {
@@ -335,6 +340,46 @@ func storeSnapshot(dir string, out *os.File) error {
 		sb.Rows, sb.RegisterMs, sb.SnapshotMs, sb.RecoverMs, sb.ReplayedRecords)
 	fmt.Fprintf(out, "  append: memory %8d ns/op   wal %8d ns/op   wal+fsync %8d ns/op (fsync overhead %.1fx)\n",
 		sb.AppendMemNs, sb.AppendNoSyncNs, sb.AppendFsyncNs, sb.FsyncOverhead)
+	fmt.Fprintf(out, "wrote %s\n", path)
+	return nil
+}
+
+// shardsSnapshot runs the scatter-gather scaling benchmark and merges its
+// section into <dir>/BENCH_engine.json, preserving every other section.
+func shardsSnapshot(dir string, out *os.File) error {
+	fmt.Fprintln(out, "urm-bench: measuring scatter-gather scaling snapshot (takes ~30s)...")
+	sb, err := bench.ShardsSnapshot()
+	if err != nil {
+		return err
+	}
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_engine.json")
+	snap, err := bench.ReadSnapshot(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return err
+		}
+		snap = &bench.EngineSnapshot{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	}
+	snap.Shards = sb
+	data, err := snap.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  %s over %d rows of Orders, h=%d (%d CPUs):\n", sb.Method, sb.Rows, sb.Mappings, sb.NumCPU)
+	for _, p := range sb.InProcess {
+		fmt.Fprintf(out, "  shards=%d  %8.3fms/op  speedup %.2fx\n", p.Shards, float64(p.NsOp)/1e6, p.Speedup)
+	}
+	fmt.Fprintf(out, "  2-node HTTP coordinator: %d requests  p50 %8.2fms  p99 %8.2fms\n",
+		sb.TwoNode.Requests, sb.TwoNode.P50Ms, sb.TwoNode.P99Ms)
 	fmt.Fprintf(out, "wrote %s\n", path)
 	return nil
 }

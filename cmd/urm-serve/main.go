@@ -32,10 +32,30 @@
 // SIGINT/SIGTERM triggers a graceful stop: new requests are refused with 503,
 // in-flight requests finish (bounded by -drain-timeout), then the listener
 // closes and the process exits 0.
+//
+// # Multi-node sharding
+//
+// A deployment can partition one relation across several nodes behind a
+// coordinator.  Each shard node regenerates the full scenario from the shared
+// seed, keeps only its slice, and heartbeats the coordinator, which owns the
+// shard map (lease-based: a node that stops heartbeating loses its shards
+// after -lease-interval × 3) and no data:
+//
+//	urm-serve -coordinator -shard-count 2 -addr :8080 &
+//	urm-serve -addr :8081 -shard-index 0 -shard-count 2 -shard-by Orders.o_orderkey \
+//	          -coordinator-addr http://localhost:8080 -advertise http://localhost:8081 &
+//	urm-serve -addr :8082 -shard-index 1 -shard-count 2 -shard-by Orders.o_orderkey \
+//	          -coordinator-addr http://localhost:8080 -advertise http://localhost:8082 &
+//
+// Queries POSTed to the coordinator's /v1/query fan out to the lease owners
+// as /v1/scatter requests and merge bit-identically to a single node holding
+// all the data.  Methods that cannot distribute (o-sharing, top-k) answer 422.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -80,6 +100,17 @@ func run(args []string) error {
 		dataDir   = fs.String("data-dir", "", "durable store directory; empty keeps scenarios in memory only")
 		fsyncWAL  = fs.Bool("fsync", true, "fsync the write-ahead log after every appended row (registration, snapshots and drops are always synced)")
 		snapEvery = fs.Int("snapshot-every", 256, "WAL records between snapshots that truncate the log (negative disables automatic snapshots)")
+
+		coordMode   = fs.Bool("coordinator", false, "run as a multi-node coordinator: no data, fans /v1/query out to the lease-owning shard nodes")
+		shardIndex  = fs.Int("shard-index", -1, "serve shard slice i of -shard-count (requires -shard-by); -1 serves the whole scenario")
+		shardCount  = fs.Int("shard-count", 0, "total shards in the deployment (required by -coordinator and -shard-index)")
+		shardBy     = fs.String("shard-by", "", "Relation.column to partition the source instance by, e.g. Orders.o_orderkey")
+		shardKind   = fs.String("shard-kind", "hash", "partitioner: hash or range")
+		coordAddr   = fs.String("coordinator-addr", "", "coordinator base URL this shard node heartbeats, e.g. http://localhost:8080")
+		advertise   = fs.String("advertise", "", "URL the coordinator should reach this node at (default http://127.0.0.1<addr>)")
+		nodeName    = fs.String("node-name", "", "stable node identity for leases (default the advertise URL)")
+		leaseEvery  = fs.Duration("lease-interval", 2*time.Second, "heartbeat cadence; a node's leases expire after 3 missed heartbeats")
+		slowQueryMS = fs.Int("slow-query-ms", 0, "log any query slower than this many milliseconds (0 disables the slow-query log)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +118,54 @@ func run(args []string) error {
 	if fs.NArg() > 0 {
 		fs.Usage()
 		return fmt.Errorf("unexpected trailing arguments: %q", fs.Args())
+	}
+
+	if *coordMode {
+		return runCoordinator(*addr, *shardCount, *leaseEvery, *timeout, *dataDir, *fsyncWAL, *snapEvery, *drainTO)
+	}
+
+	// Shard mode: this node holds one slice of the partitioned relation.
+	var shardSpec *urm.ShardSpec
+	var shardIdentity *urm.ShardIdentity
+	if *shardIndex >= 0 {
+		if *shardCount < 1 {
+			return fmt.Errorf("-shard-index requires -shard-count >= 1")
+		}
+		if *shardIndex >= *shardCount {
+			return fmt.Errorf("-shard-index %d out of range for -shard-count %d", *shardIndex, *shardCount)
+		}
+		rel, col, ok := strings.Cut(*shardBy, ".")
+		if !ok || rel == "" || col == "" {
+			return fmt.Errorf("-shard-index requires -shard-by Relation.column, got %q", *shardBy)
+		}
+		kind, err := urm.ParseShardKind(*shardKind)
+		if err != nil {
+			return fmt.Errorf("-shard-kind: %w", err)
+		}
+		shardSpec = &urm.ShardSpec{Relation: rel, Column: col, Shards: *shardCount, Kind: kind}
+		adv := *advertise
+		if adv == "" {
+			if strings.HasPrefix(*addr, ":") {
+				adv = "http://127.0.0.1" + *addr
+			} else {
+				adv = "http://" + *addr
+			}
+		}
+		name := *nodeName
+		if name == "" {
+			name = adv
+		}
+		*advertise, *nodeName = adv, name
+		shardIdentity = &urm.ShardIdentity{
+			Node:     name,
+			Index:    *shardIndex,
+			Count:    *shardCount,
+			Relation: rel,
+			Column:   col,
+			Kind:     kind.String(),
+		}
+	} else if *shardBy != "" {
+		return fmt.Errorf("-shard-by requires -shard-index (or -coordinator)")
 	}
 
 	cacheBytes := int64(*cacheMB) << 20
@@ -124,7 +203,7 @@ func run(args []string) error {
 	// The server starts listening before recovery and registration so
 	// /healthz can report "recovering" (503) instead of refusing connections;
 	// queries are gated until SetRecovering(false).
-	srv := urm.NewServer(registry, urm.ServerConfig{
+	serverCfg := urm.ServerConfig{
 		MaxConcurrent:     *maxConc,
 		QueueWait:         *quWait,
 		RequestTimeout:    *timeout,
@@ -134,7 +213,24 @@ func run(args []string) error {
 		TenantBurst:       *tenantBurst,
 		Tenants:           tenants,
 		DisableStaleServe: *noStale,
-	})
+		Shard:             shardIdentity,
+	}
+	if *slowQueryMS > 0 {
+		threshold := time.Duration(*slowQueryMS) * time.Millisecond
+		serverCfg.SlowQueryThreshold = threshold
+		serverCfg.AfterQuery = func(req *urm.QueryRequest, resp *urm.QueryResponse, err error, elapsed time.Duration) {
+			if elapsed < threshold {
+				return
+			}
+			status := "ok"
+			if err != nil {
+				status = err.Error()
+			}
+			fmt.Printf("SLOW %.1fms scenario=%s method=%q status=%q query=%q\n",
+				float64(elapsed)/float64(time.Millisecond), req.Scenario, req.Method, status, req.Query)
+		}
+	}
+	srv := urm.NewServer(registry, serverCfg)
 	srv.SetRecovering(true)
 	httpServer := &http.Server{Addr: *addr, Handler: srv}
 
@@ -188,6 +284,16 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		if shardSpec != nil {
+			// Every node regenerates the identical full scenario from the
+			// shared seed and keeps only its slice, so the slices exactly
+			// partition the data without any cross-node transfer.
+			scenario, err = scenario.ShardSlice(*shardSpec, *shardIndex)
+			if err != nil {
+				return fmt.Errorf("slicing %q for shard %d/%d: %w", name, *shardIndex, *shardCount, err)
+			}
+			fmt.Printf("  keeping shard %d/%d of %s.%s (%s)\n", *shardIndex, *shardCount, shardSpec.Relation, shardSpec.Column, *shardKind)
+		}
 		reg, err := scenario.Register(ctx, registry, name, urm.RegisterOptions{WarmIndexes: *warm})
 		if err != nil {
 			return err
@@ -199,6 +305,14 @@ func run(args []string) error {
 		return fmt.Errorf("no scenarios registered; pass -targets")
 	}
 	srv.SetRecovering(false)
+
+	// Heartbeats start only once the node can actually answer /v1/scatter, so
+	// the coordinator never routes to a node that is still recovering.
+	if shardIdentity != nil && *coordAddr != "" {
+		fmt.Printf("heartbeating shard %d to %s every %s as %q (%s)\n",
+			*shardIndex, *coordAddr, *leaseEvery, *nodeName, *advertise)
+		go heartbeat(ctx, *coordAddr, *nodeName, *advertise, *shardIndex, *leaseEvery)
+	}
 
 	select {
 	case err := <-errCh:
@@ -222,4 +336,127 @@ func run(args []string) error {
 	}
 	fmt.Println("drained; bye")
 	return nil
+}
+
+// runCoordinator serves the multi-node coordinator: it holds no scenario
+// data, just the lease table (durable when -data-dir is set) and the fan-out
+// logic for /v1/query, /v1/scenarios, /v1/lease, /healthz and /metrics.
+func runCoordinator(addr string, shards int, leaseEvery, timeout time.Duration, dataDir string, fsyncWAL bool, snapEvery int, drainTO time.Duration) error {
+	if shards < 1 {
+		return fmt.Errorf("-coordinator requires -shard-count >= 1")
+	}
+	var st *urm.Store
+	if dataDir != "" {
+		var err error
+		st, err = urm.OpenStore(dataDir, urm.StoreOptions{Fsync: fsyncWAL, SnapshotEvery: snapEvery})
+		if err != nil {
+			return err
+		}
+	}
+	coord, err := urm.NewCoordinator(urm.CoordinatorConfig{
+		Shards:         shards,
+		LeaseInterval:  leaseEvery,
+		RequestTimeout: timeout,
+		Store:          st,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopSignals()
+
+	httpServer := &http.Server{Addr: addr, Handler: coord}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("coordinating %d shard(s) on %s (POST /v1/query, /v1/lease; GET /v1/scenarios, /healthz, /metrics); lease interval %s\n",
+			shards, addr, leaseEvery)
+		if err := httpServer.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("signal received; shutting down...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTO)
+	defer cancel()
+	if err := httpServer.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil {
+		return err
+	}
+	fmt.Println("bye")
+	return nil
+}
+
+// heartbeat keeps this node's shard lease alive: it POSTs /v1/lease to the
+// coordinator every interval until ctx is cancelled.  The coordinator's
+// response carries the cadence it actually expects; the loop adopts it so
+// interval configuration lives on the coordinator.  Failures are logged on
+// state change only — a dead coordinator must not spam the node's log, and
+// the lease design tolerates missed beats (ownership expires after three).
+func heartbeat(ctx context.Context, coordAddr, node, addrURL string, shardIndex int, interval time.Duration) {
+	body, err := json.Marshal(urm.LeaseRequest{Node: node, Addr: addrURL, Shards: []int{shardIndex}})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "urm-serve: heartbeat:", err)
+		return
+	}
+	target := strings.TrimSuffix(coordAddr, "/") + "/v1/lease"
+	healthy := false
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		ok, coordInterval := beatOnce(ctx, target, body)
+		if ok != healthy {
+			healthy = ok
+			if ok {
+				fmt.Printf("lease acquired: shard %d acknowledged by %s\n", shardIndex, coordAddr)
+			} else {
+				fmt.Fprintf(os.Stderr, "urm-serve: heartbeat to %s failing; retrying every %s\n", coordAddr, interval)
+			}
+		}
+		if ok && coordInterval > 0 && coordInterval != interval {
+			interval = coordInterval
+			ticker.Reset(interval)
+			fmt.Printf("adopting coordinator lease interval %s\n", interval)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// beatOnce sends one heartbeat and reports whether the coordinator accepted
+// it, plus the cadence the coordinator wants (0 when unavailable).
+func beatOnce(ctx context.Context, target string, body []byte) (bool, time.Duration) {
+	reqCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, target, bytes.NewReader(body))
+	if err != nil {
+		return false, 0
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return false, 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, 0
+	}
+	var ack struct {
+		IntervalMS float64 `json:"interval_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return true, 0 // the beat landed even if the ack is unreadable
+	}
+	return true, time.Duration(ack.IntervalMS * float64(time.Millisecond))
 }

@@ -93,7 +93,45 @@ func CheckRegression(snap *EngineSnapshot) error {
 	if err := checkQoS(snap); err != nil {
 		return err
 	}
+	if err := checkShards(snap); err != nil {
+		return err
+	}
 	return checkPreparedSpeedups(snap)
+}
+
+// shardsSpeedupFloor gates scatter-gather scaling: on a multi-core machine
+// the join-heavy workload at 4 in-process shards (one worker per shard) must
+// run at least this much faster than at 1 shard.
+const shardsSpeedupFloor = 1.5
+
+// checkShards applies the scatter-gather scaling floor.  Snapshots without a
+// shards section pass (older snapshots stay valid), as do sections recorded
+// on machines with fewer than 4 CPUs: the gate compares a 4-way scatter (one
+// worker per shard) against 1 shard, and with fewer cores than shards the
+// workers time-slice instead of running concurrently — the numbers are still
+// recorded there so the environment is visible.
+func checkShards(snap *EngineSnapshot) error {
+	sb := snap.Shards
+	if sb == nil || sb.NumCPU < 4 {
+		return nil
+	}
+	var one, four *ShardsPoint
+	for i := range sb.InProcess {
+		switch sb.InProcess[i].Shards {
+		case 1:
+			one = &sb.InProcess[i]
+		case 4:
+			four = &sb.InProcess[i]
+		}
+	}
+	if one == nil || four == nil {
+		return fmt.Errorf("shards: section lacks the 1- and 4-shard points the gate compares")
+	}
+	if four.Speedup < shardsSpeedupFloor {
+		return fmt.Errorf("shards: 4-shard scatter-gather is %.3fx over 1 shard (%.3fms vs %.3fms), need %.2fx (%d CPUs)",
+			four.Speedup, float64(four.NsOp)/1e6, float64(one.NsOp)/1e6, shardsSpeedupFloor, sb.NumCPU)
+	}
+	return nil
 }
 
 // qosP99RatioCeiling and qosSuccessRatioFloor gate tenant isolation: with a

@@ -1,0 +1,261 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/probdb/urm/internal/core"
+	"github.com/probdb/urm/internal/datagen"
+	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/server"
+	"github.com/probdb/urm/internal/shard"
+)
+
+// The shards benchmark records the scatter-gather scaling curve: the
+// join-heavy Excel workload query evaluated through the in-process
+// shard.Evaluator at shards ∈ {1,2,4,8}, plus the same query answered by a
+// real 2-node HTTP deployment behind a coordinator.  Each in-process point
+// runs with one worker per shard — the distributed model, where adding a
+// shard adds a core — so the curve measures what partitioning buys, not what
+// intra-plan parallelism already bought.
+
+// ShardsPoint is one point on the in-process scaling curve.
+type ShardsPoint struct {
+	Shards  int     `json:"shards"`
+	NsOp    int64   `json:"ns_per_op"`
+	Speedup float64 `json:"speedup_vs_1"`
+}
+
+// ShardsBench is the sharded-evaluation section of the engine snapshot.
+// The regression gate enforces the 4-shard speedup only when the recording
+// machine had at least 4 CPUs, mirroring the multicore section's convention
+// of recording the environment alongside the numbers.
+type ShardsBench struct {
+	NumCPU     int     `json:"num_cpu"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Mappings   int     `json:"mappings"`
+	SizeMB     float64 `json:"size_mb"`
+	Rows       int     `json:"partitioned_rows"`
+	Method     string  `json:"method"`
+	Query      string  `json:"query"`
+
+	InProcess []ShardsPoint `json:"in_process"`
+
+	// TwoNode is the same query answered end to end through a coordinator
+	// fanning out to two shard-node HTTP servers on loopback: scatter RPC,
+	// per-shard evaluation and the bit-identical merge, lease lookups
+	// included.  There is no answer cache on the scatter path, so every
+	// request pays a full sharded evaluation.
+	TwoNode LatencyStats `json:"two_node_http"`
+}
+
+const (
+	shardsBenchMappings = 12
+	shardsBenchSizeMB   = 6.0
+	shardsBenchSeed     = 42
+	// Q3 is the join-heavy workload shape: a 3-way join (PO against an Item
+	// self-join) with a selective filter on PO, so per-shard join work scales
+	// with the partitioned relation while the merged answer set stays small —
+	// the curve measures scatter-gather, not the sequential merge.
+	shardsBenchQuery = 3
+	// shardsBenchExtraRows inflates the partitioned relation with unique-key,
+	// non-matching rows: the generated instance is workload-shaped but tiny,
+	// and sharding only pays off once per-shard data work dominates the
+	// per-shard plan overhead.
+	shardsBenchExtraRows = 120000
+	twoNodeRequests      = 15
+)
+
+var shardsBenchCounts = []int{1, 2, 4, 8}
+
+func shardsBenchSpec(n int) shard.Spec {
+	return shard.Spec{Relation: "Orders", Column: "o_orderkey", Shards: n, Kind: shard.KindHash}
+}
+
+// inflateOrders appends rows with fresh order keys and unique contact fields:
+// they spread evenly over the hash shards and feed the join scans, but match
+// neither the workload's selective filters nor any Lineitem key, so answer
+// counts stay small.
+func inflateOrders(ds *datagen.Dataset) {
+	orders := ds.DB.Relation("Orders")
+	key := orders.ColumnIndex("o_orderkey")
+	name := orders.ColumnIndex("o_contactname")
+	phone := orders.ColumnIndex("o_contactphone")
+	base := len(orders.Rows)
+	for i := 0; i < shardsBenchExtraRows; i++ {
+		row := append(engine.Tuple{}, orders.Rows[i%base]...)
+		row[key] = engine.I(int64(100000 + i))
+		row[name] = engine.S(fmt.Sprintf("Contact %d", i))
+		row[phone] = engine.S(fmt.Sprintf("555-%04d", i))
+		orders.MustAppend(row)
+	}
+}
+
+// ShardsSnapshot measures the scaling curve and returns the section.
+func ShardsSnapshot() (*ShardsBench, error) {
+	ds, err := datagen.NewDataset(datagen.DatasetOptions{
+		Target:      datagen.TargetExcel,
+		NumMappings: shardsBenchMappings,
+		SizeMB:      shardsBenchSizeMB,
+		Seed:        shardsBenchSeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	inflateOrders(ds)
+	// Scan-bound on purpose: with per-column indexes on, the workload's
+	// selective filters make per-shard data work near zero and the curve
+	// would measure only scatter overhead.  Shard slices inherit the flag.
+	ds.DB.SetIndexing(false)
+	q := datagen.MustWorkloadQuery(shardsBenchQuery)
+	text, err := q.SQL()
+	if err != nil {
+		return nil, fmt.Errorf("shards bench: Q%d has no canonical text: %w", shardsBenchQuery, err)
+	}
+	prep, err := core.NewEvaluator(ds.DB, ds.Mappings()).Prepare(q)
+	if err != nil {
+		return nil, err
+	}
+	out := &ShardsBench{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Mappings:   shardsBenchMappings,
+		SizeMB:     shardsBenchSizeMB,
+		Rows:       ds.DB.Relation("Orders").NumRows(),
+		Method:     "e-basic",
+		Query:      text,
+	}
+
+	ctx := context.Background()
+	for _, n := range shardsBenchCounts {
+		ev, err := shard.NewEvaluator(ds.DB, shardsBenchSpec(n))
+		if err != nil {
+			return nil, fmt.Errorf("shards bench: evaluator for %d shards: %w", n, err)
+		}
+		opts := core.Options{Method: core.MethodEBasic, Parallelism: n}
+		var benchErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.Execute(ctx, prep, opts); err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, fmt.Errorf("shards bench: %d shards: %w", n, benchErr)
+		}
+		// A fallback would mean the curve silently measured unsharded
+		// evaluation N times: refuse to record it.
+		if f := ev.Fallbacks(); f != 0 {
+			return nil, fmt.Errorf("shards bench: %d shards fell back to unsharded evaluation %d time(s) — Q%d/e-basic should distribute", n, f, shardsBenchQuery)
+		}
+		point := ShardsPoint{Shards: n, NsOp: res.NsPerOp()}
+		if len(out.InProcess) > 0 && point.NsOp > 0 {
+			point.Speedup = float64(out.InProcess[0].NsOp) / float64(point.NsOp)
+		} else {
+			point.Speedup = 1
+		}
+		out.InProcess = append(out.InProcess, point)
+	}
+
+	lat, err := twoNodeLatency(ds, text)
+	if err != nil {
+		return nil, err
+	}
+	out.TwoNode = lat
+	return out, nil
+}
+
+// twoNodeLatency boots two shard-node servers holding complementary slices of
+// the dataset plus a coordinator on loopback listeners, and measures the
+// coordinated query latency over real HTTP.
+func twoNodeLatency(ds *datagen.Dataset, text string) (LatencyStats, error) {
+	spec := shardsBenchSpec(2)
+	part, err := shard.NewPartitioner(ds.DB, spec)
+	if err != nil {
+		return LatencyStats{}, err
+	}
+	coord, err := server.NewCoordinator(server.CoordinatorConfig{Shards: spec.Shards})
+	if err != nil {
+		return LatencyStats{}, err
+	}
+	var servers []*http.Server
+	defer func() {
+		for _, s := range servers {
+			_ = s.Close()
+		}
+	}()
+	listen := func(h http.Handler) (string, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", err
+		}
+		hs := &http.Server{Handler: h}
+		servers = append(servers, hs)
+		go func() { _ = hs.Serve(ln) }()
+		return "http://" + ln.Addr().String(), nil
+	}
+	for i := 0; i < spec.Shards; i++ {
+		slice, err := part.Slice(ds.DB, i)
+		if err != nil {
+			return LatencyStats{}, err
+		}
+		registry := server.NewRegistry()
+		if _, err := registry.Register(context.Background(), "excel", ds.Target, slice, ds.Mappings(),
+			server.RegisterOptions{TargetLabel: string(ds.TargetName)}); err != nil {
+			return LatencyStats{}, err
+		}
+		node := server.New(registry, server.Config{Parallelism: 1, Shard: &server.ShardIdentity{
+			Node:     fmt.Sprintf("bench-node-%d", i),
+			Index:    i,
+			Count:    spec.Shards,
+			Relation: spec.Relation,
+			Column:   spec.Column,
+			Kind:     spec.Kind.String(),
+		}})
+		url, err := listen(node)
+		if err != nil {
+			return LatencyStats{}, err
+		}
+		if err := coord.Leases().Heartbeat(fmt.Sprintf("bench-node-%d", i), url, []int{i}); err != nil {
+			return LatencyStats{}, err
+		}
+	}
+	base, err := listen(coord)
+	if err != nil {
+		return LatencyStats{}, err
+	}
+
+	body, err := json.Marshal(server.Request{Scenario: "excel", Query: text, Method: "e-basic"})
+	if err != nil {
+		return LatencyStats{}, err
+	}
+	client := &http.Client{Timeout: 5 * time.Minute}
+	var lats []float64
+	for i := 0; i < twoNodeRequests; i++ {
+		start := time.Now()
+		resp, err := client.Post(base+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return LatencyStats{}, fmt.Errorf("shards bench two-node: %w", err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return LatencyStats{}, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return LatencyStats{}, fmt.Errorf("shards bench two-node: status %d: %s", resp.StatusCode, data)
+		}
+		lats = append(lats, float64(time.Since(start).Microseconds())/1000)
+	}
+	return summarize(lats), nil
+}

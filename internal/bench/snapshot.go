@@ -68,6 +68,12 @@ type EngineSnapshot struct {
 	// WAL append (fsync on/off versus the in-memory registry), snapshot and
 	// recovery costs on real disk.
 	Store *StoreBench `json:"store,omitempty"`
+	// Shards is the scatter-gather scaling curve (`urm-bench -shards`):
+	// the join-heavy workload at shards ∈ {1,2,4,8} in-process plus a 2-node
+	// HTTP deployment behind a coordinator.  The regression gate enforces the
+	// 4-shard speedup only when the recording machine had at least 4 CPUs
+	// (one core per shard worker).
+	Shards *ShardsBench `json:"shards,omitempty"`
 	// Multicore is the partitioned hash-join build measurement, taken with
 	// GOMAXPROCS forced to 4: a large-build join executed with Workers=4
 	// versus Workers=1.  The regression gate enforces its speedup only when

@@ -155,6 +155,11 @@ func (r *Relation) MustAppend(t Tuple) {
 	}
 }
 
+// Version returns the relation's mutation counter: it advances on every
+// Append, so caches derived from the rows — per-column indexes, shard
+// slices — can detect staleness with a version+row-count check.
+func (r *Relation) Version() uint64 { return r.version.Load() }
+
 // Clone returns a deep copy of the relation.
 func (r *Relation) Clone() *Relation {
 	out := NewRelation(r.Name, r.Columns)
@@ -281,6 +286,26 @@ func (db *Instance) AddRelation(rel *Relation) {
 
 // Relation returns the named base relation, or nil.
 func (db *Instance) Relation(name string) *Relation { return db.relations[name] }
+
+// WithRelations derives a new instance that shares this instance's relations
+// except for the given replacements, which take the originals' positions.
+// The shard partitioner uses it to build per-shard instances: the partitioned
+// relation is replaced with a shard slice while every other relation is the
+// same *Relation the parent holds, so replicated data is never copied.  The
+// derived instance gets its own index cache (its relation contents differ
+// from the parent's) and inherits the indexing on/off switch.
+func (db *Instance) WithRelations(name string, replace map[string]*Relation) *Instance {
+	out := NewInstance(name)
+	out.noIndex = db.noIndex
+	for _, rn := range db.order {
+		if rel, ok := replace[rn]; ok {
+			out.AddRelation(rel)
+			continue
+		}
+		out.AddRelation(db.relations[rn])
+	}
+	return out
+}
 
 // RelationNames returns the base relation names in insertion order.
 func (db *Instance) RelationNames() []string {

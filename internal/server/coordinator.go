@@ -1,0 +1,626 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/probdb/urm/internal/core"
+	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/qos"
+	"github.com/probdb/urm/internal/store"
+)
+
+// CoordinatorConfig tunes a Coordinator.
+type CoordinatorConfig struct {
+	// Shards is the deployment's shard count; every query fans out to all of
+	// them.
+	Shards int
+	// LeaseInterval is the heartbeat cadence handed to nodes (default 2s);
+	// MissedIntervals is how many heartbeats a node may miss before its
+	// leases expire (default 3).
+	LeaseInterval   time.Duration
+	MissedIntervals int
+	// RequestTimeout caps one coordinated query end to end, fan-out retries
+	// included (0 = 30s).
+	RequestTimeout time.Duration
+	// Client issues the shard HTTP requests (nil = http.DefaultClient).
+	Client *http.Client
+	// Retry shapes the per-shard retry loop.  Its zero value gets the qos
+	// defaults (4 attempts, 50ms base, 2s cap).
+	Retry qos.Backoff
+	// Clock is the injected time source for leases and backoff (nil = wall).
+	Clock qos.Clock
+	// Store, when non-nil, persists the lease table so a restarted
+	// coordinator keeps routing without waiting out a heartbeat round.
+	Store *store.Store
+}
+
+// Coordinator is the multi-node half of sharded evaluation: an http.Handler
+// that owns the shard map and no data.  Shard nodes register by heartbeating
+// POST /v1/lease; queries arriving at POST /v1/query fan out as /v1/scatter
+// requests to each shard's current lease owner, and the per-group answer
+// streams are re-aggregated with core.GroupMerge — the same float-addition
+// sequence as unsharded evaluation, so coordinated answers are bit-identical
+// to a single node holding all the data.
+//
+// Failure modes are explicit rather than silent: a shard with no live owner
+// (after retries) is 503 with the lease interval as Retry-After — never a
+// partial answer; shard responses that disagree on the deterministic front
+// half (epoch, canonical query, group probabilities) are 502 — merging them
+// could fabricate answers; methods whose evaluation cannot distribute
+// (o-sharing, top-k) are 422, because unlike a single sharded process the
+// coordinator holds no unpartitioned instance to fall back to.
+type Coordinator struct {
+	cfg    CoordinatorConfig
+	leases *LeaseTable
+	client *http.Client
+
+	requests       atomic.Int64
+	merged         atomic.Int64 // queries answered by a full fan-out merge
+	unowned        atomic.Int64 // 503: a shard had no live owner
+	notShardable   atomic.Int64 // 422: method/plan cannot distribute
+	upstreamErrors atomic.Int64 // shard responses that failed or were 5xx
+	mismatches     atomic.Int64 // 502: shards disagreed on the front half
+	heartbeats     atomic.Int64
+}
+
+// NewCoordinator builds a coordinator, restoring persisted leases when the
+// config carries a store.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	lt, err := NewLeaseTable(LeaseConfig{
+		Shards:          cfg.Shards,
+		Interval:        cfg.LeaseInterval,
+		MissedIntervals: cfg.MissedIntervals,
+		Clock:           cfg.Clock,
+		Store:           cfg.Store,
+	})
+	if err != nil {
+		return nil, err
+	}
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if cfg.Retry.Clock == nil {
+		cfg.Retry.Clock = cfg.Clock
+	}
+	return &Coordinator{cfg: cfg, leases: lt, client: client}, nil
+}
+
+// Leases exposes the coordinator's lease table (tests and metrics).
+func (c *Coordinator) Leases() *LeaseTable { return c.leases }
+
+// LeaseRequest is the body of POST /v1/lease — one shard node's heartbeat.
+type LeaseRequest struct {
+	Node   string `json:"node"`
+	Addr   string `json:"addr"`
+	Shards []int  `json:"shards"`
+}
+
+// LeaseResponse acknowledges a heartbeat and tells the node the cadence the
+// coordinator expects, so interval configuration lives in one place.
+type LeaseResponse struct {
+	IntervalMS float64               `json:"interval_ms"`
+	TTLMS      float64               `json:"ttl_ms"`
+	Owners     map[string]LeaseOwner `json:"owners"`
+}
+
+// CoordinatorMetrics is the JSON body of the coordinator's GET /metrics.
+type CoordinatorMetrics struct {
+	Requests           int64         `json:"requests"`
+	Merged             int64         `json:"merged"`
+	Unowned            int64         `json:"unowned"`
+	NotShardable       int64         `json:"not_shardable"`
+	UpstreamErrors     int64         `json:"upstream_errors"`
+	Mismatches         int64         `json:"mismatches"`
+	Heartbeats         int64         `json:"heartbeats"`
+	LeasePersistErrors int64         `json:"lease_persist_errors"`
+	Leases             LeaseSnapshot `json:"leases"`
+}
+
+// Metrics returns a snapshot of the coordinator counters.
+func (c *Coordinator) Metrics() CoordinatorMetrics {
+	return CoordinatorMetrics{
+		Requests:           c.requests.Load(),
+		Merged:             c.merged.Load(),
+		Unowned:            c.unowned.Load(),
+		NotShardable:       c.notShardable.Load(),
+		UpstreamErrors:     c.upstreamErrors.Load(),
+		Mismatches:         c.mismatches.Load(),
+		Heartbeats:         c.heartbeats.Load(),
+		LeasePersistErrors: c.leases.PersistErrors(),
+		Leases:             c.leases.Snapshot(),
+	}
+}
+
+// ServeHTTP routes the coordinator API:
+//
+//	POST /v1/query      fan out to shard owners, merge, answer
+//	POST /v1/lease      shard-node heartbeat
+//	GET  /v1/scenarios  aggregated per-shard scenario placement
+//	GET  /healthz       ok once every shard has a live owner
+//	GET  /metrics       coordinator counters + lease table
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/v1/query":
+		c.handleQuery(w, r)
+	case r.URL.Path == "/v1/lease":
+		c.handleLease(w, r)
+	case r.URL.Path == "/v1/scenarios":
+		c.handleScenarios(w, r)
+	case r.URL.Path == "/healthz":
+		c.handleHealthz(w, r)
+	case r.URL.Path == "/metrics":
+		writeJSON(w, http.StatusOK, c.Metrics())
+	default:
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no route %s %s", r.Method, r.URL.Path))
+	}
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req LeaseRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		return
+	}
+	if err := c.leases.Heartbeat(req.Node, req.Addr, req.Shards); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	c.heartbeats.Add(1)
+	snap := c.leases.Snapshot()
+	writeJSON(w, http.StatusOK, LeaseResponse{
+		IntervalMS: snap.IntervalMS,
+		TTLMS:      snap.TTLMS,
+		Owners:     snap.Owners,
+	})
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := c.leases.Snapshot()
+	if len(snap.Unowned) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":  "waiting-for-shards",
+			"unowned": snap.Unowned,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// coordError is an error with an HTTP status and optional Retry-After for the
+// coordinator's response path.
+func coordErr(status int, retryAfter time.Duration, err error) error {
+	return &apiError{status: status, retryAfter: retryAfter, err: err}
+}
+
+// ErrShardUnowned is returned (and mapped to 503 with the lease interval as
+// Retry-After) when a shard has no live lease owner: the coordinator cannot
+// answer without it and refuses to fabricate a partial answer.
+var ErrShardUnowned = errors.New("shard has no live owner")
+
+// ErrShardMismatch is returned (and mapped to 502) when shard responses
+// disagree on the deterministic front half — different epochs, canonical
+// queries or group probabilities.  Merging disagreeing shards could fabricate
+// an answer distribution no instance ever held, so the coordinator refuses.
+var ErrShardMismatch = errors.New("shard responses disagree")
+
+func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		return
+	}
+	resp, err := c.Query(r.Context(), req)
+	if err != nil {
+		status := http.StatusInternalServerError
+		var ae *apiError
+		switch {
+		case errors.As(err, &ae):
+			status = ae.status
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			status = 499
+		}
+		body := map[string]any{"error": err.Error(), "status": status}
+		if retryAfter := RetryAfter(err); retryAfter > 0 {
+			setRetryAfter(w, body, retryAfter)
+		}
+		writeJSON(w, status, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Query answers one request by scatter fan-out and merge.  It is the
+// transport-free core handleQuery wraps, like Server.Do.
+func (c *Coordinator) Query(ctx context.Context, req Request) (*Response, error) {
+	c.requests.Add(1)
+	start := time.Now()
+	if req.Scenario == "" {
+		return nil, errBadRequest("missing scenario")
+	}
+	if req.TopK > 0 {
+		c.notShardable.Add(1)
+		return nil, coordErr(http.StatusUnprocessableEntity, 0,
+			fmt.Errorf("%w: top-k does not distribute over shards", ErrNotDistributable))
+	}
+	method := core.MethodOSharing
+	if req.Method != "" {
+		var err error
+		if method, err = core.ParseMethod(req.Method); err != nil {
+			return nil, errBadRequest("%w: %v", core.ErrBadOptions, err)
+		}
+	}
+	if method == core.MethodOSharing {
+		c.notShardable.Add(1)
+		return nil, coordErr(http.StatusUnprocessableEntity, 0,
+			fmt.Errorf("%w: o-sharing interleaves operators across mappings and does not distribute; pick basic, e-basic, e-mqo or q-sharing", ErrNotDistributable))
+	}
+
+	timeout := c.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	sreq := ScatterRequest{Scenario: req.Scenario, Query: req.Query, Method: method.String()}
+	parts := make([]*ScatterResponse, c.cfg.Shards)
+	errs := make([]error, c.cfg.Shards)
+	var wg sync.WaitGroup
+	for i := 0; i < c.cfg.Shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			parts[i], errs[i] = c.scatterShard(ctx, i, sreq)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	res, err := c.mergeParts(method, parts)
+	if err != nil {
+		return nil, err
+	}
+	c.merged.Add(1)
+	return &Response{
+		Scenario:  req.Scenario,
+		Epoch:     parts[0].Epoch,
+		Query:     parts[0].Query,
+		Method:    method.String(),
+		Columns:   res.Columns,
+		Answers:   answersJSON(res),
+		EmptyProb: res.EmptyProb,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		Result:    res,
+	}, nil
+}
+
+// scatterShard runs one shard's scatter with per-attempt owner resolution:
+// the lease table is consulted on every retry, so a lease expiring mid-query
+// re-routes the next attempt to the promoted standby instead of hammering the
+// dead owner.
+func (c *Coordinator) scatterShard(ctx context.Context, index int, req ScatterRequest) (*ScatterResponse, error) {
+	var resp *ScatterResponse
+	err := qos.Retry(ctx, c.cfg.Retry, func(ctx context.Context) (time.Duration, bool, error) {
+		owner, ok := c.leases.Owner(index)
+		if !ok {
+			// Unowned is retryable: the standby's next heartbeat may promote
+			// it within the backoff budget.
+			return c.leases.Interval(), true, coordErr(http.StatusServiceUnavailable, c.leases.Interval(),
+				fmt.Errorf("%w: shard %d", ErrShardUnowned, index))
+		}
+		r, retryAfter, retryable, err := c.scatterOnce(ctx, owner, req)
+		if err != nil {
+			return retryAfter, retryable, err
+		}
+		if r.Shard == nil || r.Shard.Index != index || r.Shard.Count != c.cfg.Shards {
+			// The node answered for the wrong slice (misconfigured boot);
+			// treat like a mismatch, not a retryable blip.
+			c.mismatches.Add(1)
+			got := "no shard identity"
+			if r.Shard != nil {
+				got = fmt.Sprintf("shard %d of %d", r.Shard.Index, r.Shard.Count)
+			}
+			return 0, false, coordErr(http.StatusBadGateway, 0,
+				fmt.Errorf("%w: node %q answered as %s, want shard %d of %d", ErrShardMismatch, owner.Node, got, index, c.cfg.Shards))
+		}
+		resp = r
+		return 0, false, nil
+	})
+	if err != nil {
+		if errors.Is(err, ErrShardUnowned) {
+			c.unowned.Add(1)
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+// scatterOnce issues one POST /v1/scatter to a shard owner and classifies the
+// outcome: network errors and 429/503/504 are retryable (with the server's
+// Retry-After hint when it sent one), 422 propagates as not-distributable,
+// other statuses fail the query.
+func (c *Coordinator) scatterOnce(ctx context.Context, owner LeaseOwner, req ScatterRequest) (*ScatterResponse, time.Duration, bool, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, owner.Addr+"/v1/scatter", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, false, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.client.Do(hreq)
+	if err != nil {
+		// The transport failed (connection refused, reset, timeout): the node
+		// may be mid-crash with its lease not yet expired, so retry — the
+		// per-attempt owner resolution picks up a standby once promoted.
+		c.upstreamErrors.Add(1)
+		return nil, 0, true, fmt.Errorf("node %q: %w", owner.Node, err)
+	}
+	defer hresp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(hresp.Body, 16<<20))
+	if err != nil {
+		c.upstreamErrors.Add(1)
+		return nil, 0, true, fmt.Errorf("node %q: reading response: %w", owner.Node, err)
+	}
+	switch hresp.StatusCode {
+	case http.StatusOK:
+		var sr ScatterResponse
+		if err := json.Unmarshal(data, &sr); err != nil {
+			c.upstreamErrors.Add(1)
+			return nil, 0, false, coordErr(http.StatusBadGateway, 0, fmt.Errorf("node %q: undecodable scatter response: %w", owner.Node, err))
+		}
+		return &sr, 0, false, nil
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		c.upstreamErrors.Add(1)
+		hint := retryAfterHint(hresp, data)
+		return nil, hint, true,
+			coordErr(hresp.StatusCode, hint, fmt.Errorf("node %q: %s", owner.Node, upstreamMessage(hresp.StatusCode, data)))
+	case http.StatusUnprocessableEntity:
+		c.notShardable.Add(1)
+		return nil, 0, false, coordErr(http.StatusUnprocessableEntity, 0,
+			fmt.Errorf("%w: node %q: %s", ErrNotDistributable, owner.Node, upstreamMessage(hresp.StatusCode, data)))
+	default:
+		c.upstreamErrors.Add(1)
+		return nil, 0, false, coordErr(http.StatusBadGateway, 0,
+			fmt.Errorf("node %q: %s", owner.Node, upstreamMessage(hresp.StatusCode, data)))
+	}
+}
+
+// retryAfterHint extracts the server's wait hint from a shard error response:
+// the precise retry_after_ms body field when present, else the Retry-After
+// header, else zero (the backoff's own schedule applies).
+func retryAfterHint(resp *http.Response, body []byte) time.Duration {
+	var parsed struct {
+		RetryAfterMS float64 `json:"retry_after_ms"`
+	}
+	if err := json.Unmarshal(body, &parsed); err == nil && parsed.RetryAfterMS > 0 {
+		return time.Duration(parsed.RetryAfterMS * float64(time.Millisecond))
+	}
+	if h := resp.Header.Get("Retry-After"); h != "" {
+		if secs, err := strconv.Atoi(h); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}
+
+// upstreamMessage renders a shard error body for wrapping: the JSON error
+// field when decodable, else the status text.
+func upstreamMessage(status int, body []byte) string {
+	var parsed struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &parsed); err == nil && parsed.Error != "" {
+		return fmt.Sprintf("%d: %s", status, parsed.Error)
+	}
+	return fmt.Sprintf("%d %s", status, http.StatusText(status))
+}
+
+// mergeParts cross-checks the shard responses' deterministic front halves and
+// re-aggregates their per-group rows into the canonical answer distribution.
+func (c *Coordinator) mergeParts(method core.Method, parts []*ScatterResponse) (*core.Result, error) {
+	first := parts[0]
+	for i, p := range parts[1:] {
+		if err := scatterConsistent(first, p); err != nil {
+			c.mismatches.Add(1)
+			return nil, coordErr(http.StatusBadGateway, 0,
+				fmt.Errorf("%w: shard 0 (node %q) vs shard %d (node %q): %v",
+					ErrShardMismatch, nodeName(first), i+1, nodeName(p), err))
+		}
+	}
+	gm := core.NewGroupMerge(first.PreEmptyProb)
+	for gi, g := range first.Groups {
+		if !g.Covered {
+			gm.AddEmpty(g.Prob)
+			continue
+		}
+		n := 0
+		for _, p := range parts {
+			n += len(p.Groups[gi].Rows)
+		}
+		rows := make([]engine.Tuple, 0, n)
+		for _, p := range parts {
+			for _, wire := range p.Groups[gi].Rows {
+				rows = append(rows, wireTuple(wire))
+			}
+		}
+		gm.Add(g.Prob, rows)
+	}
+	answers, emptyProb := gm.Finalize()
+	return &core.Result{
+		Method:    method,
+		Answers:   answers,
+		EmptyProb: emptyProb,
+		Columns:   first.Columns,
+	}, nil
+}
+
+func nodeName(p *ScatterResponse) string {
+	if p.Shard != nil {
+		return p.Shard.Node
+	}
+	return "?"
+}
+
+// scatterConsistent verifies two shard responses share the deterministic
+// front half: same epoch, canonical query, method, columns, pre-group empty
+// mass and group sequence (count, probabilities, coverage).  Shard nodes
+// regenerate the scenario from the same seed, so any disagreement means a
+// node is running different data or code and merging would be unsound.
+func scatterConsistent(a, b *ScatterResponse) error {
+	if a.Epoch != b.Epoch {
+		return fmt.Errorf("epoch %d vs %d", a.Epoch, b.Epoch)
+	}
+	if a.Query != b.Query {
+		return fmt.Errorf("canonical query %q vs %q", a.Query, b.Query)
+	}
+	if a.Method != b.Method {
+		return fmt.Errorf("method %q vs %q", a.Method, b.Method)
+	}
+	if len(a.Columns) != len(b.Columns) {
+		return fmt.Errorf("%d columns vs %d", len(a.Columns), len(b.Columns))
+	}
+	for i := range a.Columns {
+		if a.Columns[i] != b.Columns[i] {
+			return fmt.Errorf("column %d %q vs %q", i, a.Columns[i], b.Columns[i])
+		}
+	}
+	if a.PreEmptyProb != b.PreEmptyProb {
+		return fmt.Errorf("pre-group empty mass %v vs %v", a.PreEmptyProb, b.PreEmptyProb)
+	}
+	if len(a.Groups) != len(b.Groups) {
+		return fmt.Errorf("%d groups vs %d", len(a.Groups), len(b.Groups))
+	}
+	for i := range a.Groups {
+		ga, gb := a.Groups[i], b.Groups[i]
+		if ga.Prob != gb.Prob || ga.Covered != gb.Covered {
+			return fmt.Errorf("group %d (prob %v covered %v) vs (prob %v covered %v)", i, ga.Prob, ga.Covered, gb.Prob, gb.Covered)
+		}
+	}
+	return nil
+}
+
+// ScenarioShardInfo is one shard's placement of a scenario in the
+// coordinator's GET /v1/scenarios.
+type ScenarioShardInfo struct {
+	Shard int    `json:"shard"`
+	Node  string `json:"node"`
+	Addr  string `json:"addr"`
+	Epoch uint64 `json:"epoch"`
+	Rows  int    `json:"rows"`
+}
+
+// CoordinatorScenario aggregates one scenario's per-shard placement.  Rows
+// are reported per shard rather than summed: replicated relations appear on
+// every shard, so a sum would double-count them.
+type CoordinatorScenario struct {
+	Name     string              `json:"name"`
+	Target   string              `json:"target"`
+	Mappings int                 `json:"mappings"`
+	Shards   []ScenarioShardInfo `json:"shards"`
+}
+
+func (c *Coordinator) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.RequestTimeout)
+	defer cancel()
+	owners := c.leases.Owners()
+	type shardList struct {
+		Scenarios []ScenarioInfo `json:"scenarios"`
+	}
+	lists := make(map[int]*shardList, len(owners))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for index, owner := range owners {
+		wg.Add(1)
+		go func(index int, owner LeaseOwner) {
+			defer wg.Done()
+			hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, owner.Addr+"/v1/scenarios", nil)
+			if err != nil {
+				return
+			}
+			hresp, err := c.client.Do(hreq)
+			if err != nil {
+				c.upstreamErrors.Add(1)
+				return
+			}
+			defer hresp.Body.Close()
+			if hresp.StatusCode != http.StatusOK {
+				c.upstreamErrors.Add(1)
+				return
+			}
+			var sl shardList
+			if err := json.NewDecoder(io.LimitReader(hresp.Body, 16<<20)).Decode(&sl); err != nil {
+				c.upstreamErrors.Add(1)
+				return
+			}
+			mu.Lock()
+			lists[index] = &sl
+			mu.Unlock()
+		}(index, owner)
+	}
+	wg.Wait()
+	byName := make(map[string]*CoordinatorScenario)
+	for index, sl := range lists {
+		owner := owners[index]
+		for _, info := range sl.Scenarios {
+			cs := byName[info.Name]
+			if cs == nil {
+				cs = &CoordinatorScenario{Name: info.Name, Target: info.Target, Mappings: info.Mappings}
+				byName[info.Name] = cs
+			}
+			cs.Shards = append(cs.Shards, ScenarioShardInfo{
+				Shard: index,
+				Node:  owner.Node,
+				Addr:  owner.Addr,
+				Epoch: info.Epoch,
+				Rows:  info.Rows,
+			})
+		}
+	}
+	out := make([]*CoordinatorScenario, 0, len(byName))
+	for _, cs := range byName {
+		sort.Slice(cs.Shards, func(i, j int) bool { return cs.Shards[i].Shard < cs.Shards[j].Shard })
+		out = append(out, cs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"scenarios": out})
+}

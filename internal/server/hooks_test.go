@@ -1,0 +1,58 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHooksStagesAndSlowQueries covers the request-path observability seams:
+// BeforeQuery/AfterQuery fire around every Do (errors included), a request
+// over the slow-query threshold is counted, and the per-stage histograms
+// record parse/reformulate/execute/merge timings.
+func TestHooksStagesAndSlowQueries(t *testing.T) {
+	var before, after, failed atomic.Int64
+	srv, _ := newTestServer(t, 60, Config{
+		SlowQueryThreshold: time.Nanosecond, // everything is slow
+		BeforeQuery:        func(req *Request) { before.Add(1) },
+		AfterQuery: func(req *Request, resp *Response, err error, elapsed time.Duration) {
+			after.Add(1)
+			if err != nil {
+				failed.Add(1)
+			}
+			if elapsed < 0 {
+				t.Errorf("AfterQuery elapsed = %v", elapsed)
+			}
+		},
+	})
+	if _, err := srv.Do(context.Background(), Request{Scenario: "test", Query: fastQueryText, Method: "e-basic"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Do(context.Background(), Request{Scenario: "missing", Query: fastQueryText}); err == nil {
+		t.Fatal("unknown scenario did not error")
+	}
+	if before.Load() != 2 || after.Load() != 2 || failed.Load() != 1 {
+		t.Fatalf("hooks: before=%d after=%d failed=%d, want 2/2/1", before.Load(), after.Load(), failed.Load())
+	}
+	m := srv.Metrics()
+	if m.SlowQueries < 1 {
+		t.Fatalf("slow_queries = %d, want >= 1", m.SlowQueries)
+	}
+	for _, stage := range []string{"parse", "reformulate", "execute", "merge"} {
+		if m.Stages[stage].Count != 1 {
+			t.Fatalf("stage %q count = %d, want 1 (one built prepared query, one evaluation)", stage, m.Stages[stage].Count)
+		}
+	}
+	// A second identical request reuses the prepared query and the answer
+	// cache: no new parse, no new evaluation stages.
+	if _, err := srv.Do(context.Background(), Request{Scenario: "test", Query: fastQueryText, Method: "e-basic"}); err != nil {
+		t.Fatal(err)
+	}
+	m = srv.Metrics()
+	for _, stage := range []string{"parse", "reformulate", "execute", "merge"} {
+		if m.Stages[stage].Count != 1 {
+			t.Fatalf("stage %q count after cache hit = %d, want still 1", stage, m.Stages[stage].Count)
+		}
+	}
+}

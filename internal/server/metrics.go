@@ -25,8 +25,19 @@ type serverMetrics struct {
 	operators      atomic.Int64
 	inflight       atomic.Int64 // requests currently being served
 	appends        atomic.Int64 // rows appended via POST /v1/append
+	scatters       atomic.Int64 // shard-side scatter executions (POST /v1/scatter)
+	slowQueries    atomic.Int64 // requests over the slow-query threshold (AfterQuery hook)
 
 	queueWait qos.Histogram // measured evaluation-slot waits, all tenants
+
+	// Per-stage latency histograms over the request path: parse covers
+	// parse+reformulate+compile when a prepared query is built (reuses pay
+	// nothing and are not observed), reformulate/execute/merge split each
+	// evaluation by core.Result's stage timings.
+	stageParse       qos.Histogram
+	stageReformulate qos.Histogram
+	stageExecute     qos.Histogram
+	stageMerge       qos.Histogram
 }
 
 // Metrics is the JSON snapshot served by GET /metrics and embedded in the
@@ -64,6 +75,12 @@ type Metrics struct {
 	// Appends counts rows accepted by POST /v1/append.
 	Appends int64 `json:"appends"`
 
+	// Scatters counts shard-side scatter executions (POST /v1/scatter), and
+	// SlowQueries the requests whose total latency crossed the slow-query
+	// threshold (zero when no threshold is configured).
+	Scatters    int64 `json:"scatters"`
+	SlowQueries int64 `json:"slow_queries"`
+
 	// Durable-store counters.  StoreRecoveries counts scenarios rebuilt from
 	// disk at boot, StoreReplayedRecords the WAL records replayed to do so,
 	// StoreQuarantined the scenarios refused because their on-disk state was
@@ -81,6 +98,12 @@ type Metrics struct {
 	QueueWait qos.HistogramSnapshot    `json:"queue_wait"`
 	Tenants   map[string]TenantMetrics `json:"tenants,omitempty"`
 
+	// Stages holds per-stage latency histograms keyed "parse", "reformulate",
+	// "execute" and "merge".  Parse is observed only when a prepared query is
+	// actually built; the other three split every evaluation by the stage
+	// timings core.Result records.
+	Stages map[string]qos.HistogramSnapshot `json:"stages"`
+
 	Draining   bool           `json:"draining"`
 	Recovering bool           `json:"recovering"`
 	Scenarios  []ScenarioInfo `json:"scenarios"`
@@ -95,6 +118,9 @@ type ScenarioInfo struct {
 	Relations       int    `json:"relations"`
 	Rows            int    `json:"rows"`
 	WarmIndexBuilds int    `json:"warm_index_builds"`
+	// Shard is this node's placement in a partitioned deployment — which
+	// shard slice of the scenario it holds — or nil when unsharded.
+	Shard *ShardIdentity `json:"shard,omitempty"`
 }
 
 func (s *Server) snapshotMetrics() Metrics {
@@ -115,12 +141,20 @@ func (s *Server) snapshotMetrics() Metrics {
 		IndexLookups:       s.metrics.indexLookups.Load(),
 		Operators:          s.metrics.operators.Load(),
 		Appends:            s.metrics.appends.Load(),
+		Scatters:           s.metrics.scatters.Load(),
+		SlowQueries:        s.metrics.slowQueries.Load(),
 		Cache:              s.cache.Metrics(),
 		QueueWait:          s.metrics.queueWait.Snapshot(),
-		Tenants:            s.tenants.snapshot(),
-		Draining:           s.draining(),
-		Recovering:         s.recovering.Load(),
-		Scenarios:          s.scenarioInfos(),
+		Stages: map[string]qos.HistogramSnapshot{
+			"parse":       s.metrics.stageParse.Snapshot(),
+			"reformulate": s.metrics.stageReformulate.Snapshot(),
+			"execute":     s.metrics.stageExecute.Snapshot(),
+			"merge":       s.metrics.stageMerge.Snapshot(),
+		},
+		Tenants:    s.tenants.snapshot(),
+		Draining:   s.draining(),
+		Recovering: s.recovering.Load(),
+		Scenarios:  s.scenarioInfos(),
 
 		StoreRecoveries:      s.registry.Recoveries(),
 		StoreReplayedRecords: s.registry.ReplayedRecords(),

@@ -1,0 +1,292 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/probdb/urm/internal/core"
+	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/exec"
+	"github.com/probdb/urm/internal/qos"
+	"github.com/probdb/urm/internal/shard"
+)
+
+// ShardIdentity declares that this server holds one shard slice of a
+// partitioned deployment: shard Index of Count, where the named relation was
+// split on Column by the given partitioner kind and every other relation is
+// replicated.  Shard nodes regenerate the same scenario deterministically
+// (same seed) and keep only their slice, so their prepared front halves — and
+// therefore their scatter-group orders and probabilities — are identical,
+// which is what lets a coordinator merge their per-group answer streams
+// without holding any data itself.
+type ShardIdentity struct {
+	// Node names this server in the coordinator's lease table.
+	Node string `json:"node"`
+	// Index/Count place this node in the partition: shard Index of Count.
+	Index int `json:"index"`
+	Count int `json:"count"`
+	// Relation/Column/Kind describe the partitioning function, matching
+	// shard.Spec (Kind is "hash" or "range").
+	Relation string `json:"relation"`
+	Column   string `json:"column"`
+	Kind     string `json:"kind"`
+}
+
+// ErrNotDistributable is returned (and mapped to 422) when a scatter request
+// names a method, or reformulates into a plan, whose evaluation does not
+// distribute over the node's partitioned relation: o-sharing and top-k
+// always, and any group plan that scans the partitioned relation more than
+// once (a self-join) or aggregates.  Per-shard evaluation of such a plan
+// would silently drop cross-shard row pairs, so the node refuses instead.
+var ErrNotDistributable = errors.New("query is not distributable over this node's shard partition")
+
+// ScatterRequest is the body of POST /v1/scatter — the shard half of a
+// coordinator's fan-out.  Unlike /v1/query it returns per-group answer
+// relations instead of an aggregated distribution: a tuple produced by the
+// same group on several shards must be deduplicated per group across shards,
+// which only the coordinator can do.
+type ScatterRequest struct {
+	Scenario  string `json:"scenario"`
+	Query     string `json:"query"`
+	Method    string `json:"method,omitempty"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
+}
+
+// WireValue is one typed datum on the scatter wire.  Exactly one field is
+// set; the zero value is NULL.  Values are typed explicitly rather than as
+// bare JSON values because bit-identity requires kinds to round-trip: a float
+// 3.0 encoded as the JSON number 3 would decode as an int, changing the
+// tuple's hash, key and sort position.  Go's float64 JSON encoding is
+// shortest-round-trip, so probabilities and float data survive the wire
+// bit-exactly.
+type WireValue struct {
+	S *string  `json:"s,omitempty"`
+	I *int64   `json:"i,omitempty"`
+	F *float64 `json:"f,omitempty"`
+}
+
+// ScatterGroupJSON is one scatter group's slice of the answer stream on this
+// shard: the group's probability mass, whether its mappings cover the query
+// (uncovered groups carry mass for the empty answer and no rows), and the
+// distinct rows this shard produced for it.
+type ScatterGroupJSON struct {
+	Prob    float64       `json:"prob"`
+	Covered bool          `json:"covered"`
+	Rows    [][]WireValue `json:"rows,omitempty"`
+}
+
+// ScatterResponse is the body of a successful POST /v1/scatter.
+type ScatterResponse struct {
+	Scenario string `json:"scenario"`
+	Epoch    uint64 `json:"epoch"`
+	// Query is the canonical text, identical across shards for one request.
+	Query   string   `json:"query"`
+	Method  string   `json:"method"`
+	Columns []string `json:"columns,omitempty"`
+	// PreEmptyProb and Groups mirror core.ScatterPlan: the merge adds
+	// PreEmptyProb to the empty answer first, then folds the groups in order.
+	PreEmptyProb float64            `json:"pre_empty_prob"`
+	Groups       []ScatterGroupJSON `json:"groups"`
+	// Shard echoes the node's placement so the coordinator can detect a node
+	// booted with the wrong index or count before merging anything.
+	Shard     *ShardIdentity `json:"shard,omitempty"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+}
+
+// wireValues encodes a tuple for the scatter wire.
+func wireValues(t engine.Tuple) []WireValue {
+	out := make([]WireValue, len(t))
+	for i, v := range t {
+		switch v.Kind {
+		case engine.KindString:
+			s := v.Str
+			out[i].S = &s
+		case engine.KindInt:
+			n := v.Int
+			out[i].I = &n
+		case engine.KindFloat:
+			f := v.Float
+			out[i].F = &f
+		}
+	}
+	return out
+}
+
+// wireTuple decodes a scatter-wire row.
+func wireTuple(vals []WireValue) engine.Tuple {
+	row := make(engine.Tuple, len(vals))
+	for i, v := range vals {
+		switch {
+		case v.S != nil:
+			row[i] = engine.S(*v.S)
+		case v.I != nil:
+			row[i] = engine.I(*v.I)
+		case v.F != nil:
+			row[i] = engine.F(*v.F)
+		default:
+			row[i] = engine.Null()
+		}
+	}
+	return row
+}
+
+// Scatter answers one scatter request in-process: it prepares the query on
+// the named scenario, builds the method's scatter plan, verifies every group
+// plan distributes over this node's partition, executes the groups against
+// the node's (sliced) instance and returns the per-group rows.  It is the
+// transport-free core handleScatter wraps, like Do for /v1/query.
+func (s *Server) Scatter(ctx context.Context, req ScatterRequest) (*ScatterResponse, error) {
+	s.metrics.scatters.Add(1)
+	if !s.enter() {
+		s.metrics.unavailable.Add(1)
+		return nil, apiErr(http.StatusServiceUnavailable, ErrDraining)
+	}
+	defer s.leave()
+	if s.recovering.Load() {
+		s.metrics.unavailable.Add(1)
+		return nil, apiErr(http.StatusServiceUnavailable, ErrRecovering)
+	}
+	start := time.Now()
+	if req.Scenario == "" {
+		return nil, errBadRequest("missing scenario")
+	}
+	sc, ok := s.registry.Get(req.Scenario)
+	if !ok {
+		if qerr, quarantined := s.registry.QuarantineReason(req.Scenario); quarantined {
+			s.metrics.unavailable.Add(1)
+			return nil, apiErr(http.StatusServiceUnavailable, fmt.Errorf("%w: %q: %v", ErrQuarantined, req.Scenario, qerr))
+		}
+		return nil, apiErr(http.StatusNotFound, fmt.Errorf("%w: %q", ErrUnknownScenario, req.Scenario))
+	}
+	method := core.MethodOSharing
+	if req.Method != "" {
+		var err error
+		if method, err = core.ParseMethod(req.Method); err != nil {
+			return nil, errBadRequest("%w: %v", core.ErrBadOptions, err)
+		}
+	}
+	parseStart := time.Now()
+	prep, canonical, reused, err := sc.Prepare(req.Query)
+	if err != nil {
+		return nil, apiErr(http.StatusBadRequest, err)
+	}
+	if reused {
+		s.metrics.preparedReuses.Add(1)
+	} else {
+		s.metrics.preparedBuilds.Add(1)
+		s.metrics.stageParse.Observe(time.Since(parseStart))
+	}
+
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	// Scatter executions spend the same evaluation capacity as /v1/query
+	// evaluations, so they queue for the same slots; a saturated node answers
+	// 429 with the queue-wait budget as its Retry-After and the coordinator's
+	// backoff takes it from there.
+	wait, err := s.queue.Acquire(ctx, "scatter", 1, s.cfg.QueueWait)
+	s.metrics.queueWait.Observe(wait)
+	if err != nil {
+		if errors.Is(err, qos.ErrSaturated) {
+			return nil, apiErrRetry(http.StatusTooManyRequests, s.cfg.QueueWait,
+				fmt.Errorf("%w: no evaluation slot within %v", ErrOverloaded, s.cfg.QueueWait))
+		}
+		return nil, err
+	}
+	defer s.queue.Release()
+
+	epoch := sc.Epoch()
+	ec := exec.NewContext(ctx, s.cfg.Parallelism)
+	sp, err := prep.Scatter(ec, core.Options{Method: method, Parallelism: s.cfg.Parallelism})
+	if err != nil {
+		if errors.Is(err, core.ErrNotShardable) {
+			return nil, apiErr(http.StatusUnprocessableEntity, fmt.Errorf("%w: %v", ErrNotDistributable, err))
+		}
+		s.metrics.evalErrors.Add(1)
+		return nil, err
+	}
+	if sh := s.cfg.Shard; sh != nil && sh.Count > 1 {
+		for _, g := range sp.Groups {
+			if g.Plan != nil && !shard.Distributable(g.Plan, sh.Relation) {
+				return nil, apiErr(http.StatusUnprocessableEntity,
+					fmt.Errorf("%w: a reformulated plan self-joins or aggregates the partitioned relation %q", ErrNotDistributable, sh.Relation))
+			}
+		}
+	}
+	run, err := sp.ExecuteOn(ec, sc.DB())
+	if err != nil {
+		s.metrics.evalErrors.Add(1)
+		return nil, err
+	}
+	s.metrics.indexBuilds.Add(int64(run.Stats.IndexBuilds()))
+	s.metrics.indexLookups.Add(int64(run.Stats.IndexLookups()))
+	s.metrics.operators.Add(int64(run.Stats.TotalOperators()))
+	s.metrics.stageExecute.Observe(run.ExecTime)
+
+	resp := &ScatterResponse{
+		Scenario:     sc.Name(),
+		Epoch:        epoch,
+		Query:        canonical,
+		Method:       method.String(),
+		Columns:      core.OutputColumns(prep.Query()),
+		PreEmptyProb: sp.PreEmptyProb,
+		Groups:       make([]ScatterGroupJSON, len(sp.Groups)),
+		Shard:        s.cfg.Shard,
+		ElapsedMS:    float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for i, g := range sp.Groups {
+		gj := ScatterGroupJSON{Prob: g.Prob, Covered: g.Plan != nil}
+		if rel := run.Rels[i]; rel != nil {
+			gj.Rows = make([][]WireValue, len(rel.Rows))
+			for ri, row := range rel.Rows {
+				gj.Rows[ri] = wireValues(row)
+			}
+		}
+		resp.Groups[i] = gj
+	}
+	return resp, nil
+}
+
+func (s *Server) handleScatter(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req ScatterRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		return
+	}
+	resp, err := s.Scatter(r.Context(), req)
+	if err != nil {
+		status := http.StatusInternalServerError
+		var ae *apiError
+		switch {
+		case errors.As(err, &ae):
+			status = ae.status
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			status = 499
+		}
+		body := map[string]any{"error": err.Error(), "status": status}
+		if retryAfter := RetryAfter(err); retryAfter > 0 {
+			setRetryAfter(w, body, retryAfter)
+		}
+		writeJSON(w, status, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -58,6 +58,26 @@ type Config struct {
 	DisableStaleServe bool
 	// Faults is the deterministic fault-injection seam; nil in production.
 	Faults *qos.Faults
+
+	// Shard, when non-nil, declares this node a shard of a partitioned
+	// deployment: its scenarios hold only the declared slice of the
+	// partitioned relation, POST /v1/scatter refuses non-distributable plans,
+	// and the placement is echoed in scatter responses and /v1/scenarios.
+	Shard *ShardIdentity
+
+	// SlowQueryThreshold, when positive, counts requests whose total wall
+	// time crosses it under the slow_queries metric.  Logging them is the
+	// AfterQuery hook's job (it receives the same elapsed time).
+	SlowQueryThreshold time.Duration
+
+	// BeforeQuery and AfterQuery are request-path hooks around Do.
+	// BeforeQuery sees the request after it is admitted (and may not mutate
+	// it); AfterQuery sees the outcome — response or error — and the measured
+	// wall time.  Both run on the request goroutine, so they must be fast and
+	// must not call back into the server.  The slow-query log is an AfterQuery
+	// hook.
+	BeforeQuery func(req *Request)
+	AfterQuery  func(req *Request, resp *Response, err error, elapsed time.Duration)
 }
 
 func (c Config) withDefaults() Config {
@@ -302,8 +322,18 @@ func (s *Server) Do(ctx context.Context, req Request) (*Response, error) {
 		s.metrics.unavailable.Add(1)
 		return nil, apiErr(http.StatusServiceUnavailable, ErrRecovering)
 	}
-
+	if s.cfg.BeforeQuery != nil {
+		s.cfg.BeforeQuery(&req)
+	}
+	start := time.Now()
 	resp, err := s.do(ctx, req)
+	elapsed := time.Since(start)
+	if t := s.cfg.SlowQueryThreshold; t > 0 && elapsed >= t {
+		s.metrics.slowQueries.Add(1)
+	}
+	if s.cfg.AfterQuery != nil {
+		s.cfg.AfterQuery(&req, resp, err, elapsed)
+	}
 	if err != nil {
 		var ae *apiError
 		switch {
@@ -364,6 +394,7 @@ func (s *Server) do(ctx context.Context, req Request) (*Response, error) {
 	// first sight of (epoch, query text) parses, reformulates through every
 	// mapping and compiles plans; every later request — even with a cold
 	// answer cache — skips straight to execution.
+	parseStart := time.Now()
 	prep, canonical, reused, err := sc.Prepare(req.Query)
 	if err != nil {
 		return nil, apiErr(http.StatusBadRequest, err)
@@ -372,6 +403,7 @@ func (s *Server) do(ctx context.Context, req Request) (*Response, error) {
 		s.metrics.preparedReuses.Add(1)
 	} else {
 		s.metrics.preparedBuilds.Add(1)
+		s.metrics.stageParse.Observe(time.Since(parseStart))
 	}
 
 	timeout := s.cfg.RequestTimeout
@@ -539,6 +571,9 @@ func (s *Server) evaluate(ctx context.Context, sc *Scenario, prep *core.Prepared
 	s.metrics.indexBuilds.Add(int64(res.Stats.IndexBuilds()))
 	s.metrics.indexLookups.Add(int64(res.Stats.IndexLookups()))
 	s.metrics.operators.Add(int64(res.Stats.TotalOperators()))
+	s.metrics.stageReformulate.Observe(res.RewriteTime)
+	s.metrics.stageExecute.Observe(res.ExecTime)
+	s.metrics.stageMerge.Observe(res.AggregateTime)
 	return res, wait, nil
 }
 
@@ -590,6 +625,7 @@ func (s *Server) Drain(ctx context.Context) error {
 // ServeHTTP routes the JSON API:
 //
 //	POST /v1/query      evaluate (or serve from cache)
+//	POST /v1/scatter    shard-side half of a coordinator fan-out (per-group rows)
 //	POST /v1/append     append a row to a scenario relation (durable when a store is attached)
 //	POST /v1/bump       bump a scenario's epoch (invalidate cached answers)
 //	GET  /v1/scenarios  registered scenarios
@@ -599,6 +635,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == "/v1/query":
 		s.handleQuery(w, r)
+	case r.URL.Path == "/v1/scatter":
+		s.handleScatter(w, r)
 	case r.URL.Path == "/v1/append":
 		s.handleAppend(w, r)
 	case r.URL.Path == "/v1/bump":
@@ -649,20 +687,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		body := map[string]any{"error": err.Error(), "status": status}
 		if retryAfter := RetryAfter(err); retryAfter > 0 {
-			// The header is integer seconds (rounded up, HTTP cannot say less
-			// than 1); the body carries the precise hint for clients that can
-			// use it.
-			secs := int(math.Ceil(retryAfter.Seconds()))
-			if secs < 1 {
-				secs = 1
-			}
-			w.Header().Set("Retry-After", strconv.Itoa(secs))
-			body["retry_after_ms"] = float64(retryAfter.Microseconds()) / 1000
+			setRetryAfter(w, body, retryAfter)
 		}
 		writeJSON(w, status, body)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// setRetryAfter writes a Retry-After hint onto an error response.  The header
+// is integer seconds (rounded up, HTTP cannot say less than 1); the body
+// carries the precise hint for clients that can use it.
+func setRetryAfter(w http.ResponseWriter, body map[string]any, retryAfter time.Duration) {
+	secs := int(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	body["retry_after_ms"] = float64(retryAfter.Microseconds()) / 1000
 }
 
 func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
@@ -837,6 +879,7 @@ func (s *Server) scenarioInfos() []ScenarioInfo {
 			Relations:       len(sc.DB().RelationNames()),
 			Rows:            sc.NumRows(),
 			WarmIndexBuilds: sc.WarmIndexBuilds(),
+			Shard:           s.cfg.Shard,
 		})
 	}
 	return out

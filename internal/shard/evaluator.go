@@ -1,0 +1,236 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/probdb/urm/internal/core"
+	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/exec"
+)
+
+// Distributable reports whether a plan distributes over a horizontal
+// partition of the named relation, i.e. whether
+//
+//	Q(R1 ⊎ ... ⊎ Rn, S, ...) = Q(R1, S, ...) ∪ ... ∪ Q(Rn, S, ...)
+//
+// holds as a set equality.  It does when the plan scans the partitioned
+// relation at most once — a join or product referencing it twice (a
+// self-join) pairs rows across shard boundaries, which per-shard evaluation
+// never sees — and contains no aggregate, because an aggregate of a union is
+// not the union of per-shard aggregates.  Materialized inputs are rejected
+// too: their provenance is unknown, so they may embed pre-partition state.
+// Plans over only replicated relations are distributable — every shard
+// returns the same answers and the merge's per-group dedup collapses them.
+func Distributable(plan engine.Plan, relation string) bool {
+	refs, ok := scanRefs(plan, relation)
+	return ok && refs <= 1
+}
+
+// scanRefs counts scans of the named relation and reports false on any node
+// that breaks distribution.
+func scanRefs(plan engine.Plan, relation string) (int, bool) {
+	switch n := plan.(type) {
+	case *engine.AggregatePlan:
+		return 0, false
+	case *engine.MaterialPlan:
+		return 0, false
+	case *engine.ScanPlan:
+		if n.Relation == relation {
+			return 1, true
+		}
+		return 0, true
+	}
+	refs := 0
+	for _, c := range plan.Children() {
+		r, ok := scanRefs(c, relation)
+		if !ok {
+			return 0, false
+		}
+		refs += r
+	}
+	return refs, true
+}
+
+// Evaluator evaluates prepared queries by scatter-gather over shard
+// instances.  It partitions the instance once (re-slicing lazily when the
+// partitioned relation's rows change) and is safe for concurrent use.
+//
+// Methods whose evaluation does not distribute — o-sharing and top-k always,
+// and any query with a non-distributable group plan (self-joins on the
+// partitioned relation, aggregates) — fall back to unsharded evaluation on
+// the original instance, which trivially preserves the bit-identical-answers
+// contract.  Fallbacks are counted so callers and tests can observe them.
+type Evaluator struct {
+	part *Partitioner
+	base *engine.Instance
+
+	mu      sync.Mutex
+	shards  []*engine.Instance
+	version uint64
+	rows    int
+
+	fallbacks int
+}
+
+// NewEvaluator builds a partitioner for the spec and partitions the instance.
+func NewEvaluator(db *engine.Instance, spec Spec) (*Evaluator, error) {
+	p, err := NewPartitioner(db, spec)
+	if err != nil {
+		return nil, err
+	}
+	ev := &Evaluator{part: p, base: db}
+	if _, err := ev.instances(); err != nil {
+		return nil, err
+	}
+	return ev, nil
+}
+
+// Partitioner returns the evaluator's partitioner.
+func (ev *Evaluator) Partitioner() *Partitioner { return ev.part }
+
+// NumShards returns the shard count.
+func (ev *Evaluator) NumShards() int { return ev.part.Spec().Shards }
+
+// Fallbacks returns how many executions fell back to unsharded evaluation.
+func (ev *Evaluator) Fallbacks() int {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	return ev.fallbacks
+}
+
+// instances returns the shard instances, re-partitioning if the partitioned
+// relation changed since the last slice (appends route new rows to their
+// shard on the next execution; range boundaries stay fixed at construction so
+// placement of existing rows never moves).
+func (ev *Evaluator) instances() ([]*engine.Instance, error) {
+	rel := ev.base.Relation(ev.part.Spec().Relation)
+	if rel == nil {
+		return nil, fmt.Errorf("shard: instance %s lost relation %q", ev.base.Name, ev.part.Spec().Relation)
+	}
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	if ev.shards == nil || rel.Version() != ev.version || len(rel.Rows) != ev.rows {
+		shards, err := ev.part.Partition(ev.base)
+		if err != nil {
+			return nil, err
+		}
+		ev.shards = shards
+		ev.version = rel.Version()
+		ev.rows = len(rel.Rows)
+	}
+	return ev.shards, nil
+}
+
+func (ev *Evaluator) noteFallback() {
+	ev.mu.Lock()
+	ev.fallbacks++
+	ev.mu.Unlock()
+}
+
+// Execute evaluates the prepared query over the shards and merges the
+// per-shard answer streams into a Result bit-identical to
+// prep.ExecuteContext: same tuples, probabilities, order and empty-answer
+// mass.  Non-distributable (query, method) pairs fall back to unsharded
+// evaluation.
+func (ev *Evaluator) Execute(ctx context.Context, prep *core.Prepared, opts core.Options) (*core.Result, error) {
+	if opts.Method == core.MethodOSharing {
+		ev.noteFallback()
+		return prep.ExecuteContext(ctx, opts)
+	}
+	start := time.Now()
+	ec := exec.NewContext(ctx, opts.Parallelism)
+	if opts.BatchSize != 0 {
+		ec = ec.WithBatch(opts.BatchSize)
+	}
+	sp, err := prep.Scatter(ec, opts)
+	if err != nil {
+		if errors.Is(err, core.ErrNotShardable) {
+			ev.noteFallback()
+			return prep.ExecuteContext(ctx, opts)
+		}
+		return nil, err
+	}
+	for _, g := range sp.Groups {
+		if g.Plan != nil && !Distributable(g.Plan, ev.part.Spec().Relation) {
+			ev.noteFallback()
+			return prep.ExecuteContext(ctx, opts)
+		}
+	}
+	shards, err := ev.instances()
+	if err != nil {
+		return nil, err
+	}
+	runs, err := ExecuteShards(ec, sp, shards)
+	if err != nil {
+		return nil, err
+	}
+	res := &core.Result{
+		Query:            prep.Query(),
+		Method:           opts.Method,
+		Columns:          core.OutputColumns(prep.Query()),
+		Stats:            engine.NewStats(),
+		RewrittenQueries: sp.Rewritten,
+		Partitions:       sp.Partitions,
+	}
+	for _, run := range runs {
+		res.ExecTime += run.ExecTime
+		res.Stats.Add(run.Stats)
+	}
+	aggStart := time.Now()
+	merge := core.NewGroupMerge(sp.PreEmptyProb)
+	rels := make([]*engine.Relation, len(runs))
+	for gi, g := range sp.Groups {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for si, run := range runs {
+			rels[si] = run.Rels[gi]
+		}
+		merge.AddGroup(g, rels)
+		if g.Plan != nil {
+			res.ExecutedQueries += len(runs)
+		}
+	}
+	res.Answers, res.EmptyProb = merge.Finalize()
+	res.AggregateTime = time.Since(aggStart)
+	res.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// ExecuteTopK evaluates probabilistic top-k.  The traversal's
+// early-termination bounds are data-dependent and sequential, so top-k always
+// falls back to unsharded evaluation.
+func (ev *Evaluator) ExecuteTopK(ctx context.Context, prep *core.Prepared, k int, opts core.Options) (*core.Result, error) {
+	ev.noteFallback()
+	return prep.ExecuteTopKContext(ctx, k, opts)
+}
+
+// ExecuteShards runs the scatter plan on every shard instance, fanning the
+// shards out over the runtime's worker pool.  Within a shard the plan runs
+// with the leftover parallelism budget (at least sequential), so the total
+// worker count stays bounded by ec.Parallelism regardless of shard count.
+// Results are index-aligned with shards.
+func ExecuteShards(ec *exec.Context, sp *core.ScatterPlan, shards []*engine.Instance) ([]*core.ShardRun, error) {
+	inner := ec.Parallelism() / len(shards)
+	if inner < 1 {
+		inner = 1
+	}
+	runs := make([]*core.ShardRun, len(shards))
+	err := exec.Map(ec, len(shards),
+		func(ctx context.Context, i int) (*core.ShardRun, error) {
+			sec := exec.NewContext(ctx, inner).WithBatch(ec.Batch())
+			return sp.ExecuteOn(sec, shards[i])
+		},
+		func(i int, run *core.ShardRun) error {
+			runs[i] = run
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return runs, nil
+}

@@ -1,0 +1,293 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/probdb/urm/internal/core"
+	"github.com/probdb/urm/internal/datagen"
+	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/exec"
+)
+
+// testSpec partitions the generated source's Orders relation, which most
+// Excel workload queries reach through the possible mappings.
+func testSpec(kind Kind, shards int) Spec {
+	return Spec{Relation: "Orders", Column: "o_orderkey", Shards: shards, Kind: kind}
+}
+
+func testDataset(t *testing.T, mappings int, seed uint64) *datagen.Dataset {
+	t.Helper()
+	ds, err := datagen.NewDataset(datagen.DatasetOptions{
+		Target:      datagen.TargetExcel,
+		NumMappings: mappings,
+		SizeMB:      1.5,
+		Seed:        seed,
+	})
+	if err != nil {
+		t.Fatalf("dataset: %v", err)
+	}
+	return ds
+}
+
+// identical asserts bit-identical results: same answer values, probabilities
+// (exact float equality), order, and empty-answer probability.
+func identical(t *testing.T, label string, want, got *core.Result) {
+	t.Helper()
+	if len(got.Answers) != len(want.Answers) {
+		t.Fatalf("%s: %d answers, want %d", label, len(got.Answers), len(want.Answers))
+	}
+	for i := range want.Answers {
+		w, g := want.Answers[i], got.Answers[i]
+		if !g.Tuple.Equal(w.Tuple) {
+			t.Fatalf("%s: answer %d tuple %v, want %v", label, i, g.Tuple, w.Tuple)
+		}
+		if g.Prob != w.Prob {
+			t.Fatalf("%s: answer %d prob %v, want %v (tuple %v)", label, i, g.Prob, w.Prob, w.Tuple)
+		}
+	}
+	if got.EmptyProb != want.EmptyProb {
+		t.Fatalf("%s: empty prob %v, want %v", label, got.EmptyProb, want.EmptyProb)
+	}
+}
+
+var allMethods = []core.Method{
+	core.MethodBasic, core.MethodEBasic, core.MethodEMQO, core.MethodQSharing, core.MethodOSharing,
+}
+
+// TestShardedBitIdentical is the tentpole property test: over a randomized
+// scenario, every method (and top-k) produces bit-identical answers at
+// shards=1, 4 and 8 with both partitioners, compared against unsharded
+// prepared evaluation.
+func TestShardedBitIdentical(t *testing.T) {
+	ds := testDataset(t, 16, 3)
+	eval := core.NewEvaluator(ds.DB, ds.Mappings())
+	ctx := context.Background()
+
+	// Q1 select chain, Q2 join, Q3/Q4 self-joins (exercise the
+	// non-distributable fallback), Q5 aggregate (ditto).
+	for _, qid := range []int{1, 2, 3, 5} {
+		q := datagen.MustWorkloadQuery(qid)
+		prep, err := eval.Prepare(q)
+		if err != nil {
+			t.Fatalf("Q%d prepare: %v", qid, err)
+		}
+		for _, m := range allMethods {
+			opts := core.Options{Method: m, Parallelism: 4}
+			want, err := prep.ExecuteContext(ctx, opts)
+			if err != nil {
+				t.Fatalf("Q%d %s unsharded: %v", qid, m, err)
+			}
+			for _, kind := range []Kind{KindHash, KindRange} {
+				for _, n := range []int{1, 4, 8} {
+					ev, err := NewEvaluator(ds.DB, testSpec(kind, n))
+					if err != nil {
+						t.Fatalf("evaluator %s/%d: %v", kind, n, err)
+					}
+					got, err := ev.Execute(ctx, prep, opts)
+					if err != nil {
+						t.Fatalf("Q%d %s %s/%d: %v", qid, m, kind, n, err)
+					}
+					identical(t, fmt.Sprintf("Q%d %s %s/%d", qid, m, kind, n), want, got)
+				}
+			}
+		}
+		// Top-k always falls back; it must still match exactly.
+		opts := core.Options{Method: core.MethodOSharing}
+		want, err := prep.ExecuteTopKContext(ctx, 5, opts)
+		if err != nil {
+			t.Fatalf("Q%d topk unsharded: %v", qid, err)
+		}
+		ev, err := NewEvaluator(ds.DB, testSpec(KindHash, 4))
+		if err != nil {
+			t.Fatalf("topk evaluator: %v", err)
+		}
+		got, err := ev.ExecuteTopK(ctx, prep, 5, opts)
+		if err != nil {
+			t.Fatalf("Q%d topk sharded: %v", qid, err)
+		}
+		identical(t, fmt.Sprintf("Q%d topk", qid), want, got)
+	}
+}
+
+// TestShardedDistributes pins that sharding is not fallback-in-disguise: a
+// join query under e-basic actually scatters (no fallback recorded).
+func TestShardedDistributes(t *testing.T) {
+	ds := testDataset(t, 12, 7)
+	eval := core.NewEvaluator(ds.DB, ds.Mappings())
+	prep, err := eval.Prepare(datagen.MustWorkloadQuery(1))
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	ev, err := NewEvaluator(ds.DB, testSpec(KindHash, 4))
+	if err != nil {
+		t.Fatalf("evaluator: %v", err)
+	}
+	if _, err := ev.Execute(context.Background(), prep, core.Options{Method: core.MethodEBasic}); err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if n := ev.Fallbacks(); n != 0 {
+		t.Fatalf("Q1 e-basic fell back %d times; expected a genuine scatter", n)
+	}
+	// o-sharing must fall back, by contract.
+	if _, err := ev.Execute(context.Background(), prep, core.Options{Method: core.MethodOSharing}); err != nil {
+		t.Fatalf("o-sharing execute: %v", err)
+	}
+	if n := ev.Fallbacks(); n != 1 {
+		t.Fatalf("o-sharing fallbacks = %d, want 1", n)
+	}
+}
+
+// TestPartitionerRoundTrip checks the partitioning contract: every row lands
+// on exactly one shard, the shard matches Route, and the other relations are
+// replicated by reference.
+func TestPartitionerRoundTrip(t *testing.T) {
+	ds := testDataset(t, 8, 11)
+	orders := ds.DB.Relation("Orders")
+	for _, kind := range []Kind{KindHash, KindRange} {
+		for _, n := range []int{1, 3, 8} {
+			p, err := NewPartitioner(ds.DB, testSpec(kind, n))
+			if err != nil {
+				t.Fatalf("%s/%d: %v", kind, n, err)
+			}
+			shards, err := p.Partition(ds.DB)
+			if err != nil {
+				t.Fatalf("%s/%d partition: %v", kind, n, err)
+			}
+			total := 0
+			for si, sh := range shards {
+				rel := sh.Relation("Orders")
+				total += len(rel.Rows)
+				for _, row := range rel.Rows {
+					if got := p.Route(row); got != si {
+						t.Fatalf("%s/%d: row routed to %d but stored on shard %d", kind, n, got, si)
+					}
+				}
+				if sh.Relation("Customer") != ds.DB.Relation("Customer") {
+					t.Fatalf("%s/%d: replicated relation was copied, want shared reference", kind, n)
+				}
+			}
+			if total != len(orders.Rows) {
+				t.Fatalf("%s/%d: shards hold %d rows, want %d", kind, n, total, len(orders.Rows))
+			}
+		}
+	}
+}
+
+// TestShardedSeesAppends pins the staleness contract: rows appended to the
+// base instance after partitioning are routed into the shard slices on the
+// next execution, keeping sharded answers identical to unsharded ones.
+func TestShardedSeesAppends(t *testing.T) {
+	ds := testDataset(t, 10, 5)
+	eval := core.NewEvaluator(ds.DB, ds.Mappings())
+	prep, err := eval.Prepare(datagen.MustWorkloadQuery(2))
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	ev, err := NewEvaluator(ds.DB, testSpec(KindHash, 4))
+	if err != nil {
+		t.Fatalf("evaluator: %v", err)
+	}
+	ctx := context.Background()
+	opts := core.Options{Method: core.MethodQSharing}
+	if _, err := ev.Execute(ctx, prep, opts); err != nil {
+		t.Fatalf("warm execute: %v", err)
+	}
+	orders := ds.DB.Relation("Orders")
+	clone := orders.Rows[0].Clone()
+	clone[0] = engine.I(999999991)
+	if err := orders.Append(clone); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	want, err := prep.ExecuteContext(ctx, opts)
+	if err != nil {
+		t.Fatalf("unsharded after append: %v", err)
+	}
+	got, err := ev.Execute(ctx, prep, opts)
+	if err != nil {
+		t.Fatalf("sharded after append: %v", err)
+	}
+	identical(t, "after append", want, got)
+}
+
+// TestShardedCancellation: a cancelled context aborts the scatter (and the
+// merge) with the context's error instead of returning partial answers.
+func TestShardedCancellation(t *testing.T) {
+	ds := testDataset(t, 10, 9)
+	eval := core.NewEvaluator(ds.DB, ds.Mappings())
+	prep, err := eval.Prepare(datagen.MustWorkloadQuery(2))
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	ev, err := NewEvaluator(ds.DB, testSpec(KindRange, 4))
+	if err != nil {
+		t.Fatalf("evaluator: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ev.Execute(ctx, prep, core.Options{Method: core.MethodBasic})
+	if err == nil {
+		t.Fatalf("cancelled execute returned %d answers, want error", len(res.Answers))
+	}
+	if res != nil {
+		t.Fatalf("cancelled execute returned a partial result alongside the error")
+	}
+}
+
+// TestShardErrorFailsCleanly: a shard whose instance cannot execute the plan
+// fails the whole scatter with an error and no result.
+func TestShardErrorFailsCleanly(t *testing.T) {
+	ds := testDataset(t, 10, 13)
+	eval := core.NewEvaluator(ds.DB, ds.Mappings())
+	prep, err := eval.Prepare(datagen.MustWorkloadQuery(1))
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	ec := exec.NewContext(context.Background(), 2)
+	sp, err := prep.Scatter(ec, core.Options{Method: core.MethodEBasic})
+	if err != nil {
+		t.Fatalf("scatter: %v", err)
+	}
+	p, err := NewPartitioner(ds.DB, testSpec(KindHash, 3))
+	if err != nil {
+		t.Fatalf("partitioner: %v", err)
+	}
+	shards, err := p.Partition(ds.DB)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	shards[1] = engine.NewInstance("broken") // loses every relation
+	runs, err := ExecuteShards(ec, sp, shards)
+	if err == nil {
+		t.Fatalf("scatter over a broken shard succeeded with %d runs", len(runs))
+	}
+	if runs != nil {
+		t.Fatalf("scatter over a broken shard returned partial runs alongside the error")
+	}
+}
+
+// TestDistributable pins the plan classification.
+func TestDistributable(t *testing.T) {
+	scan := func(rel string) engine.Plan { return &engine.ScanPlan{Relation: rel} }
+	join := &engine.JoinPlan{LeftCol: "a", RightCol: "b", Left: scan("Orders"), Right: scan("Customer")}
+	selfJoin := &engine.JoinPlan{LeftCol: "a", RightCol: "b", Left: scan("Orders"), Right: scan("Orders")}
+	agg := &engine.AggregatePlan{Child: scan("Orders")}
+	cases := []struct {
+		name string
+		plan engine.Plan
+		want bool
+	}{
+		{"single scan", scan("Orders"), true},
+		{"replicated only", scan("Customer"), true},
+		{"join single ref", join, true},
+		{"self join", selfJoin, false},
+		{"aggregate", agg, false},
+		{"distinct over join", &engine.DistinctPlan{Child: join}, true},
+	}
+	for _, c := range cases {
+		if got := Distributable(c.plan, "Orders"); got != c.want {
+			t.Errorf("%s: Distributable = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path"
+)
+
+// Auxiliary state: small named blobs — the coordinator's lease table is the
+// first — persisted beside the scenario WALs with the same guarantees the
+// snapshot files give: a magic header, one checksummed frame, and an atomic
+// tmp → fsync → rename → SyncDir replacement, so a crash leaves either the
+// previous blob or the new one, never a torn mix.  Aux blobs live under
+// <dir>/aux/<name>.aux and are versioned by the store's FormatVersion like
+// everything else in the directory.
+
+const auxMagic = "URMAUX1\n"
+
+// auxDir is where aux blobs live.
+func (st *Store) auxDir() string { return path.Join(st.dir, "aux") }
+
+func (st *Store) auxPath(name string) string { return path.Join(st.auxDir(), name+".aux") }
+
+// validAuxName rejects names that would escape the aux directory or collide
+// with the tmp suffix.
+func validAuxName(name string) error {
+	if name == "" {
+		return fmt.Errorf("store: empty aux name")
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return fmt.Errorf("store: aux name %q: only [a-z0-9_-] allowed", name)
+		}
+	}
+	return nil
+}
+
+// SaveAux atomically replaces the named aux blob.  The write is always
+// fsynced (aux blobs are rare and small, like registrations), and the
+// directory entry is synced so the rename itself survives a crash.
+func (st *Store) SaveAux(name string, payload []byte) error {
+	if err := validAuxName(name); err != nil {
+		return err
+	}
+	if err := st.fs.MkdirAll(st.auxDir()); err != nil {
+		return fmt.Errorf("store: aux %s: %w", name, err)
+	}
+	tmp := st.auxPath(name) + ".tmp"
+	f, err := st.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: aux %s: %w", name, err)
+	}
+	_, werr := f.Write(append([]byte(auxMagic), frame(payload)...))
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("store: aux %s: %w", name, werr)
+	}
+	if err := st.fs.Rename(tmp, st.auxPath(name)); err != nil {
+		return fmt.Errorf("store: aux %s: %w", name, err)
+	}
+	if err := st.fs.SyncDir(st.auxDir()); err != nil {
+		return fmt.Errorf("store: aux %s: %w", name, err)
+	}
+	return nil
+}
+
+// ErrAuxNotFound marks a LoadAux of a blob that was never saved.
+var ErrAuxNotFound = errors.New("store: aux state not found")
+
+// LoadAux reads the named aux blob.  A missing blob returns ErrAuxNotFound;
+// a blob failing its magic or checksum returns ErrCorrupt — unlike a WAL
+// tail, an aux blob is written atomically, so any damage is real corruption
+// rather than a crash artifact.
+func (st *Store) LoadAux(name string) ([]byte, error) {
+	if err := validAuxName(name); err != nil {
+		return nil, err
+	}
+	data, err := st.fs.ReadFile(st.auxPath(name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrAuxNotFound, name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: aux %s: %w", name, err)
+	}
+	if len(data) < len(auxMagic) || string(data[:len(auxMagic)]) != auxMagic {
+		return nil, fmt.Errorf("%w: aux %s has no magic header", ErrCorrupt, name)
+	}
+	scan := &walScan{data: data[len(auxMagic):]}
+	payload, status := scan.next()
+	switch status {
+	case scanRecord:
+	case scanEnd:
+		return nil, fmt.Errorf("%w: aux %s is empty", ErrCorrupt, name)
+	case scanTorn:
+		return nil, fmt.Errorf("%w: aux %s ends mid-record", ErrCorrupt, name)
+	default:
+		return nil, fmt.Errorf("aux %s: %w", name, scan.err)
+	}
+	if _, status := scan.next(); status != scanEnd {
+		return nil, fmt.Errorf("%w: aux %s carries trailing data", ErrCorrupt, name)
+	}
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	return out, nil
+}

@@ -1,0 +1,78 @@
+package store
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAuxRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	st, err := Open("/data", Options{FS: fs})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := st.LoadAux("leases"); !errors.Is(err, ErrAuxNotFound) {
+		t.Fatalf("load before save: %v, want ErrAuxNotFound", err)
+	}
+	want := []byte(`{"shards":4}`)
+	if err := st.SaveAux("leases", want); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := st.LoadAux("leases")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("load = %q, want %q", got, want)
+	}
+	// Overwrite is atomic replacement.
+	want2 := []byte(`{"shards":8}`)
+	if err := st.SaveAux("leases", want2); err != nil {
+		t.Fatalf("save 2: %v", err)
+	}
+	if got, err = st.LoadAux("leases"); err != nil || string(got) != string(want2) {
+		t.Fatalf("load 2 = %q, %v, want %q", got, err, want2)
+	}
+	// Survives reopening the directory.
+	st2, err := Open("/data", Options{FS: fs})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if got, err = st2.LoadAux("leases"); err != nil || string(got) != string(want2) {
+		t.Fatalf("load after reopen = %q, %v, want %q", got, err, want2)
+	}
+}
+
+func TestAuxRejectsBadNamesAndCorruption(t *testing.T) {
+	fs := NewMemFS()
+	st, err := Open("/data", Options{FS: fs})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for _, name := range []string{"", "UPPER", "a/b", "a.b"} {
+		if err := st.SaveAux(name, []byte("x")); err == nil {
+			t.Errorf("SaveAux(%q) accepted an invalid name", name)
+		}
+	}
+	if err := st.SaveAux("t", []byte("payload")); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	// Flip a payload byte: checksum must catch it.
+	path := "/data/aux/t.aux"
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read raw: %v", err)
+	}
+	data[len(data)-1] ^= 0xFF
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	f.Close()
+	if _, err := st.LoadAux("t"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("load corrupted: %v, want ErrCorrupt", err)
+	}
+}

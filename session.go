@@ -8,6 +8,7 @@ import (
 	"github.com/probdb/urm/internal/core"
 	"github.com/probdb/urm/internal/query"
 	"github.com/probdb/urm/internal/server"
+	"github.com/probdb/urm/internal/shard"
 )
 
 // Typed sentinel errors of the public API.  Errors returned by sessions,
@@ -46,8 +47,9 @@ type Option func(*evalSettings) error
 
 // evalSettings is the resolved option set of one evaluation.
 type evalSettings struct {
-	opts core.Options
-	topK int
+	opts  core.Options
+	topK  int
+	shard *shard.Spec
 }
 
 // WithMethod selects the evaluation algorithm (default OSharing — the
@@ -87,6 +89,25 @@ func WithRandomSeed(seed int64) Option {
 	return func(s *evalSettings) error { s.opts.RandomSeed = seed; return nil }
 }
 
+// WithShards partitions evaluation over spec.Shards in-process shards: the
+// named relation is split by the spec's partitioner, every other relation is
+// replicated, and per-shard answer streams are merged back into the canonical
+// distribution.  Answers are bit-identical to unsharded evaluation at every
+// shard count.  Methods and plans whose evaluation cannot distribute
+// (o-sharing, top-k, self-joins or aggregates of the partitioned relation)
+// transparently fall back to unsharded evaluation — the session holds the
+// full instance, so falling back is always sound.
+func WithShards(spec ShardSpec) Option {
+	return func(s *evalSettings) error {
+		if spec.Shards < 1 {
+			return fmt.Errorf("%w: WithShards requires at least 1 shard, got %d", ErrBadOptions, spec.Shards)
+		}
+		sp := spec
+		s.shard = &sp
+		return nil
+	}
+}
+
 // apply folds the options over the settings.
 func (s evalSettings) apply(opts []Option) (evalSettings, error) {
 	for _, o := range opts {
@@ -120,8 +141,9 @@ type Session struct {
 	maps     MappingSet
 	defaults evalSettings
 
-	mu       sync.Mutex
-	prepared map[string]*PreparedQuery // canonical fingerprint -> prepared query
+	mu         sync.Mutex
+	prepared   map[string]*PreparedQuery   // canonical fingerprint -> prepared query
+	shardEvals map[string]*shard.Evaluator // spec string -> sharded evaluator (partition slices cached)
 }
 
 // NewSession builds a session over the target schema (queries are parsed
@@ -268,10 +290,41 @@ func (p *PreparedQuery) Execute(ctx context.Context, opts ...Option) (*Result, e
 	if err != nil {
 		return nil, err
 	}
+	if cfg.shard != nil {
+		ev, err := p.session.shardEvaluator(*cfg.shard)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.topK > 0 {
+			return ev.ExecuteTopK(ctx, p.prep, cfg.topK, cfg.opts)
+		}
+		return ev.Execute(ctx, p.prep, cfg.opts)
+	}
 	if cfg.topK > 0 {
 		return p.prep.ExecuteTopKContext(ctx, cfg.topK, cfg.opts)
 	}
 	return p.prep.ExecuteContext(ctx, cfg.opts)
+}
+
+// shardEvaluator returns the session's sharded evaluator for the spec,
+// building (and caching) it on first use so repeated sharded executions reuse
+// the partition slices.
+func (s *Session) shardEvaluator(spec shard.Spec) (*shard.Evaluator, error) {
+	key := spec.String()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ev, ok := s.shardEvals[key]; ok {
+		return ev, nil
+	}
+	ev, err := shard.NewEvaluator(s.db, spec)
+	if err != nil {
+		return nil, err
+	}
+	if s.shardEvals == nil {
+		s.shardEvals = make(map[string]*shard.Evaluator)
+	}
+	s.shardEvals[key] = ev
+	return ev, nil
 }
 
 // Stream runs the prepared query and returns a Rows cursor over its answers
@@ -285,6 +338,9 @@ func (p *PreparedQuery) Stream(ctx context.Context, opts ...Option) (*Rows, erro
 	cfg, err := p.settings(opts)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.shard != nil {
+		return nil, fmt.Errorf("%w: WithShards does not combine with Stream; sharded merge materializes the distribution, use Execute", ErrBadOptions)
 	}
 	if cfg.topK > 0 {
 		return p.prep.StreamTopKContext(ctx, cfg.topK, cfg.opts)

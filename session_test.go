@@ -215,6 +215,90 @@ func TestSessionErrors(t *testing.T) {
 	}
 }
 
+// TestSessionWithShards pins the facade sharding contract: executing with
+// WithShards routes through the scatter-gather evaluator and returns answers
+// bit-identical to the unsharded path (exact float equality — the merge
+// replays the same addition sequence), o-sharing falls back transparently,
+// and Stream refuses to combine with shards.
+func TestSessionWithShards(t *testing.T) {
+	sess, _, _ := sessionFixture(t)
+	ctx := context.Background()
+	const text = "SELECT addr FROM Person WHERE phone = '123'"
+	spec := ShardSpec{Relation: "Customer", Column: "cid", Shards: 4, Kind: HashSharding}
+
+	for _, method := range []Method{Basic, EBasic, EMQO, QSharing, OSharing} {
+		want, err := sess.Execute(ctx, text, WithMethod(method))
+		if err != nil {
+			t.Fatalf("%v unsharded: %v", method, err)
+		}
+		got, err := sess.Execute(ctx, text, WithMethod(method), WithShards(spec))
+		if err != nil {
+			t.Fatalf("%v sharded: %v", method, err)
+		}
+		if len(got.Answers) != len(want.Answers) {
+			t.Fatalf("%v: %d answers, want %d", method, len(got.Answers), len(want.Answers))
+		}
+		for i := range want.Answers {
+			if want.Answers[i].Tuple.Key() != got.Answers[i].Tuple.Key() || want.Answers[i].Prob != got.Answers[i].Prob {
+				t.Errorf("%v: answer[%d] = %v, want %v", method, i, got.Answers[i], want.Answers[i])
+			}
+		}
+		if want.EmptyProb != got.EmptyProb {
+			t.Errorf("%v: empty prob %v, want %v", method, got.EmptyProb, want.EmptyProb)
+		}
+	}
+
+	// Top-k composes with shards.
+	wantTop, err := sess.Execute(ctx, text, WithTopK(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTop, err := sess.Execute(ctx, text, WithTopK(1), WithShards(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotTop.Answers) != len(wantTop.Answers) || (len(wantTop.Answers) > 0 && gotTop.Answers[0].Prob != wantTop.Answers[0].Prob) {
+		t.Errorf("topk sharded = %v, want %v", gotTop.Answers, wantTop.Answers)
+	}
+
+	// Validation: bad specs and Stream are rejected with ErrBadOptions.
+	if _, err := sess.Execute(ctx, text, WithShards(ShardSpec{Relation: "Customer", Column: "cid"})); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("zero-shard spec: err = %v, want ErrBadOptions", err)
+	}
+	if _, err := sess.Stream(ctx, text, WithShards(spec)); !errors.Is(err, ErrBadOptions) {
+		t.Errorf("Stream with shards: err = %v, want ErrBadOptions", err)
+	}
+}
+
+// TestScenarioShardSlice pins that slices of a generated scenario exactly
+// partition the sharded relation and leave the others shared.
+func TestScenarioShardSlice(t *testing.T) {
+	s, err := NewScenario(ScenarioOptions{Target: "Excel", Mappings: 4, SizeMB: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := s.DB.Relation(s.DB.RelationNames()[0])
+	spec := ShardSpec{Relation: rel.Name, Column: rel.Columns[0], Shards: 3, Kind: HashSharding}
+	total := 0
+	for i := 0; i < spec.Shards; i++ {
+		slice, err := s.ShardSlice(spec, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := slice.DB.Relation(rel.Name)
+		if r == nil {
+			t.Fatalf("shard %d lost relation %q", i, rel.Name)
+		}
+		total += r.NumRows()
+	}
+	if total != rel.NumRows() {
+		t.Errorf("slices hold %d rows of %q, want %d (exact partition)", total, rel.Name, rel.NumRows())
+	}
+	if _, err := s.ShardSlice(spec, spec.Shards); err == nil {
+		t.Error("out-of-range shard index accepted")
+	}
+}
+
 // TestScenarioNewSession wires the scenario generator into the session API.
 func TestScenarioNewSession(t *testing.T) {
 	s, err := NewScenario(ScenarioOptions{Target: "Excel", Mappings: 8, SizeMB: 2})

@@ -87,6 +87,7 @@ import (
 	"github.com/probdb/urm/internal/query"
 	"github.com/probdb/urm/internal/schema"
 	"github.com/probdb/urm/internal/server"
+	"github.com/probdb/urm/internal/shard"
 	"github.com/probdb/urm/internal/store"
 )
 
@@ -412,6 +413,88 @@ type (
 // Server.Do (zero when the error carries none) — the in-process mirror of the
 // HTTP Retry-After header on 429 responses.
 func RetryAfter(err error) time.Duration { return server.RetryAfter(err) }
+
+// Sharded-evaluation types.  The in-process layer (ShardSpec + WithShards)
+// partitions one relation across N shard slices inside a single process and
+// merges per-shard answer streams bit-identically; the multi-node layer
+// (Coordinator + ServerConfig.Shard) runs each slice as its own urm-serve
+// node behind a coordinator with lease-based shard ownership.  See DESIGN.md,
+// "Sharded evaluation".
+type (
+	// ShardSpec declares how one relation partitions: which relation and
+	// column, how many shards, and the partitioner kind.
+	ShardSpec = shard.Spec
+	// ShardKind selects the partitioner: HashSharding or RangeSharding.
+	ShardKind = shard.Kind
+	// ShardIdentity declares a server's placement in a partitioned
+	// deployment (ServerConfig.Shard).
+	ShardIdentity = server.ShardIdentity
+	// Coordinator is the multi-node query front door: an http.Handler owning
+	// the shard map and no data, fanning queries out to lease-owning shard
+	// nodes and merging their answer streams bit-identically.
+	Coordinator = server.Coordinator
+	// CoordinatorConfig tunes NewCoordinator.
+	CoordinatorConfig = server.CoordinatorConfig
+	// LeaseTable tracks lease-based shard ownership from node heartbeats.
+	LeaseTable = server.LeaseTable
+	// LeaseRequest is one shard node's heartbeat, the body of the
+	// coordinator's POST /v1/lease.
+	LeaseRequest = server.LeaseRequest
+	// LeaseResponse acknowledges a heartbeat and carries the cadence the
+	// coordinator expects.
+	LeaseResponse = server.LeaseResponse
+)
+
+// Shard partitioner kinds.
+const (
+	// HashSharding routes rows by value hash — balanced, placement-free.
+	HashSharding = shard.KindHash
+	// RangeSharding routes rows by contiguous value ranges sampled from the
+	// relation at partition time.
+	RangeSharding = shard.KindRange
+)
+
+// Sharded-evaluation sentinel errors.
+var (
+	// ErrNotDistributable is returned (HTTP 422) when a query or method
+	// cannot be evaluated over a shard partition (o-sharing, top-k,
+	// self-joins or aggregates of the partitioned relation).
+	ErrNotDistributable = server.ErrNotDistributable
+	// ErrShardUnowned is returned by a coordinator (HTTP 503, with a
+	// Retry-After hint) when a shard has no live lease owner.
+	ErrShardUnowned = server.ErrShardUnowned
+	// ErrShardMismatch is returned by a coordinator (HTTP 502) when shard
+	// responses disagree on the deterministic front half of the evaluation.
+	ErrShardMismatch = server.ErrShardMismatch
+)
+
+// ParseShardKind converts a partitioner-kind name ("hash", "range") into a
+// ShardKind.
+func ParseShardKind(s string) (ShardKind, error) { return shard.ParseKind(s) }
+
+// NewCoordinator builds a multi-node coordinator: shard nodes heartbeat POST
+// /v1/lease, queries fan out to the current lease owners and merge.  With a
+// store the lease table survives coordinator restarts.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) { return server.NewCoordinator(cfg) }
+
+// ShardSlice returns a copy of the scenario holding only shard `index` of the
+// spec's partition: the named relation keeps only the rows the partitioner
+// routes to that shard, every other relation is shared by reference.  Shard
+// nodes built from the same seed hold slices that together exactly partition
+// the full scenario, which is what the coordinator's merge relies on.
+func (s *Scenario) ShardSlice(spec ShardSpec, index int) (*Scenario, error) {
+	p, err := shard.NewPartitioner(s.DB, spec)
+	if err != nil {
+		return nil, err
+	}
+	slice, err := p.Slice(s.DB, index)
+	if err != nil {
+		return nil, err
+	}
+	out := *s
+	out.DB = slice
+	return &out, nil
+}
 
 // ParseTenantSpec parses the "weight[/priority]" per-tenant configuration
 // syntax used by urm-serve's -tenants flag, e.g. "4/interactive".
