@@ -53,6 +53,7 @@ func run(args []string, out *os.File) error {
 		serve    = fs.Bool("serve", false, "run the query-service benchmark (cold vs cached latency through the HTTP layer) and merge it into BENCH_engine.json")
 		storeB   = fs.Bool("store", false, "run the durable-store benchmark (WAL append fsync on/off vs in-memory, snapshot and recovery cost) and merge it into BENCH_engine.json")
 		shardsB  = fs.Bool("shards", false, "run the scatter-gather scaling benchmark (shards 1/2/4/8 in-process + 2-node HTTP coordinator) and merge it into BENCH_engine.json")
+		deltaB   = fs.Bool("delta", false, "run the incremental-maintenance benchmark (append+query mix, delta-maintained vs invalidate-all) and merge it into BENCH_engine.json")
 		check    = fs.Bool("check", false, "validate BENCH_engine.json (operator speedups above their floors) and exit — the CI bench-regression gate")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
@@ -100,6 +101,9 @@ func run(args []string, out *os.File) error {
 	}
 	if *shardsB {
 		return shardsSnapshot(*outDir, out)
+	}
+	if *deltaB {
+		return deltaSnapshot(*outDir, out)
 	}
 	if *check {
 		return checkSnapshot(*outDir, out)
@@ -208,6 +212,7 @@ func writeSnapshot(dir string, out *os.File) error {
 		snap.QoS = prev.QoS
 		snap.Store = prev.Store
 		snap.Shards = prev.Shards
+		snap.Delta = prev.Delta
 	}
 	data, err := snap.JSON()
 	if err != nil {
@@ -380,6 +385,49 @@ func shardsSnapshot(dir string, out *os.File) error {
 	}
 	fmt.Fprintf(out, "  2-node HTTP coordinator: %d requests  p50 %8.2fms  p99 %8.2fms\n",
 		sb.TwoNode.Requests, sb.TwoNode.P50Ms, sb.TwoNode.P99Ms)
+	fmt.Fprintf(out, "wrote %s\n", path)
+	return nil
+}
+
+// deltaSnapshot runs the incremental-maintenance benchmark and merges its
+// section into <dir>/BENCH_engine.json, preserving every other section.
+func deltaSnapshot(dir string, out *os.File) error {
+	fmt.Fprintln(out, "urm-bench: measuring incremental-maintenance snapshot (takes ~30s)...")
+	db, err := bench.DeltaSnapshot()
+	if err != nil {
+		return err
+	}
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_engine.json")
+	snap, err := bench.ReadSnapshot(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return err
+		}
+		snap = &bench.EngineSnapshot{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	}
+	snap.Delta = db
+	data, err := snap.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  %s on %q, %d rounds x %d-row batches, %d queries/round:\n",
+		db.Method, db.Scenario, db.Rounds, db.BatchSize, db.QueriesPerRound)
+	fmt.Fprintf(out, "  delta:    %3d queries  p50 %8.3fms  p99 %8.3fms  (maintenance %8.2fms total)\n",
+		db.Delta.Requests, db.Delta.P50Ms, db.Delta.P99Ms, db.MaintainMs)
+	fmt.Fprintf(out, "  baseline: %3d queries  p50 %8.3fms  p99 %8.3fms\n",
+		db.Baseline.Requests, db.Baseline.P50Ms, db.Baseline.P99Ms)
+	fmt.Fprintf(out, "  p99 ratio %.2fx, mean ratio %.2fx; delta applied %d, fallbacks %d, in-place index appends %d\n",
+		db.P99Ratio, db.MeanRatio, db.DeltaApplied, db.DeltaFallbacks, db.IndexInplaceAppends)
+	fmt.Fprintf(out, "  evaluations: delta %d vs baseline %d\n", db.DeltaEvaluations, db.BaselineEvaluations)
 	fmt.Fprintf(out, "wrote %s\n", path)
 	return nil
 }

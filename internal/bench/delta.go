@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/probdb/urm/internal/datagen"
+	"github.com/probdb/urm/internal/server"
+)
+
+// The delta benchmark measures what incremental maintenance buys an
+// append+query mix: two identical in-process servers take the same high-churn
+// append stream against the same scenario and query, one maintaining cached
+// answers through the delta reconciler, the other invalidating on every epoch
+// (DisableDelta).  Queries go through server.Do rather than HTTP so the ratio
+// compares cache maintenance against re-evaluation, not transport noise.
+
+// DeltaBench is the delta-maintenance section of the engine snapshot.
+type DeltaBench struct {
+	Scenario  string  `json:"scenario"`
+	Mappings  int     `json:"mappings"`
+	SizeMB    float64 `json:"size_mb"`
+	Method    string  `json:"method"`
+	Rounds    int     `json:"rounds"`
+	BatchSize int     `json:"batch_size"`
+	// QueriesPerRound queries follow each appended batch on both servers; all
+	// of them are measured, so the baseline distribution mixes the post-append
+	// cold evaluation with the cache hits that follow it.
+	QueriesPerRound int `json:"queries_per_round"`
+
+	// Delta: cached answers maintained through the reconciler; a convergence
+	// pass follows each batch, so measured queries are cache hits.
+	Delta LatencyStats `json:"delta"`
+	// Baseline: epoch invalidation; the first query after each batch pays a
+	// full evaluation.
+	Baseline LatencyStats `json:"baseline"`
+	// MaintainMs is the total wall time the delta server spent in convergence
+	// passes — the asynchronous work the latency win is paid with.
+	MaintainMs float64 `json:"maintain_ms"`
+
+	P99Ratio  float64 `json:"p99_ratio"`
+	MeanRatio float64 `json:"mean_ratio"`
+
+	// Server-side counters after the run.
+	DeltaApplied        int64 `json:"delta_applied"`
+	DeltaFallbacks      int64 `json:"delta_fallbacks"`
+	IndexInplaceAppends int64 `json:"index_inplace_appends"`
+	DeltaEvaluations    int64 `json:"delta_evaluations"`
+	BaselineEvaluations int64 `json:"baseline_evaluations"`
+}
+
+// delta-bench scale: the serve-bench dataset, a Zipf-skewed Orders stream in
+// small batches, and enough rounds that the percentiles are stable.
+const (
+	deltaBenchMappings  = 24
+	deltaBenchSizeMB    = 8.0
+	deltaBenchSeed      = 42
+	deltaBenchRounds    = 40
+	deltaBenchBatch     = 25
+	deltaBenchQPerRound = 5
+)
+
+// deltaBenchServer builds one in-process server over a freshly generated
+// dataset (identical across calls for a fixed seed).
+func deltaBenchServer(cfg server.Config) (*server.Server, *server.Scenario, error) {
+	ds, err := datagen.NewDataset(datagen.DatasetOptions{
+		Target:      datagen.TargetExcel,
+		NumMappings: deltaBenchMappings,
+		SizeMB:      deltaBenchSizeMB,
+		Seed:        deltaBenchSeed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	registry := server.NewRegistry()
+	sc, err := registry.Register(context.Background(), "excel", ds.Target, ds.DB, ds.Mappings(),
+		server.RegisterOptions{TargetLabel: string(ds.TargetName), WarmIndexes: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	return server.New(registry, cfg), sc, nil
+}
+
+// DeltaSnapshot runs the append+query mix on the delta-maintaining and the
+// invalidate-all server and returns the measured section.
+func DeltaSnapshot() (*DeltaBench, error) {
+	deltaSrv, deltaSc, err := deltaBenchServer(server.Config{Parallelism: 1})
+	if err != nil {
+		return nil, err
+	}
+	baseSrv, baseSc, err := deltaBenchServer(server.Config{Parallelism: 1, DisableDelta: true})
+	if err != nil {
+		return nil, err
+	}
+
+	// Q1: the hot-constant SPJ selection over PO — the shape the delta
+	// subsystem maintains, and one the Orders churn stream feeds (the Excel
+	// mappings reformulate PO over Orders).
+	q, err := datagen.WorkloadQuery(1)
+	if err != nil {
+		return nil, err
+	}
+	text, err := q.SQL()
+	if err != nil {
+		return nil, fmt.Errorf("delta bench: Q1 has no canonical text: %w", err)
+	}
+	req := server.Request{Scenario: "excel", Query: text, Method: "e-basic"}
+	ctx := context.Background()
+
+	// Warm-up: the first evaluation on the delta server must enroll — if Q1
+	// stopped being delta-maintainable the benchmark would silently measure
+	// two identical invalidate-all servers.
+	if _, err := deltaSrv.Do(ctx, req); err != nil {
+		return nil, fmt.Errorf("delta bench warm-up: %w", err)
+	}
+	if n := deltaSrv.DeltaEntries("excel"); n != 1 {
+		return nil, fmt.Errorf("delta bench: Q1 enrolled %d maintained entries, want 1 — the workload query is no longer delta-maintainable", n)
+	}
+	if _, err := baseSrv.Do(ctx, req); err != nil {
+		return nil, fmt.Errorf("delta bench warm-up: %w", err)
+	}
+
+	stream := datagen.AppendStream(datagen.AppendStreamOptions{
+		Rows: deltaBenchRounds * deltaBenchBatch,
+		Seed: deltaBenchSeed,
+	})
+	batches := datagen.Batches(stream, deltaBenchBatch)
+
+	out := &DeltaBench{
+		Scenario:        "excel",
+		Mappings:        deltaBenchMappings,
+		SizeMB:          deltaBenchSizeMB,
+		Method:          "e-basic",
+		Rounds:          len(batches),
+		BatchSize:       deltaBenchBatch,
+		QueriesPerRound: deltaBenchQPerRound,
+	}
+	var deltaLat, baseLat []float64
+	var maintain time.Duration
+	for _, batch := range batches {
+		if err := deltaSc.AppendRows(datagen.AppendStreamRelation, batch); err != nil {
+			return nil, fmt.Errorf("delta bench append: %w", err)
+		}
+		if err := baseSc.AppendRows(datagen.AppendStreamRelation, batch); err != nil {
+			return nil, fmt.Errorf("delta bench append: %w", err)
+		}
+		start := time.Now()
+		deltaSrv.ConvergeDelta("excel")
+		maintain += time.Since(start)
+		for i := 0; i < deltaBenchQPerRound; i++ {
+			start := time.Now()
+			if _, err := deltaSrv.Do(ctx, req); err != nil {
+				return nil, fmt.Errorf("delta bench query: %w", err)
+			}
+			deltaLat = append(deltaLat, float64(time.Since(start).Microseconds())/1000)
+			start = time.Now()
+			if _, err := baseSrv.Do(ctx, req); err != nil {
+				return nil, fmt.Errorf("delta bench baseline query: %w", err)
+			}
+			baseLat = append(baseLat, float64(time.Since(start).Microseconds())/1000)
+		}
+	}
+	out.Delta = summarize(deltaLat)
+	out.Baseline = summarize(baseLat)
+	out.MaintainMs = float64(maintain.Microseconds()) / 1000
+	if out.Delta.P99Ms > 0 {
+		out.P99Ratio = out.Baseline.P99Ms / out.Delta.P99Ms
+	}
+	if out.Delta.MeanMs > 0 {
+		out.MeanRatio = out.Baseline.MeanMs / out.Delta.MeanMs
+	}
+
+	dm, bm := deltaSrv.Metrics(), baseSrv.Metrics()
+	out.DeltaApplied = dm.DeltaApplied
+	out.DeltaFallbacks = dm.DeltaFallbacks
+	out.IndexInplaceAppends = dm.IndexInplaceAppends
+	out.DeltaEvaluations = dm.Evaluations
+	out.BaselineEvaluations = bm.Evaluations
+	return out, nil
+}

@@ -96,7 +96,37 @@ func CheckRegression(snap *EngineSnapshot) error {
 	if err := checkShards(snap); err != nil {
 		return err
 	}
+	if err := checkDelta(snap); err != nil {
+		return err
+	}
 	return checkPreparedSpeedups(snap)
+}
+
+// deltaP99RatioFloor gates incremental maintenance: under the append+query
+// mix, the delta-maintained server's query p99 must beat the invalidate-all
+// baseline's by at least this factor.
+const deltaP99RatioFloor = 2.0
+
+// checkDelta applies the incremental-maintenance floor.  Snapshots without a
+// delta section pass (older snapshots stay valid).  A run where no delta pass
+// ever published, or where the maintained query fell back, measured the wrong
+// thing and fails outright.
+func checkDelta(snap *EngineSnapshot) error {
+	d := snap.Delta
+	if d == nil {
+		return nil
+	}
+	if d.DeltaApplied <= 0 {
+		return fmt.Errorf("delta: no maintenance pass ever published (delta_applied %d) — the benchmark measured two invalidate-all servers", d.DeltaApplied)
+	}
+	if d.DeltaFallbacks > 0 {
+		return fmt.Errorf("delta: the maintained query fell back %d times — it is no longer delta-maintainable", d.DeltaFallbacks)
+	}
+	if d.P99Ratio < deltaP99RatioFloor {
+		return fmt.Errorf("delta: maintained query p99 beats invalidate-all by %.2fx (%.3fms vs %.3fms), need %.1fx",
+			d.P99Ratio, d.Baseline.P99Ms, d.Delta.P99Ms, deltaP99RatioFloor)
+	}
+	return nil
 }
 
 // shardsSpeedupFloor gates scatter-gather scaling: on a multi-core machine

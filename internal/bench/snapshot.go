@@ -68,6 +68,10 @@ type EngineSnapshot struct {
 	// WAL append (fsync on/off versus the in-memory registry), snapshot and
 	// recovery costs on real disk.
 	Store *StoreBench `json:"store,omitempty"`
+	// Delta is the incremental-maintenance benchmark (`urm-bench -delta`):
+	// query latency under a high-churn append stream with cached answers
+	// maintained by the delta reconciler versus invalidated every epoch.
+	Delta *DeltaBench `json:"delta,omitempty"`
 	// Shards is the scatter-gather scaling curve (`urm-bench -shards`):
 	// the join-heavy workload at shards ∈ {1,2,4,8} in-process plus a 2-node
 	// HTTP deployment behind a coordinator.  The regression gate enforces the

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/exec"
+)
+
+// This file is the delta half of the incremental-maintenance subsystem
+// (internal/delta owns the reconciler that drives it).  The paper's answer
+// semantics make SPJ answers monotone under inserts: every answer tuple's
+// probability is a sum over the mappings whose reformulated query produced it,
+// and appending base rows can only add tuples to an SPJ query's output, never
+// remove or change existing ones.  So instead of re-running every group plan
+// over the whole instance after an append, the delta evaluator re-runs them
+// over just the appended rows — the classic join-delta expansion
+//
+//	Δ(R1 ⋈ … ⋈ Rk) = Σ_i  R1ⁿᵉʷ ⋈ … ⋈ R_{i-1}ⁿᵉʷ ⋈ ΔR_i ⋈ R_{i+1}ᵒˡᵈ ⋈ … ⋈ Rkᵒˡᵈ
+//
+// realized with zero copying, because append-only relations make every old
+// state a prefix slice of the live row list — and folds the new tuples into
+// the per-group distinct-tuple sets it keeps.  Replaying those sets through
+// GroupMerge reproduces the unsharded aggregation order exactly, so maintained
+// answers stay bit-identical to cold re-evaluation (same values, same
+// probabilities, same canonical order).
+
+// ErrNotDeltaMaintainable marks a (query, method) pair the delta evaluator
+// cannot maintain incrementally: non-SPJ operators (aggregate, distinct,
+// materialized fragments), self-joins (the name-keyed relation replacement
+// cannot express a per-occurrence delta), and the methods with no per-group
+// relation stream (o-sharing, top-k).  Callers fall back to epoch
+// invalidation — today's behavior.
+var ErrNotDeltaMaintainable = errors.New("core: plan not delta-maintainable")
+
+// DeltaPlan is a prepared query's scatter form plus the per-group scan sets
+// the delta passes need.  It is immutable after PrepareDelta and may back any
+// number of DeltaStates.
+type DeltaPlan struct {
+	sp   *ScatterPlan
+	qry  *Prepared
+	cols []string
+
+	// scans[i] holds the base-relation names group i's plan scans (nil for
+	// non-covering groups); rels is their union in sorted order — the fixed
+	// pass order every ApplyDelta walks, so float accumulation never depends
+	// on which relation happened to grow first.
+	scans []map[string]bool
+	rels  []string
+}
+
+// PrepareDelta builds the delta-maintenance form of a prepared query for the
+// options' method, or ErrNotDeltaMaintainable when the plan shape or method
+// cannot be maintained under appends.
+func PrepareDelta(p *Prepared, ec *exec.Context, opts Options) (*DeltaPlan, error) {
+	sp, err := p.Scatter(ec, opts)
+	if err != nil {
+		if errors.Is(err, ErrNotShardable) {
+			return nil, fmt.Errorf("%w: %v", ErrNotDeltaMaintainable, err)
+		}
+		return nil, err
+	}
+	dp := &DeltaPlan{sp: sp, qry: p, cols: OutputColumns(p.Query())}
+	seen := make(map[string]bool)
+	for _, g := range sp.Groups {
+		if g.Plan == nil {
+			dp.scans = append(dp.scans, nil)
+			continue
+		}
+		scans, err := scanSet(g.Plan)
+		if err != nil {
+			return nil, err
+		}
+		dp.scans = append(dp.scans, scans)
+		for name := range scans {
+			if !seen[name] {
+				seen[name] = true
+				dp.rels = append(dp.rels, name)
+			}
+		}
+	}
+	sort.Strings(dp.rels)
+	return dp, nil
+}
+
+// Relations returns the base relations the plan reads, in pass order.
+func (dp *DeltaPlan) Relations() []string {
+	out := make([]string, len(dp.rels))
+	copy(out, dp.rels)
+	return out
+}
+
+// scanSet walks one group plan and collects the relations it scans.  The walk
+// is the eligibility check: only select/project/join/product over single-
+// occurrence scans qualify; anything else — aggregation, distinct,
+// materialized fragments, a relation scanned twice — is not maintainable.
+func scanSet(p engine.Plan) (map[string]bool, error) {
+	out := make(map[string]bool)
+	var walk func(engine.Plan) error
+	walk = func(n engine.Plan) error {
+		switch t := n.(type) {
+		case *engine.ScanPlan:
+			if out[t.Relation] {
+				return fmt.Errorf("%w: relation %s scanned more than once", ErrNotDeltaMaintainable, t.Relation)
+			}
+			out[t.Relation] = true
+			return nil
+		case *engine.SelectPlan, *engine.ProjectPlan, *engine.JoinPlan, *engine.ProductPlan:
+			for _, c := range n.Children() {
+				if err := walk(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("%w: non-SPJ operator %T", ErrNotDeltaMaintainable, n)
+		}
+	}
+	if err := walk(p); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// deltaGroup accumulates one scatter group's distinct answer tuples: the seen
+// set answers membership, rows keeps first-seen order for deterministic
+// replay.  (Replay order does not affect answer bits — GroupMerge accumulates
+// per distinct tuple and the final sort is a total order — but determinism
+// keeps runs comparable.)
+type deltaGroup struct {
+	seen *engine.TupleSet
+	rows []engine.Tuple
+}
+
+// DeltaState is the maintained evaluation state of one (query, method) pair
+// against one instance: the per-group distinct-tuple sets plus the row counts
+// the state covers.  It is not safe for concurrent use; the reconciler
+// serializes ApplyDelta/Result per entry, and both must run under the same
+// lock that excludes appends (the data and the lens must describe the same
+// moment).
+type DeltaState struct {
+	plan   *DeltaPlan
+	groups []deltaGroup
+	lens   map[string]int
+
+	stats    *engine.Stats
+	execTime time.Duration
+	passes   int
+}
+
+// Plan returns the immutable plan the state maintains.
+func (st *DeltaState) Plan() *DeltaPlan { return st.plan }
+
+// Passes returns the number of delta passes applied since the full run.
+func (st *DeltaState) Passes() int { return st.passes }
+
+// EvaluateFull runs the plan over the whole instance and captures the
+// maintained state: the per-group distinct tuples and the covered row counts.
+func (dp *DeltaPlan) EvaluateFull(ec *exec.Context, db *engine.Instance) (*DeltaState, error) {
+	run, err := dp.sp.ExecuteOn(ec, db)
+	if err != nil {
+		return nil, err
+	}
+	st := &DeltaState{
+		plan:     dp,
+		groups:   make([]deltaGroup, len(dp.sp.Groups)),
+		lens:     make(map[string]int, len(dp.rels)),
+		stats:    engine.NewStats(),
+		execTime: run.ExecTime,
+	}
+	st.stats.Add(run.Stats)
+	for i := range dp.sp.Groups {
+		if dp.sp.Groups[i].Plan == nil {
+			continue
+		}
+		g := &st.groups[i]
+		var rows []engine.Tuple
+		if run.Rels[i] != nil {
+			rows = run.Rels[i].Rows
+		}
+		g.seen = engine.NewTupleSet(len(rows))
+		for _, row := range rows {
+			if g.seen.Add(row) {
+				g.rows = append(g.rows, row)
+			}
+		}
+	}
+	for _, name := range dp.rels {
+		rel := db.Relation(name)
+		if rel == nil {
+			return nil, fmt.Errorf("delta: plan scans unknown relation %q", name)
+		}
+		st.lens[name] = len(rel.Rows)
+	}
+	return st, nil
+}
+
+// ApplyDelta folds every row appended since the state's covered lengths into
+// the per-group tuple sets: one pass per grown relation, each pass executing
+// the group plans against a derived instance where the grown relation is its
+// delta slice, later grown relations are their old prefixes, and everything
+// else is the live relation (probing the live instance's shared indexes via
+// AdoptIndexes).  The passes partition the new row combinations, so together
+// they produce exactly the tuples a cold run would add.  It returns the number
+// of passes executed; an error (a shrunk or vanished relation — something
+// other than an append happened) means the state can no longer be trusted and
+// the caller must fall back to cold evaluation.
+func (st *DeltaState) ApplyDelta(ec *exec.Context, db *engine.Instance) (int, error) {
+	dp := st.plan
+	newLens := make(map[string]int, len(dp.rels))
+	var changed []string
+	for _, name := range dp.rels {
+		rel := db.Relation(name)
+		if rel == nil {
+			return 0, fmt.Errorf("delta: relation %q vanished", name)
+		}
+		n := len(rel.Rows)
+		if old := st.lens[name]; n < old {
+			return 0, fmt.Errorf("delta: relation %s shrank from %d to %d rows", name, old, n)
+		}
+		newLens[name] = n
+	}
+	for _, name := range dp.rels {
+		if newLens[name] > st.lens[name] {
+			changed = append(changed, name)
+		}
+	}
+	passes := 0
+	for ci, name := range changed {
+		replace := make(map[string]*engine.Relation, len(changed)-ci)
+		rel := db.Relation(name)
+		old := st.lens[name]
+		replace[name] = &engine.Relation{
+			Name:    name,
+			Columns: rel.Columns,
+			Rows:    rel.Rows[old:newLens[name]:newLens[name]],
+		}
+		for _, later := range changed[ci+1:] {
+			lrel := db.Relation(later)
+			lold := st.lens[later]
+			replace[later] = &engine.Relation{
+				Name:    later,
+				Columns: lrel.Columns,
+				Rows:    lrel.Rows[:lold:lold],
+			}
+		}
+		groups := make([]ScatterGroup, len(dp.sp.Groups))
+		active := 0
+		for gi, g := range dp.sp.Groups {
+			if g.Plan != nil && dp.scans[gi][name] {
+				groups[gi] = g
+				active++
+			} else {
+				groups[gi] = ScatterGroup{Prob: g.Prob}
+			}
+		}
+		if active == 0 {
+			continue
+		}
+		pass := &ScatterPlan{Method: dp.sp.Method, Groups: groups}
+		deltaDB := db.WithRelations(db.Name, replace)
+		deltaDB.AdoptIndexes(db)
+		run, err := pass.ExecuteOn(ec, deltaDB)
+		if err != nil {
+			return passes, err
+		}
+		st.stats.Add(run.Stats)
+		st.execTime += run.ExecTime
+		for gi := range groups {
+			if groups[gi].Plan == nil || run.Rels[gi] == nil {
+				continue
+			}
+			g := &st.groups[gi]
+			for _, row := range run.Rels[gi].Rows {
+				if g.seen.Add(row) {
+					g.rows = append(g.rows, row)
+				}
+			}
+		}
+		passes++
+	}
+	st.lens = newLens
+	st.passes += passes
+	return passes, nil
+}
+
+// Result re-aggregates the maintained tuple sets into the canonical answer
+// distribution through GroupMerge — the same replay the shard gatherer uses —
+// so the result is bit-identical to cold evaluation of the same method over
+// the same instance state.
+func (st *DeltaState) Result() *Result {
+	start := time.Now()
+	dp := st.plan
+	res := &Result{
+		Query:            dp.qry.Query(),
+		Method:           dp.sp.Method,
+		Columns:          dp.cols,
+		Stats:            engine.NewStats(),
+		RewrittenQueries: dp.sp.Rewritten,
+		Partitions:       dp.sp.Partitions,
+		ExecTime:         st.execTime,
+	}
+	res.Stats.Add(st.stats)
+	merge := NewGroupMerge(dp.sp.PreEmptyProb)
+	for gi, g := range dp.sp.Groups {
+		if g.Plan == nil {
+			merge.AddEmpty(g.Prob)
+			continue
+		}
+		merge.Add(g.Prob, st.groups[gi].rows)
+		res.ExecutedQueries++
+	}
+	res.Answers, res.EmptyProb = merge.Finalize()
+	res.AggregateTime = time.Since(start)
+	res.TotalTime = time.Since(start)
+	return res
+}

@@ -1,0 +1,146 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/probdb/urm/internal/engine"
+)
+
+// AppendStreamRelation is the source relation the append-stream workload
+// grows.  Orders is the natural churn relation of a purchase-order scenario
+// (new orders arrive continuously) and every Excel-family workload query
+// reads it, so appended rows exercise the incremental-maintenance path of
+// each maintained answer.
+const AppendStreamRelation = "Orders"
+
+// AppendStreamOptions controls the high-churn append workload: a
+// deterministic stream of Orders rows whose attribute values follow a Zipf
+// distribution over a small rank universe, modeling the skew of a live order
+// feed (a few customers, clerks and contacts dominate).  The hottest rank
+// plants the workload's magic constants, so a slice of the stream lands in
+// the answers of the Table III selections and maintained answers actually
+// change as the stream is applied.
+type AppendStreamOptions struct {
+	// Rows is the stream length.  Defaults to 100.
+	Rows int
+	// Seed makes the stream deterministic; 0 selects a fixed default.
+	Seed uint64
+	// Skew is the Zipf exponent s (weights 1/rank^s).  Defaults to 1.2.
+	Skew float64
+	// Ranks is the size of the rank universe values are drawn from.
+	// Defaults to 100.
+	Ranks int
+	// StartKey is the first o_orderkey; keys ascend from it so appended
+	// orders never collide with generated ones.  Defaults to 1000000.
+	StartKey int64
+}
+
+func (o AppendStreamOptions) withDefaults() AppendStreamOptions {
+	if o.Rows <= 0 {
+		o.Rows = 100
+	}
+	if o.Seed == 0 {
+		o.Seed = 97
+	}
+	if o.Skew <= 0 {
+		o.Skew = 1.2
+	}
+	if o.Ranks <= 0 {
+		o.Ranks = 100
+	}
+	if o.StartKey <= 0 {
+		o.StartKey = 1000000
+	}
+	return o
+}
+
+// zipf draws ranks in [0, ranks) with probability proportional to
+// 1/(rank+1)^s, by binary search over the normalized cumulative weights.
+type zipf struct {
+	cum []float64
+	r   *rng
+}
+
+func newZipf(r *rng, ranks int, s float64) *zipf {
+	cum := make([]float64, ranks)
+	total := 0.0
+	for i := range cum {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &zipf{cum: cum, r: r}
+}
+
+func (z *zipf) draw() int {
+	u := z.r.float()
+	i := sort.SearchFloat64s(z.cum, u)
+	if i >= len(z.cum) {
+		i = len(z.cum) - 1
+	}
+	return i
+}
+
+// AppendStream generates the append workload: opts.Rows Orders tuples in
+// arrival order, matching the 11-column Orders schema of SourceSchema.  The
+// stream is a pure function of its options, so benchmark runs, property
+// tests and the soak harness replay identical workloads.
+func AppendStream(opts AppendStreamOptions) []engine.Tuple {
+	opts = opts.withDefaults()
+	r := newRNG(opts.Seed)
+	z := newZipf(r, opts.Ranks, opts.Skew)
+	rows := make([]engine.Tuple, opts.Rows)
+	for i := range rows {
+		rank := z.draw()
+		hot := rank == 0
+		name := fmt.Sprintf("%s %c.", firstNames[rank%len(firstNames)], rune('A'+rank%26))
+		phone := fmt.Sprintf("%03d-%04d", 100+rank%900, 1000+(rank*37)%9000)
+		addr := fmt.Sprintf("%d %s Road", rank+1, streetNames[rank%len(streetNames)])
+		prio := int64(rank%5 + 1)
+		if hot {
+			name = HotName
+			phone = HotPhone
+			addr = HotAddress
+			prio = HotPriority
+		}
+		rows[i] = engine.Tuple{
+			engine.I(opts.StartKey + int64(i)),
+			engine.I(int64(rank + 1)),
+			engine.S(statusValues[rank%len(statusValues)]),
+			engine.F(float64(r.intn(5000000)+10000) / 100),
+			engine.S(fmt.Sprintf("1997-%02d-%02d", rank%12+1, rank%28+1)),
+			engine.I(prio),
+			engine.I(int64(rank%5 + 1)),
+			engine.S(clerkNames[rank%len(clerkNames)]),
+			engine.S(name),
+			engine.S(phone),
+			engine.S(addr),
+		}
+	}
+	return rows
+}
+
+// Batches cuts the stream into batches of at most size rows — the unit one
+// batched append (one WAL record, one fsync) carries.  size <= 0 yields one
+// batch holding the whole stream.
+func Batches(rows []engine.Tuple, size int) [][]engine.Tuple {
+	if size <= 0 {
+		if len(rows) == 0 {
+			return nil
+		}
+		return [][]engine.Tuple{rows}
+	}
+	out := make([][]engine.Tuple, 0, (len(rows)+size-1)/size)
+	for len(rows) > size {
+		out = append(out, rows[:size:size])
+		rows = rows[size:]
+	}
+	if len(rows) > 0 {
+		out = append(out, rows)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// requireSameIndex asserts two hash indexes are structurally identical —
+// bucket array, chain threading, stored hashes, and content metadata.  Probes
+// cannot distinguish structurally identical indexes, so this is strictly
+// stronger than answer equality.
+func requireSameIndex(t *testing.T, label string, want, got *hashIndex) {
+	t.Helper()
+	if got.mask != want.mask || len(got.heads) != len(want.heads) {
+		t.Fatalf("%s: bucket array %d/mask %d, want %d/mask %d", label, len(got.heads), got.mask, len(want.heads), want.mask)
+	}
+	for i := range want.heads {
+		if got.heads[i] != want.heads[i] {
+			t.Fatalf("%s: heads[%d] = %d, want %d", label, i, got.heads[i], want.heads[i])
+		}
+	}
+	if len(got.hashes) != len(want.hashes) || len(got.next) != len(want.next) {
+		t.Fatalf("%s: %d hashes/%d next, want %d/%d", label, len(got.hashes), len(got.next), len(want.hashes), len(want.next))
+	}
+	for i := range want.hashes {
+		if got.hashes[i] != want.hashes[i] {
+			t.Fatalf("%s: hashes[%d] = %x, want %x", label, i, got.hashes[i], want.hashes[i])
+		}
+		if got.next[i] != want.next[i] {
+			t.Fatalf("%s: next[%d] = %d, want %d", label, i, got.next[i], want.next[i])
+		}
+	}
+	if got.kinds != want.kinds || got.hasNaN != want.hasNaN {
+		t.Fatalf("%s: kinds/hasNaN = %v/%v, want %v/%v", label, got.kinds, got.hasNaN, want.kinds, want.hasNaN)
+	}
+	if len(got.rows) != len(want.rows) {
+		t.Fatalf("%s: covers %d rows, want %d", label, len(got.rows), len(want.rows))
+	}
+}
+
+// TestAppendInPlaceMatchesColdRebuild is the in-place maintenance property:
+// extending a built index over appended rows must yield a structure identical
+// to a cold rebuild over all rows — across sizes that exercise both the
+// tail-append path (bucket array still large enough) and the grow-rethread
+// path, over the adversarial value pool.
+func TestAppendInPlaceMatchesColdRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	randRow := func() Tuple {
+		return Tuple{probePool[rng.Intn(len(probePool))], probePool[rng.Intn(len(probePool))]}
+	}
+	for trial := 0; trial < 300; trial++ {
+		db := NewInstance("t")
+		rel := NewRelation("R", []string{"a", "b"})
+		for i := rng.Intn(40); i > 0; i-- {
+			rel.MustAppend(randRow())
+		}
+		db.AddRelation(rel)
+		cache := db.Indexes()
+		stats := NewStats()
+		for col := 0; col < 2; col++ {
+			if _, err := cache.columnIndex(bgCtx, rel, col, stats); err != nil {
+				t.Fatal(err)
+			}
+		}
+		oldLen, oldVer := len(rel.Rows), rel.version.Load()
+		for i := rng.Intn(60) + 1; i > 0; i-- {
+			rel.MustAppend(randRow())
+		}
+		if ext := cache.AppendInPlace(bgCtx, rel, oldLen, oldVer); ext != 2 {
+			t.Fatalf("trial %d: extended %d indexes, want 2", trial, ext)
+		}
+		builds := stats.IndexBuilds()
+		for col := 0; col < 2; col++ {
+			got, err := cache.columnIndex(bgCtx, rel, col, stats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := buildColumnHashIndex(bgCtx, rel.Rows, col)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameIndex(t, "col", want, got)
+		}
+		if stats.IndexBuilds() != builds {
+			t.Fatalf("trial %d: lookup after AppendInPlace rebuilt (%d -> %d builds); extension was not accepted as current",
+				trial, builds, stats.IndexBuilds())
+		}
+	}
+}
+
+// TestAppendInPlaceStaleEntryDropped pins the safety valve: an entry whose
+// (version, nrows) does not match the append's base state must be dropped for
+// lazy rebuild, never extended.
+func TestAppendInPlaceStaleEntryDropped(t *testing.T) {
+	db := NewInstance("t")
+	rel := NewRelation("R", []string{"a"})
+	rel.MustAppend(Tuple{I(1)})
+	rel.MustAppend(Tuple{I(2)})
+	db.AddRelation(rel)
+	cache := db.Indexes()
+	if _, err := cache.columnIndex(bgCtx, rel, 0, NewStats()); err != nil {
+		t.Fatal(err)
+	}
+	oldLen := len(rel.Rows)
+	rel.MustAppend(Tuple{I(3)})
+	// Wrong base version: the entry must be evicted, not extended.
+	if ext := cache.AppendInPlace(bgCtx, rel, oldLen, rel.version.Load()+7); ext != 0 {
+		t.Fatalf("extended %d stale indexes, want 0", ext)
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("stale entry still cached (%d entries), want dropped", cache.Len())
+	}
+	// The lazy path then rebuilds a correct index.
+	stats := NewStats()
+	got, err := cache.columnIndex(bgCtx, rel, 0, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := buildColumnHashIndex(bgCtx, rel.Rows, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameIndex(t, "rebuilt", want, got)
+	if stats.IndexBuilds() != 1 {
+		t.Fatalf("builds = %d, want 1", stats.IndexBuilds())
+	}
+}

@@ -471,6 +471,17 @@ func (c *IndexCache) columnIndex(ctx context.Context, rel *Relation, col int, st
 	if col < 0 || col >= len(rel.Columns) {
 		return nil, fmt.Errorf("index: column %d out of range for %s", col, rel.Name)
 	}
+	if c.db.Relation(rel.Name) != rel {
+		// A relation the cache does not own — an adopted cache (AdoptIndexes)
+		// asked to index a derived instance's delta or prefix slice.  Build a
+		// transient, uncached index so foreign row slices can never alias a
+		// cached entry.
+		idx, err := buildColumnHashIndex(ctx, rel.Rows[:len(rel.Rows):len(rel.Rows)], col)
+		if err == nil {
+			stats.recordIndexBuild()
+		}
+		return idx, err
+	}
 	key := colKey{rel: rel, col: col}
 	for {
 		ver := rel.version.Load()
@@ -533,6 +544,82 @@ func (c *IndexCache) Warm(ctx context.Context, stats *Stats) (int, error) {
 		}
 	}
 	return built, nil
+}
+
+// AppendInPlace extends every already-built index over rel to cover rows
+// appended since (oldLen, oldVersion): the new rows are hashed through the
+// same blocked kernel as a cold build, kind/NaN metadata is OR-ed in, and each
+// row is threaded onto the tail of its bucket chain (or the whole structure is
+// rethreaded when the bucket array must grow) so chains stay in ascending row
+// order — the resulting index is structurally identical to a cold rebuild over
+// all len(rel.Rows) rows.  Entries that were never built, failed, or were
+// built against some other relation state are dropped for the lazy path to
+// rebuild.  It returns the number of indexes extended.
+//
+// The caller must hold whatever lock excludes concurrent evaluations — the
+// same contract as Relation.Append itself, since probing an index mid-mutation
+// is as racy as scanning the rows mid-mutation.
+func (c *IndexCache) AppendInPlace(ctx context.Context, rel *Relation, oldLen int, oldVersion uint64) int {
+	n := len(rel.Rows)
+	if n < oldLen {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	extended := 0
+	for col := range rel.Columns {
+		key := colKey{rel: rel, col: col}
+		e := c.entries[key]
+		if e == nil {
+			continue
+		}
+		if e.idx == nil || e.version != oldVersion || e.nrows != oldLen {
+			// Unbuilt, failed, or built against a state this append does not
+			// extend: leave it to the lazy rebuild path.
+			delete(c.entries, key)
+			continue
+		}
+		x := e.idx
+		x.hashes = append(x.hashes, make([]uint64, n-oldLen)...)
+		x.next = append(x.next, make([]int32, n-oldLen)...)
+		kinds, hasNaN, err := hashRangeMeta(ctx, rel.Rows[:n:n], col, oldLen, n, x.hashes)
+		if err != nil {
+			delete(c.entries, key)
+			continue
+		}
+		x.kinds |= kinds
+		x.hasNaN = x.hasNaN || hasNaN
+		x.rows = rel.Rows[:n:n] // the append may have reallocated the backing array
+		if len(x.heads) < n {
+			// Rethread everything into the bucket array a cold build over n
+			// rows would allocate; back to front keeps chains in row order.
+			heads := newBuckets(n)
+			mask := uint64(len(heads) - 1)
+			for i := n - 1; i >= 0; i-- {
+				b := x.hashes[i] & mask
+				x.next[i] = heads[b]
+				heads[b] = int32(i + 1)
+			}
+			x.heads, x.mask = heads, mask
+		} else {
+			for i := oldLen; i < n; i++ {
+				b := x.hashes[i] & x.mask
+				if x.heads[b] == 0 {
+					x.heads[b] = int32(i + 1)
+					continue
+				}
+				j := x.heads[b]
+				for x.next[j-1] != 0 {
+					j = x.next[j-1]
+				}
+				x.next[j-1] = int32(i + 1)
+			}
+		}
+		e.version = rel.version.Load()
+		e.nrows = n
+		extended++
+	}
+	return extended
 }
 
 // baseForRows reports which base relation's row list backs rows, if any.

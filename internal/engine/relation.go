@@ -148,6 +148,23 @@ func (r *Relation) Append(t Tuple) error {
 	return nil
 }
 
+// AppendAll adds every row of the batch, advancing the mutation version once
+// for the whole batch rather than per row.  Arity is validated for every row
+// before any is appended, so a bad batch leaves the relation untouched.
+func (r *Relation) AppendAll(rows []Tuple) error {
+	for _, t := range rows {
+		if len(t) != len(r.Columns) {
+			return fmt.Errorf("relation %s: tuple arity %d does not match %d columns", r.Name, len(t), len(r.Columns))
+		}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	r.Rows = append(r.Rows, rows...)
+	r.version.Add(1)
+	return nil
+}
+
 // MustAppend is Append that panics on arity mismatch.
 func (r *Relation) MustAppend(t Tuple) {
 	if err := r.Append(t); err != nil {
@@ -305,6 +322,18 @@ func (db *Instance) WithRelations(name string, replace map[string]*Relation) *In
 		out.AddRelation(db.relations[rn])
 	}
 	return out
+}
+
+// AdoptIndexes makes the instance share the parent's index cache instead of
+// its own.  The delta evaluator uses it on derived instances whose unreplaced
+// relations are the parent's own *Relation values: those relations then probe
+// the parent's already-built shared indexes, while relations the cache does
+// not own (delta and prefix slices) get transient per-query indexes — the
+// cache's ownership check keeps the two apart.  The indexing on/off switch is
+// adopted along with the cache.
+func (db *Instance) AdoptIndexes(parent *Instance) {
+	db.indexes = parent.indexes
+	db.noIndex = parent.noIndex
 }
 
 // RelationNames returns the base relation names in insertion order.

@@ -59,11 +59,11 @@ type Stats struct {
 	// hash-join builds ran partitioned — and are deliberately outside the
 	// logical operator totals, which stay identical across batch sizes and
 	// parallelism levels.
-	batches         atomic.Int64
-	selectRowsIn    atomic.Int64
-	selectRowsOut   atomic.Int64
-	partBuilds      atomic.Int64
-	maxBuildParts   atomic.Int64
+	batches       atomic.Int64
+	selectRowsIn  atomic.Int64
+	selectRowsOut atomic.Int64
+	partBuilds    atomic.Int64
+	maxBuildParts atomic.Int64
 }
 
 // NewStats returns an empty statistics collector.

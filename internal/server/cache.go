@@ -155,6 +155,15 @@ func (c *AnswerCache) GetOrCompute(ctx context.Context, key CacheKey, compute fu
 	}
 }
 
+// Put stores a computed result directly — the delta maintainer's publish path,
+// which refreshes answers outside any request (no singleflight involved; a
+// concurrent GetOrCompute for the same key simply finds the entry).
+func (c *AnswerCache) Put(key CacheKey, res *core.Result) {
+	c.mu.Lock()
+	c.insertLocked(key, res)
+	c.mu.Unlock()
+}
+
 // stripEpoch is the byQuery index key: the request identity with the epoch
 // zeroed, so entries for the same question at different epochs collide.
 func stripEpoch(key CacheKey) CacheKey {

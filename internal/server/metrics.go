@@ -28,6 +28,19 @@ type serverMetrics struct {
 	scatters       atomic.Int64 // shard-side scatter executions (POST /v1/scatter)
 	slowQueries    atomic.Int64 // requests over the slow-query threshold (AfterQuery hook)
 
+	// Incremental-maintenance counters.  deltaApplied counts cache entries the
+	// maintainer refreshed through a delta pass; deltaFallbacks the evaluations
+	// that tried to enroll but fell back (plan not maintainable, or the
+	// per-scenario cap refused it); indexInplace the shared hash indexes
+	// extended in place by appends; epochInvalidations the explicit Bumps that
+	// purged maintained state.  staleWindow is a gauge: the epoch distance of
+	// the most recent stale-served answer.
+	deltaApplied       atomic.Int64
+	deltaFallbacks     atomic.Int64
+	indexInplace       atomic.Int64
+	epochInvalidations atomic.Int64
+	staleWindow        atomic.Int64
+
 	queueWait qos.Histogram // measured evaluation-slot waits, all tenants
 
 	// Per-stage latency histograms over the request path: parse covers
@@ -81,6 +94,20 @@ type Metrics struct {
 	Scatters    int64 `json:"scatters"`
 	SlowQueries int64 `json:"slow_queries"`
 
+	// Incremental-maintenance counters.  DeltaApplied counts cached answers
+	// refreshed by a delta pass instead of invalidated; DeltaFallbacks the
+	// evaluations that could not enroll for maintenance (non-SPJ plan, o-sharing
+	// or top-k method, or per-scenario cap); IndexInplaceAppends the shared hash
+	// indexes extended in place under appends; EpochInvalidations the explicit
+	// Bumps, each of which purged the scenario's maintained entries.
+	// StaleWindowEpochs is a gauge: how many epochs behind the most recently
+	// stale-served answer was.
+	DeltaApplied        int64 `json:"delta_applied"`
+	DeltaFallbacks      int64 `json:"delta_fallbacks"`
+	IndexInplaceAppends int64 `json:"index_inplace_appends"`
+	EpochInvalidations  int64 `json:"epoch_invalidations"`
+	StaleWindowEpochs   int64 `json:"stale_window_epochs"`
+
 	// Durable-store counters.  StoreRecoveries counts scenarios rebuilt from
 	// disk at boot, StoreReplayedRecords the WAL records replayed to do so,
 	// StoreQuarantined the scenarios refused because their on-disk state was
@@ -125,26 +152,31 @@ type ScenarioInfo struct {
 
 func (s *Server) snapshotMetrics() Metrics {
 	return Metrics{
-		Requests:           s.metrics.requests.Load(),
-		Rejected:           s.metrics.rejected.Load(),
-		ShedDoomedDeadline: s.metrics.shedDoomed.Load(),
-		StaleServed:        s.metrics.staleServed.Load(),
-		Unavailable:        s.metrics.unavailable.Load(),
-		Timeouts:           s.metrics.timeouts.Load(),
-		BadRequests:        s.metrics.badRequests.Load(),
-		Inflight:           s.metrics.inflight.Load(),
-		Evaluations:        s.metrics.evaluations.Load(),
-		EvalErrors:         s.metrics.evalErrors.Load(),
-		PreparedBuilds:     s.metrics.preparedBuilds.Load(),
-		PreparedReuses:     s.metrics.preparedReuses.Load(),
-		IndexBuilds:        s.metrics.indexBuilds.Load(),
-		IndexLookups:       s.metrics.indexLookups.Load(),
-		Operators:          s.metrics.operators.Load(),
-		Appends:            s.metrics.appends.Load(),
-		Scatters:           s.metrics.scatters.Load(),
-		SlowQueries:        s.metrics.slowQueries.Load(),
-		Cache:              s.cache.Metrics(),
-		QueueWait:          s.metrics.queueWait.Snapshot(),
+		Requests:            s.metrics.requests.Load(),
+		Rejected:            s.metrics.rejected.Load(),
+		ShedDoomedDeadline:  s.metrics.shedDoomed.Load(),
+		StaleServed:         s.metrics.staleServed.Load(),
+		Unavailable:         s.metrics.unavailable.Load(),
+		Timeouts:            s.metrics.timeouts.Load(),
+		BadRequests:         s.metrics.badRequests.Load(),
+		Inflight:            s.metrics.inflight.Load(),
+		Evaluations:         s.metrics.evaluations.Load(),
+		EvalErrors:          s.metrics.evalErrors.Load(),
+		PreparedBuilds:      s.metrics.preparedBuilds.Load(),
+		PreparedReuses:      s.metrics.preparedReuses.Load(),
+		IndexBuilds:         s.metrics.indexBuilds.Load(),
+		IndexLookups:        s.metrics.indexLookups.Load(),
+		Operators:           s.metrics.operators.Load(),
+		Appends:             s.metrics.appends.Load(),
+		Scatters:            s.metrics.scatters.Load(),
+		SlowQueries:         s.metrics.slowQueries.Load(),
+		DeltaApplied:        s.metrics.deltaApplied.Load(),
+		DeltaFallbacks:      s.metrics.deltaFallbacks.Load(),
+		IndexInplaceAppends: s.metrics.indexInplace.Load(),
+		EpochInvalidations:  s.metrics.epochInvalidations.Load(),
+		StaleWindowEpochs:   s.metrics.staleWindow.Load(),
+		Cache:               s.cache.Metrics(),
+		QueueWait:           s.metrics.queueWait.Snapshot(),
 		Stages: map[string]qos.HistogramSnapshot{
 			"parse":       s.metrics.stageParse.Snapshot(),
 			"reformulate": s.metrics.stageReformulate.Snapshot(),

@@ -26,6 +26,7 @@ import (
 
 	"github.com/probdb/urm/internal/core"
 	"github.com/probdb/urm/internal/engine"
+	"github.com/probdb/urm/internal/exec"
 	"github.com/probdb/urm/internal/query"
 	"github.com/probdb/urm/internal/schema"
 	"github.com/probdb/urm/internal/store"
@@ -71,6 +72,11 @@ type Scenario struct {
 	prepped map[string]*preparedEntry // raw query text -> entry
 	byCanon map[string]*preparedEntry // canonical SQL -> entry
 
+	// obs receives mutation notifications (appends, bumps) after they commit
+	// in memory; the server uses it to drive the delta reconciler and the
+	// mutation metrics.  Atomic because SetObserver may race in-flight appends.
+	obs atomic.Pointer[Observer]
+
 	// persistMu makes {in-memory mutation, epoch bump, WAL record} one atomic
 	// unit with respect to snapshot capture.  Without it, a snapshot running
 	// between AppendRow's epoch bump and its WAL append could capture the new
@@ -83,6 +89,26 @@ type Scenario struct {
 	log *store.Log
 
 	warmBuilds int
+}
+
+// Observer receives scenario mutation notifications after the in-memory
+// change committed (and before persistence, whose failures do not undo the
+// change).  Implementations must be fast and non-blocking: appends call
+// OnAppend while no locks are held, but on the mutation path.
+type Observer interface {
+	// OnAppend reports rows appended to a scenario and how many shared
+	// indexes were extended in place to cover them.
+	OnAppend(scenario string, rows, extendedIndexes int)
+	// OnBump reports an explicit epoch invalidation.
+	OnBump(scenario string)
+	// OnDrop reports a scenario removal.
+	OnDrop(scenario string)
+}
+
+func (s *Scenario) notifyAppend(rows, extended int) {
+	if p := s.obs.Load(); p != nil {
+		(*p).OnAppend(s.name, rows, extended)
+	}
 }
 
 // preparedEntry is one compiled query: the front half (reformulations, plans,
@@ -130,6 +156,9 @@ func (s *Scenario) Bump() uint64 {
 	defer s.persistMu.Unlock()
 	e := s.epoch.Add(1)
 	s.staleFloor.Store(e)
+	if p := s.obs.Load(); p != nil {
+		(*p).OnBump(s.name)
+	}
 	if s.log != nil {
 		if err := s.log.Bump(e, e); err == nil {
 			s.maybeSnapshotLocked()
@@ -174,12 +203,18 @@ func (s *Scenario) AppendRow(relation string, t engine.Tuple) error {
 		s.mu.Unlock()
 		return fmt.Errorf("scenario %s: unknown relation %q", s.name, relation)
 	}
+	oldLen, oldVer := len(rel.Rows), rel.Version()
 	if err := rel.Append(t); err != nil {
 		s.mu.Unlock()
 		return err
 	}
 	epoch := s.epoch.Add(1)
+	extended := 0
+	if cache := s.db.Indexes(); cache != nil {
+		extended = cache.AppendInPlace(context.Background(), rel, oldLen, oldVer)
+	}
 	s.mu.Unlock()
+	s.notifyAppend(1, extended)
 	if s.log != nil {
 		if err := s.log.AppendRow(relation, t, epoch); err != nil {
 			return fmt.Errorf("scenario %s: row live in memory but not persisted: %w", s.name, err)
@@ -187,6 +222,58 @@ func (s *Scenario) AppendRow(relation string, t engine.Tuple) error {
 		s.maybeSnapshotLocked()
 	}
 	return nil
+}
+
+// AppendRows appends a whole batch of tuples to the named base relation as
+// one atomic mutation: one evaluation-lock acquisition, one epoch bump, one
+// WAL record, one fsync — the durability cost of the batch is that of a
+// single row, which is what makes append-heavy workloads affordable (fsync
+// dominates single-row appends by nearly two orders of magnitude).  Shared
+// per-column indexes are extended in place to cover the new rows, so the
+// batch invalidates neither the indexes nor — through the delta reconciler —
+// maintained cached answers.
+func (s *Scenario) AppendRows(relation string, rows []engine.Tuple) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("scenario %s: empty append batch", s.name)
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	s.mu.Lock()
+	rel := s.db.Relation(relation)
+	if rel == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("scenario %s: unknown relation %q", s.name, relation)
+	}
+	oldLen, oldVer := len(rel.Rows), rel.Version()
+	if err := rel.AppendAll(rows); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	epoch := s.epoch.Add(1)
+	extended := 0
+	if cache := s.db.Indexes(); cache != nil {
+		extended = cache.AppendInPlace(context.Background(), rel, oldLen, oldVer)
+	}
+	s.mu.Unlock()
+	s.notifyAppend(len(rows), extended)
+	if s.log != nil {
+		if err := s.log.AppendRows(relation, rows, epoch); err != nil {
+			return fmt.Errorf("scenario %s: rows live in memory but not persisted: %w", s.name, err)
+		}
+		s.maybeSnapshotLocked()
+	}
+	return nil
+}
+
+// View runs f under the scenario's evaluation lock as a reader, passing the
+// instance and the epoch the locked state corresponds to.  The delta
+// reconciler's convergence passes run through here: holding the read lock for
+// the whole pass keeps the relation data, the epoch, and the maintained
+// states' covered row counts mutually consistent.
+func (s *Scenario) View(f func(db *engine.Instance, epoch uint64) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return f(s.db, s.epoch.Load())
 }
 
 // maybeSnapshotLocked snapshots when the WAL has outgrown its cadence.
@@ -309,6 +396,34 @@ func (s *Scenario) EvaluatePrepared(ctx context.Context, prep *core.Prepared, to
 	return prep.ExecuteContext(ctx, opts)
 }
 
+// EvaluateDelta evaluates a prepared query through the delta-maintainable
+// path: it builds the delta plan (failing fast with
+// core.ErrNotDeltaMaintainable for plan shapes and methods the delta cannot
+// maintain), runs the full evaluation once, and returns the result together
+// with the maintained state and the epoch the evaluation saw — everything the
+// reconciler needs to enroll the entry.  Answers are bit-identical to
+// EvaluatePrepared's for the same options.
+func (s *Scenario) EvaluateDelta(ctx context.Context, prep *core.Prepared, opts core.Options) (*core.Result, *core.DeltaState, uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ec := exec.NewContext(ctx, opts.Parallelism)
+	if opts.BatchSize != 0 {
+		ec = ec.WithBatch(opts.BatchSize)
+	}
+	dp, err := core.PrepareDelta(prep, ec, opts)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	start := time.Now()
+	st, err := dp.EvaluateFull(ec, s.db)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	res := st.Result()
+	res.TotalTime = time.Since(start)
+	return res, st, s.epoch.Load(), nil
+}
+
 // Parse parses an ad-hoc query against the scenario's target schema.
 func (s *Scenario) Parse(name, text string) (*query.Query, error) {
 	return query.Parse(name, s.target, text)
@@ -338,8 +453,28 @@ type Registry struct {
 
 	st *store.Store
 
+	// obs is propagated to every scenario (existing and future) by
+	// SetObserver; guarded by mu.
+	obs Observer
+
 	recoveries atomic.Int64 // scenarios recovered from disk
 	replayed   atomic.Int64 // WAL records replayed on top of snapshots
+}
+
+// SetObserver installs the mutation observer on the registry and every
+// registered scenario; scenarios registered or recovered later inherit it.
+// Passing nil clears it.
+func (r *Registry) SetObserver(o Observer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.obs = o
+	for _, s := range r.scenarios {
+		if o == nil {
+			s.obs.Store(nil)
+		} else {
+			s.obs.Store(&o)
+		}
+	}
 }
 
 // NewRegistry returns an empty, memory-only registry.
@@ -430,6 +565,10 @@ func (r *Registry) Register(ctx context.Context, name string, target *schema.Sch
 		}
 		return nil, fmt.Errorf("register: scenario %q already registered", name)
 	}
+	if r.obs != nil {
+		o := r.obs
+		s.obs.Store(&o)
+	}
 	r.scenarios[name] = s
 	return s, nil
 }
@@ -440,9 +579,13 @@ func (r *Registry) Drop(name string) error {
 	r.mu.Lock()
 	s, ok := r.scenarios[name]
 	delete(r.scenarios, name)
+	obs := r.obs
 	r.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("drop: unknown scenario %q", name)
+	}
+	if obs != nil {
+		obs.OnDrop(name)
 	}
 	if s.log != nil {
 		return s.log.Drop()
@@ -500,6 +643,10 @@ func (r *Registry) Recover(ctx context.Context, opts RegisterOptions) (*Recovery
 		if _, dup := r.scenarios[s.name]; dup {
 			r.mu.Unlock()
 			return nil, fmt.Errorf("recover: scenario %q already registered", s.name)
+		}
+		if r.obs != nil {
+			o := r.obs
+			s.obs.Store(&o)
 		}
 		r.scenarios[s.name] = s
 		r.mu.Unlock()

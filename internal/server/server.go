@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/probdb/urm/internal/core"
+	"github.com/probdb/urm/internal/delta"
 	"github.com/probdb/urm/internal/engine"
 	"github.com/probdb/urm/internal/qos"
 	"github.com/probdb/urm/internal/query"
@@ -56,6 +57,14 @@ type Config struct {
 	// DisableStaleServe turns off the last rung of the shed ladder: serving a
 	// previous epoch's cached answer (flagged "stale") instead of rejecting.
 	DisableStaleServe bool
+	// DisableDelta turns off incremental maintenance: appends then invalidate
+	// cached answers by epoch (the pre-delta behavior) instead of refreshing
+	// them through delta passes.
+	DisableDelta bool
+	// DeltaMaxEntries caps maintained (query, method, strategy) entries per
+	// scenario; evaluations past the cap fall back to epoch invalidation.
+	// 0 selects the maintainer default (256).
+	DeltaMaxEntries int
 	// Faults is the deterministic fault-injection seam; nil in production.
 	Faults *qos.Faults
 
@@ -111,6 +120,12 @@ type Server struct {
 	metrics serverMetrics
 	tenants *tenantTable
 
+	// maintainer is the incremental-maintenance reconciler (nil when
+	// Config.DisableDelta): appends mark scenarios dirty through the Observer
+	// hooks, and its background pass republishes each enrolled answer at the
+	// new epoch instead of letting the epoch-keyed cache entry go stale.
+	maintainer *delta.Maintainer
+
 	// latency tracks per-scenario cold-evaluation medians for the
 	// doomed-deadline shed rung.
 	latMu   sync.Mutex
@@ -157,7 +172,77 @@ func New(reg *Registry, cfg Config) *Server {
 			Clock:   clock,
 		})
 	}
+	if !cfg.DisableDelta {
+		s.maintainer = delta.New(delta.Config{
+			MaxEntries:  cfg.DeltaMaxEntries,
+			Parallelism: cfg.Parallelism,
+			Publish:     s.publishMaintained,
+		})
+		s.maintainer.Start()
+	}
+	reg.SetObserver(s)
 	return s
+}
+
+// publishMaintained is the maintainer's publish callback: a refreshed answer
+// lands in the cache under the epoch it was converged at, exactly where the
+// next request for the same question will look.
+func (s *Server) publishMaintained(scenario, query string, method core.Method, strategy core.Strategy, res *core.Result, epoch uint64) {
+	s.cache.Put(CacheKey{
+		Scenario: scenario,
+		Epoch:    epoch,
+		Query:    query,
+		Method:   method,
+		Strategy: strategy,
+	}, res)
+	s.metrics.deltaApplied.Add(1)
+}
+
+// OnAppend implements Observer: count appended rows and in-place index
+// extensions, and queue the scenario for delta convergence.  Counting here
+// rather than in the HTTP handler covers programmatic appends too.
+func (s *Server) OnAppend(scenario string, rows, extendedIndexes int) {
+	s.metrics.appends.Add(int64(rows))
+	s.metrics.indexInplace.Add(int64(extendedIndexes))
+	if s.maintainer != nil {
+		s.maintainer.MarkDirty(scenario)
+	}
+}
+
+// OnBump implements Observer: an explicit epoch bump is the one mutation the
+// delta cannot describe, so it purges the scenario's maintained entries —
+// epoch invalidation, recorded as such.
+func (s *Server) OnBump(scenario string) {
+	s.metrics.epochInvalidations.Add(1)
+	if s.maintainer != nil {
+		s.maintainer.Purge(scenario)
+	}
+}
+
+// OnDrop implements Observer.
+func (s *Server) OnDrop(scenario string) {
+	if s.maintainer != nil {
+		s.maintainer.Purge(scenario)
+	}
+}
+
+// ConvergeDelta synchronously runs one delta-convergence pass for the
+// scenario's enrolled entries and returns the number of refreshed answers
+// published — the deterministic hook tests and benchmarks drive instead of
+// waiting on the background loop.
+func (s *Server) ConvergeDelta(scenario string) int {
+	if s.maintainer == nil {
+		return 0
+	}
+	return s.maintainer.Converge(scenario)
+}
+
+// DeltaEntries returns the number of maintained entries for the scenario.
+func (s *Server) DeltaEntries(scenario string) int {
+	if s.maintainer == nil {
+		return 0
+	}
+	return s.maintainer.Entries(scenario)
 }
 
 // latencyFor returns the scenario's cold-latency tracker, creating it on
@@ -433,7 +518,7 @@ func (s *Server) do(ctx context.Context, req Request) (*Response, error) {
 	// capture is race-free.
 	var queueWait time.Duration
 	res, outcome, err := s.cache.GetOrCompute(ctx, key, func() (*core.Result, error) {
-		r, wait, err := s.evaluate(ctx, sc, prep, method, strategy, req.TopK, adm)
+		r, wait, err := s.evaluate(ctx, sc, prep, canonical, method, strategy, req.TopK, adm)
 		queueWait = wait
 		return r, err
 	})
@@ -488,6 +573,7 @@ func (s *Server) tryStale(key CacheKey, sc *Scenario, adm admission, method core
 	stale := epoch < key.Epoch
 	if stale {
 		s.metrics.staleServed.Add(1)
+		s.metrics.staleWindow.Store(int64(key.Epoch - epoch))
 		s.tenants.get(adm.tenant).staleServed.Add(1)
 	}
 	return &Response{
@@ -519,7 +605,7 @@ func (s *Server) tryStale(key CacheKey, sc *Scenario, adm admission, method core
 // The ladder sits inside the cache's compute callback on purpose: cache hits
 // and coalesced waiters consume no evaluation capacity, so they are admitted
 // unconditionally and only actual evaluations spend tokens and slots.
-func (s *Server) evaluate(ctx context.Context, sc *Scenario, prep *core.Prepared, method core.Method, strategy core.Strategy, topK int, adm admission) (*core.Result, time.Duration, error) {
+func (s *Server) evaluate(ctx context.Context, sc *Scenario, prep *core.Prepared, canonical string, method core.Method, strategy core.Strategy, topK int, adm admission) (*core.Result, time.Duration, error) {
 	tc := s.tenants.get(adm.tenant)
 	if s.limiter != nil {
 		if ok, retryAfter := s.limiter.Admit(adm.tenant); !ok {
@@ -562,7 +648,27 @@ func (s *Server) evaluate(ctx context.Context, sc *Scenario, prep *core.Prepared
 	}
 	evalStart := s.clock.Now()
 	opts := core.Options{Method: method, Strategy: strategy, Parallelism: s.cfg.Parallelism}
-	res, err := sc.EvaluatePrepared(ctx, prep, topK, opts)
+	var res *core.Result
+	if s.maintainer != nil && topK == 0 {
+		// Delta-first: evaluate through the scatter form and keep the per-group
+		// state, so later appends refresh this answer instead of invalidating
+		// it.  Plans the delta cannot maintain (non-SPJ, o-sharing, self-joins)
+		// fall through to the ordinary evaluator and are counted as fallbacks.
+		var st *core.DeltaState
+		var epoch uint64
+		res, st, epoch, err = sc.EvaluateDelta(ctx, prep, opts)
+		switch {
+		case err == nil:
+			if !s.maintainer.Enroll(sc, canonical, method, strategy, st, epoch) {
+				s.metrics.deltaFallbacks.Add(1)
+			}
+		case errors.Is(err, core.ErrNotDeltaMaintainable):
+			s.metrics.deltaFallbacks.Add(1)
+			res, err = sc.EvaluatePrepared(ctx, prep, topK, opts)
+		}
+	} else {
+		res, err = sc.EvaluatePrepared(ctx, prep, topK, opts)
+	}
 	if err != nil {
 		s.metrics.evalErrors.Add(1)
 		return nil, wait, err
@@ -609,6 +715,12 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.drainMu.Lock()
 	s.drainSet = true
 	s.drainMu.Unlock()
+	if s.maintainer != nil {
+		// Stop background convergence first: no new answers are published while
+		// the accepted requests finish, and the maintenance goroutine is down
+		// before the process exits.
+		s.maintainer.Stop()
+	}
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -732,11 +844,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // AppendRequest is the body of POST /v1/append.  Values map JSON types onto
 // engine values: strings stay strings, integral numbers become ints, other
-// numbers become floats, null becomes the null value.
+// numbers become floats, null becomes the null value.  Exactly one of Values
+// (a single row) and Rows (a batch) must be set; a batch commits as one epoch
+// step and one WAL record — one fsync however many rows it carries.
 type AppendRequest struct {
-	Scenario string `json:"scenario"`
-	Relation string `json:"relation"`
-	Values   []any  `json:"values"`
+	Scenario string  `json:"scenario"`
+	Relation string  `json:"relation"`
+	Values   []any   `json:"values,omitempty"`
+	Rows     [][]any `json:"rows,omitempty"`
 }
 
 // BumpRequest is the body of POST /v1/bump.
@@ -786,18 +901,42 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
 		return
 	}
-	row, err := tupleFromJSON(req.Values)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+	if (req.Values != nil) == (req.Rows != nil) {
+		writeError(w, http.StatusBadRequest, "exactly one of values and rows must be set")
 		return
+	}
+	var rows []engine.Tuple
+	if req.Values != nil {
+		row, err := tupleFromJSON(req.Values)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		rows = []engine.Tuple{row}
+	} else {
+		rows = make([]engine.Tuple, len(req.Rows))
+		for i, values := range req.Rows {
+			row, err := tupleFromJSON(values)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("rows[%d]: %v", i, err))
+				return
+			}
+			rows[i] = row
+		}
 	}
 	sc, leave := s.mutableScenario(w, r, req.Scenario)
 	if sc == nil {
 		return
 	}
 	defer leave()
-	if err := sc.AppendRow(req.Relation, row); err != nil {
-		// A persistence failure means the row is live in memory but not on
+	var err error
+	if req.Values != nil {
+		err = sc.AppendRow(req.Relation, rows[0])
+	} else {
+		err = sc.AppendRows(req.Relation, rows)
+	}
+	if err != nil {
+		// A persistence failure means the rows are live in memory but not on
 		// disk — that is a server-side durability fault, not a bad request.
 		status := http.StatusBadRequest
 		if sc.PersistErr() != nil {
@@ -806,7 +945,6 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err.Error())
 		return
 	}
-	s.metrics.appends.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"scenario": sc.Name(),
 		"relation": req.Relation,

@@ -300,6 +300,21 @@ func encodeAppendRow(epoch uint64, relation string, row engine.Tuple) []byte {
 	return e.b
 }
 
+// encodeAppendRows serializes an AppendRows record: one batch of rows for one
+// relation that committed as a single epoch step.  One record means one frame
+// and one fsync for the whole batch.
+func encodeAppendRows(epoch uint64, relation string, rows []engine.Tuple) []byte {
+	e := &enc{}
+	e.u8(recAppendRows)
+	e.u64(epoch)
+	e.str(relation)
+	e.u32(uint32(len(rows)))
+	for _, row := range rows {
+		e.tuple(row)
+	}
+	return e.b
+}
+
 // encodeBump serializes a Bump record: the new epoch and stale floor.
 func encodeBump(epoch, staleFloor uint64) []byte {
 	e := &enc{}

@@ -247,6 +247,13 @@ func (l *Log) AppendRow(relation string, row engine.Tuple, epoch uint64) error {
 	return l.append(encodeAppendRow(epoch, relation, row))
 }
 
+// AppendRows logs a whole batch of rows for one relation that committed as a
+// single epoch step: one WAL record, one write, one fsync — the durability
+// cost of the batch is that of a single row.
+func (l *Log) AppendRows(relation string, rows []engine.Tuple, epoch uint64) error {
+	return l.append(encodeAppendRows(epoch, relation, rows))
+}
+
 // Bump logs an epoch bump.
 func (l *Log) Bump(epoch, staleFloor uint64) error {
 	return l.append(encodeBump(epoch, staleFloor))
@@ -591,6 +598,43 @@ func (st *Store) recoverScenario(name, sdir string) (*RecoveredScenario, error) 
 					return nil, fmt.Errorf("wal: %w: relation %s row arity %d, want %d", ErrCorrupt, relName, len(row), len(rel.Columns))
 				}
 				rel.Rows = append(rel.Rows, row)
+				base.Epoch = epoch
+				replayed++
+			case recAppendRows:
+				if base == nil {
+					return nil, fmt.Errorf("wal: %w: append before register", ErrCorrupt)
+				}
+				d := &dec{b: payload, off: 1}
+				epoch := d.u64()
+				relName := d.str()
+				nrows := d.count(1)
+				rows := make([]engine.Tuple, 0, nrows)
+				for j := 0; j < nrows && d.err == nil; j++ {
+					rows = append(rows, d.tuple())
+				}
+				if d.err == nil && d.off != len(payload) {
+					d.fail("%d trailing bytes in append record", len(payload)-d.off)
+				}
+				if d.err != nil {
+					return nil, fmt.Errorf("wal: %w", d.err)
+				}
+				if epoch <= base.Epoch {
+					continue // already folded into the snapshot
+				}
+				if epoch != base.Epoch+1 {
+					return nil, fmt.Errorf("wal: %w: epoch jumps %d -> %d", ErrCorrupt, base.Epoch, epoch)
+				}
+				ri, ok := relIndex[relName]
+				if !ok {
+					return nil, fmt.Errorf("wal: %w: append to unknown relation %q", ErrCorrupt, relName)
+				}
+				rel := &base.Relations[ri]
+				for _, row := range rows {
+					if len(row) != len(rel.Columns) {
+						return nil, fmt.Errorf("wal: %w: relation %s row arity %d, want %d", ErrCorrupt, relName, len(row), len(rel.Columns))
+					}
+				}
+				rel.Rows = append(rel.Rows, rows...)
 				base.Epoch = epoch
 				replayed++
 			case recBump:

@@ -23,11 +23,12 @@ const (
 
 // Record types.
 const (
-	recRegister  byte = 1 // full state; always the first record of a fresh WAL
-	recAppendRow byte = 2 // epoch, relation, row
-	recBump      byte = 3 // epoch, stale floor
-	recDrop      byte = 4 // scenario deleted; recovery removes the directory
-	recSnapshot  byte = 5 // full state; only in snapshot files
+	recRegister   byte = 1 // full state; always the first record of a fresh WAL
+	recAppendRow  byte = 2 // epoch, relation, row
+	recBump       byte = 3 // epoch, stale floor
+	recDrop       byte = 4 // scenario deleted; recovery removes the directory
+	recSnapshot   byte = 5 // full state; only in snapshot files
+	recAppendRows byte = 6 // epoch, relation, row count, rows — one batch, one epoch step
 )
 
 // maxRecordBytes bounds a single record; a declared length beyond it is
